@@ -1,0 +1,223 @@
+// Benchmarks regenerating the paper's tables and figures at reduced scale
+// (one per table/figure; the full-scale runs are produced by
+// cmd/experiments). Each benchmark simulates the experiment's
+// configuration matrix once per iteration and reports the headline metric
+// (a speedup ratio or percentage) via b.ReportMetric, so the *shape* of
+// each result is visible straight from `go test -bench`.
+package slipstream_test
+
+import (
+	"testing"
+
+	"slipstream"
+	"slipstream/internal/stats"
+)
+
+// benchRun simulates one configuration, failing the benchmark on any
+// simulation or verification error.
+func benchRun(b *testing.B, kernel string, opts slipstream.Options) *slipstream.Result {
+	b.Helper()
+	k, err := slipstream.NewKernel(kernel, slipstream.SizeTiny)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := slipstream.Run(opts, k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res.VerifyErr != nil {
+		b.Fatal(res.VerifyErr)
+	}
+	return res
+}
+
+// BenchmarkTable1Latencies checks and reports the Table 1 golden
+// latencies while measuring raw simulation throughput on a memory-bound
+// kernel.
+func BenchmarkTable1Latencies(b *testing.B) {
+	m := slipstream.DefaultMachine(4)
+	if m.LocalMissLatency() != 170 || m.RemoteMissLatency() != 290 {
+		b.Fatalf("Table 1 latencies drifted: local=%d remote=%d",
+			m.LocalMissLatency(), m.RemoteMissLatency())
+	}
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		res := benchRun(b, "CG", slipstream.Options{CMPs: 4, Mode: slipstream.Single})
+		cycles = res.Cycles
+	}
+	b.ReportMetric(170, "local-miss-cycles")
+	b.ReportMetric(290, "remote-miss-cycles")
+	b.ReportMetric(float64(cycles), "sim-cycles")
+}
+
+// BenchmarkFig1DoubleVsSingle reports the double-vs-single speedup at the
+// benchmark's scalability limit (Figure 1's rightmost points).
+func BenchmarkFig1DoubleVsSingle(b *testing.B) {
+	for _, kernel := range []string{"CG", "MG", "SOR"} {
+		b.Run(kernel, func(b *testing.B) {
+			var ratio float64
+			for i := 0; i < b.N; i++ {
+				single := benchRun(b, kernel, slipstream.Options{CMPs: 4, Mode: slipstream.Single})
+				double := benchRun(b, kernel, slipstream.Options{CMPs: 4, Mode: slipstream.Double})
+				ratio = float64(single.Cycles) / float64(double.Cycles)
+			}
+			b.ReportMetric(ratio, "double/single-speedup")
+		})
+	}
+}
+
+// BenchmarkFig4SingleScaling reports single-mode speedup over sequential
+// execution (Figure 4).
+func BenchmarkFig4SingleScaling(b *testing.B) {
+	for _, kernel := range []string{"SOR", "OCEAN", "FFT"} {
+		b.Run(kernel, func(b *testing.B) {
+			var ratio float64
+			for i := 0; i < b.N; i++ {
+				seq := benchRun(b, kernel, slipstream.Options{Mode: slipstream.Sequential})
+				par := benchRun(b, kernel, slipstream.Options{CMPs: 4, Mode: slipstream.Single})
+				ratio = float64(seq.Cycles) / float64(par.Cycles)
+			}
+			b.ReportMetric(ratio, "single/seq-speedup")
+		})
+	}
+}
+
+// BenchmarkFig5Slipstream reports slipstream speedup relative to single
+// mode for each A-R synchronization policy (Figure 5).
+func BenchmarkFig5Slipstream(b *testing.B) {
+	for _, ar := range slipstream.ARSyncs {
+		b.Run(ar.String(), func(b *testing.B) {
+			var ratio float64
+			for i := 0; i < b.N; i++ {
+				single := benchRun(b, "MG", slipstream.Options{CMPs: 4, Mode: slipstream.Single})
+				slip := benchRun(b, "MG", slipstream.Options{CMPs: 4, Mode: slipstream.Slipstream, ARSync: ar})
+				ratio = float64(single.Cycles) / float64(slip.Cycles)
+			}
+			b.ReportMetric(ratio, "slip/single-speedup")
+		})
+	}
+}
+
+// BenchmarkFig6Breakdown reports the R-stream's execution-time breakdown
+// relative to single mode (Figure 6): stall and synchronization shares.
+func BenchmarkFig6Breakdown(b *testing.B) {
+	var single, r, a slipstream.Breakdown
+	for i := 0; i < b.N; i++ {
+		sres := benchRun(b, "OCEAN", slipstream.Options{CMPs: 4, Mode: slipstream.Single})
+		slres := benchRun(b, "OCEAN", slipstream.Options{CMPs: 4, Mode: slipstream.Slipstream, ARSync: slipstream.G0})
+		single, r, a = sres.AvgTask(), slres.AvgTask(), slres.AvgATask()
+	}
+	norm := float64(single.Total()) / 100
+	b.ReportMetric(float64(single.MemStall)/norm, "single-stall-pct")
+	b.ReportMetric(float64(r.MemStall)/norm, "R-stall-pct")
+	b.ReportMetric(float64(a.ARSync)/norm, "A-arsync-pct")
+}
+
+// BenchmarkFig7RequestClasses reports the share of A-stream fetches that
+// were timely vs late under tight and loose A-R synchronization (the
+// contrast Figure 7 draws between G0 and L1).
+func BenchmarkFig7RequestClasses(b *testing.B) {
+	for _, ar := range []slipstream.ARSync{slipstream.L1, slipstream.G0} {
+		b.Run(ar.String(), func(b *testing.B) {
+			var req slipstream.ReqBreakdown
+			for i := 0; i < b.N; i++ {
+				res := benchRun(b, "SOR", slipstream.Options{CMPs: 4, Mode: slipstream.Slipstream, ARSync: ar})
+				req = res.Req
+			}
+			b.ReportMetric(req.ReadPct(stats.ATimely), "A-timely-read-pct")
+			b.ReportMetric(req.ReadPct(stats.ALate), "A-late-read-pct")
+			b.ReportMetric(req.ExclusivePct(stats.ATimely), "A-timely-excl-pct")
+		})
+	}
+}
+
+// BenchmarkFig9TransparentLoads reports the transparent-load issue rate
+// and reply breakdown (Figure 9).
+func BenchmarkFig9TransparentLoads(b *testing.B) {
+	var tl stats.TLStats
+	for i := 0; i < b.N; i++ {
+		res := benchRun(b, "WATER-NS", slipstream.Options{
+			CMPs: 4, Mode: slipstream.Slipstream, ARSync: slipstream.G1,
+			TransparentLoads: true, SelfInvalidate: true,
+		})
+		tl = res.TL
+	}
+	b.ReportMetric(tl.IssuedPct(), "transparent-issued-pct")
+	b.ReportMetric(tl.TransparentReplyPct(), "transparent-reply-pct")
+}
+
+// BenchmarkFig10SelfInvalidation reports the three Section 4
+// configurations relative to the best of single and double (Figure 10).
+func BenchmarkFig10SelfInvalidation(b *testing.B) {
+	var pref, tl, tlsi float64
+	for i := 0; i < b.N; i++ {
+		single := benchRun(b, "CG", slipstream.Options{CMPs: 4, Mode: slipstream.Single})
+		double := benchRun(b, "CG", slipstream.Options{CMPs: 4, Mode: slipstream.Double})
+		base := min(single.Cycles, double.Cycles)
+		g1 := slipstream.Options{CMPs: 4, Mode: slipstream.Slipstream, ARSync: slipstream.G1}
+		p := benchRun(b, "CG", g1)
+		g1.TransparentLoads = true
+		tlr := benchRun(b, "CG", g1)
+		g1.SelfInvalidate = true
+		tlsir := benchRun(b, "CG", g1)
+		pref = float64(base) / float64(p.Cycles)
+		tl = float64(base) / float64(tlr.Cycles)
+		tlsi = float64(base) / float64(tlsir.Cycles)
+	}
+	b.ReportMetric(pref, "prefetch-speedup")
+	b.ReportMetric(tl, "tl-speedup")
+	b.ReportMetric(tlsi, "tl+si-speedup")
+}
+
+// BenchmarkAblationStoreBuffer contrasts the paper's blocking-store MIPSY
+// cores with a release-consistency write buffer (DESIGN.md ablation: the
+// A-stream's advantage comes from the stores the R-stream must wait on).
+func BenchmarkAblationStoreBuffer(b *testing.B) {
+	for _, depth := range []int{0, 4} {
+		name := "blocking"
+		if depth > 0 {
+			name = "buffered"
+		}
+		b.Run(name, func(b *testing.B) {
+			var ratio float64
+			for i := 0; i < b.N; i++ {
+				single := benchRun(b, "SOR", slipstream.Options{CMPs: 4, Mode: slipstream.Single, StoreBuffer: depth})
+				slip := benchRun(b, "SOR", slipstream.Options{CMPs: 4, Mode: slipstream.Slipstream, ARSync: slipstream.L0, StoreBuffer: depth})
+				ratio = float64(single.Cycles) / float64(slip.Cycles)
+			}
+			b.ReportMetric(ratio, "slip/single-speedup")
+		})
+	}
+}
+
+// BenchmarkAblationDCBanks contrasts Table 1's single directory-controller
+// occupancy per node with a banked hub: banking relieves the queuing the
+// A-stream's duplicated traffic adds, bounding how much of slipstream's
+// gap to the paper is controller serialization (see EXPERIMENTS.md).
+func BenchmarkAblationDCBanks(b *testing.B) {
+	for _, banks := range []int{1, 4} {
+		b.Run(map[int]string{1: "single-queue", 4: "banked"}[banks], func(b *testing.B) {
+			m := slipstream.DefaultMachine(4)
+			m.DCBanks = banks
+			var ratio float64
+			for i := 0; i < b.N; i++ {
+				single := benchRun(b, "SOR", slipstream.Options{CMPs: 4, Mode: slipstream.Single, Machine: m})
+				slip := benchRun(b, "SOR", slipstream.Options{CMPs: 4, Mode: slipstream.Slipstream, ARSync: slipstream.L0, Machine: m})
+				ratio = float64(single.Cycles) / float64(slip.Cycles)
+			}
+			b.ReportMetric(ratio, "slip/single-speedup")
+		})
+	}
+}
+
+// BenchmarkAblationSkewQuantum measures the simulator-performance /
+// fidelity knob: how the bounded-skew optimization affects wall time.
+func BenchmarkAblationSkewQuantum(b *testing.B) {
+	for _, q := range []int64{1, 200, 2000} {
+		b.Run(map[int64]string{1: "tight", 200: "default", 2000: "loose"}[q], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				benchRun(b, "SOR", slipstream.Options{CMPs: 4, Mode: slipstream.Single, SkewQuantum: q})
+			}
+		})
+	}
+}

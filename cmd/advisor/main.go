@@ -1,0 +1,114 @@
+// Command advisor implements the paper's Section 6 goal of "development
+// and run-time environments that allow users to choose the best mode to
+// efficiently utilize system resources": it sweeps a benchmark across
+// every execution mode and slipstream configuration on the target machine
+// size and prints a ranked recommendation, including whether slipstream
+// should enable transparent loads and self-invalidation and which A-R
+// synchronization policy fits.
+//
+// Usage:
+//
+//	advisor -kernel CG -cmps 16 -size paper
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"slipstream"
+)
+
+type candidate struct {
+	label  string
+	opts   slipstream.Options
+	cycles int64
+	note   string
+}
+
+func main() {
+	var (
+		kernel = flag.String("kernel", "CG", "benchmark: "+strings.Join(slipstream.Kernels(), ", "))
+		cmps   = flag.Int("cmps", 16, "number of CMP nodes")
+		size   = flag.String("size", "small", "problem size preset: tiny, small, paper")
+	)
+	flag.Parse()
+
+	ksize, err := slipstream.ParseKernelSize(*size)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	cands := []candidate{
+		{label: "single", opts: slipstream.Options{Mode: slipstream.Single},
+			note: "one task per CMP, second processor idle"},
+		{label: "double", opts: slipstream.Options{Mode: slipstream.Double},
+			note: "two parallel tasks per CMP (more concurrency)"},
+	}
+	for _, ar := range slipstream.ARSyncs {
+		cands = append(cands, candidate{
+			label: "slipstream/" + ar.String(),
+			opts:  slipstream.Options{Mode: slipstream.Slipstream, ARSync: ar},
+			note:  "prefetch only",
+		})
+	}
+	cands = append(cands,
+		candidate{label: "slipstream/L0+FQ",
+			opts: slipstream.Options{Mode: slipstream.Slipstream, ARSync: slipstream.L0, ForwardQueue: true},
+			note: "A-to-R address forwarding queue (Section 6)"},
+		candidate{label: "slipstream/adaptive",
+			opts: slipstream.Options{Mode: slipstream.Slipstream, ARSync: slipstream.L1, AdaptiveARSync: true},
+			note: "dynamic A-R policy (Section 6)"},
+		candidate{label: "slipstream/G1+TL",
+			opts: slipstream.Options{Mode: slipstream.Slipstream, ARSync: slipstream.G1, TransparentLoads: true},
+			note: "transparent loads"},
+		candidate{label: "slipstream/G1+TL+SI",
+			opts: slipstream.Options{Mode: slipstream.Slipstream, ARSync: slipstream.G1, TransparentLoads: true, SelfInvalidate: true},
+			note: "transparent loads + self-invalidation"},
+	)
+
+	fmt.Printf("advising for %s on %d CMP nodes (size %s)\n\n", *kernel, *cmps, ksize)
+	for i := range cands {
+		k, err := slipstream.NewKernel(*kernel, ksize)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		cands[i].opts.CMPs = *cmps
+		res, err := slipstream.Run(cands[i].opts, k)
+		if err != nil {
+			fatalf("%s: %v", cands[i].label, err)
+		}
+		if res.VerifyErr != nil {
+			fatalf("%s: verification: %v", cands[i].label, res.VerifyErr)
+		}
+		cands[i].cycles = res.Cycles
+		fmt.Fprintf(os.Stderr, "  measured %-22s %12d cycles\n", cands[i].label, res.Cycles)
+	}
+
+	sort.Slice(cands, func(i, j int) bool { return cands[i].cycles < cands[j].cycles })
+	best := cands[0]
+
+	fmt.Printf("%-24s %14s %9s\n", "configuration", "cycles", "slowdown")
+	fmt.Println(strings.Repeat("-", 50))
+	for _, c := range cands {
+		fmt.Printf("%-24s %14d %8.2fx\n", c.label, c.cycles, float64(c.cycles)/float64(best.cycles))
+	}
+	fmt.Printf("\nrecommendation: %s (%s)\n", best.label, best.note)
+	if strings.HasPrefix(best.label, "slipstream") {
+		fmt.Println("the machine has reached its concurrency limit for this workload;")
+		fmt.Println("use the second processor of each CMP to reduce overheads instead.")
+	} else if best.label == "double" {
+		fmt.Println("there is still exploitable task-level parallelism at this machine size;")
+		fmt.Println("slipstream mode is better reserved for larger configurations.")
+	} else {
+		fmt.Println("neither extra concurrency nor slipstream assistance pays off here;")
+		fmt.Println("leave the second processor idle (or try a larger problem size).")
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "advisor: "+format+"\n", args...)
+	os.Exit(1)
+}

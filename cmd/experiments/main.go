@@ -1,0 +1,114 @@
+// Command experiments regenerates the paper's tables and figures as text.
+//
+// Usage:
+//
+//	experiments -all -size paper          # everything (several minutes)
+//	experiments -fig5 -size small         # one figure, quick
+//	experiments -fig1 -fig10 -cmps 2,4,8  # custom machine sweep
+//
+// Each run verifies kernel numerics; a figure is never rendered from an
+// incorrect simulation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"slipstream/internal/harness"
+	"slipstream/internal/kernels"
+)
+
+func main() {
+	var (
+		all     = flag.Bool("all", false, "regenerate every table and figure")
+		table1  = flag.Bool("table1", false, "Table 1: machine parameters")
+		table2  = flag.Bool("table2", false, "Table 2: benchmarks and sizes")
+		fig1    = flag.Bool("fig1", false, "Figure 1: double vs single")
+		fig4    = flag.Bool("fig4", false, "Figure 4: single-mode scalability")
+		fig5    = flag.Bool("fig5", false, "Figure 5: slipstream and double vs single")
+		fig6    = flag.Bool("fig6", false, "Figure 6: execution time breakdown")
+		fig7    = flag.Bool("fig7", false, "Figure 7: request classification")
+		fig9    = flag.Bool("fig9", false, "Figure 9: transparent load breakdown")
+		fig10   = flag.Bool("fig10", false, "Figure 10: transparent loads + self-invalidation")
+		adapt   = flag.Bool("adaptive", false, "extension: dynamic A-R policy selection (paper Section 6)")
+		forward = flag.Bool("forward", false, "extension: A-to-R address forwarding queue (paper Section 6)")
+		sens    = flag.Bool("sensitivity", false, "extension: slipstream benefit vs network latency")
+		leads   = flag.Bool("leads", false, "extension: A-stream lead analysis per policy")
+		banks   = flag.Bool("banks", false, "extension: directory-controller banking sensitivity")
+		size    = flag.String("size", "small", "problem size preset: tiny, small, paper")
+		cmps    = flag.String("cmps", "2,4,8,16", "comma-separated CMP counts to sweep")
+		csvDir  = flag.String("csv", "", "also write per-figure CSV data files into this directory")
+		quiet   = flag.Bool("q", false, "suppress per-run progress lines")
+	)
+	flag.Parse()
+
+	ksize, err := kernels.ParseSize(*size)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	var counts []int
+	for _, part := range strings.Split(*cmps, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			fatalf("bad -cmps entry %q", part)
+		}
+		counts = append(counts, n)
+	}
+
+	cfg := harness.Config{Size: ksize, CMPCounts: counts, Out: os.Stdout}
+	if !*quiet {
+		cfg.Progress = os.Stderr
+	}
+	s := harness.NewSession(cfg)
+
+	steps := []struct {
+		on  bool
+		fn  func() error
+		tag string
+	}{
+		{*all || *table1, s.Table1, "table1"},
+		{*all || *table2, s.Table2, "table2"},
+		{*all || *fig1, s.Fig1, "fig1"},
+		{*all || *fig4, s.Fig4, "fig4"},
+		{*all || *fig5, s.Fig5, "fig5"},
+		{*all || *fig6, s.Fig6, "fig6"},
+		{*all || *fig7, s.Fig7, "fig7"},
+		{*all || *fig9, s.Fig9, "fig9"},
+		{*all || *fig10, s.Fig10, "fig10"},
+		{*all || *adapt, s.ExtAdaptive, "adaptive"},
+		{*all || *forward, s.ExtForward, "forward"},
+		{*all || *sens, s.ExtSensitivity, "sensitivity"},
+		{*all || *leads, s.ExtLeads, "leads"},
+		{*all || *banks, s.ExtBanks, "banks"},
+	}
+	any := false
+	for _, st := range steps {
+		if !st.on {
+			continue
+		}
+		any = true
+		if err := st.fn(); err != nil {
+			fatalf("%s: %v", st.tag, err)
+		}
+	}
+	if *csvDir != "" {
+		any = true
+		if err := s.WriteCSV(*csvDir); err != nil {
+			fatalf("csv: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "experiments: wrote CSV data to %s\n", *csvDir)
+	}
+	if !any {
+		fmt.Fprintln(os.Stderr, "experiments: nothing selected; pass -all or one of the -table/-fig flags")
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "experiments: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,149 @@
+// Command slipsim runs one benchmark under one execution mode and prints a
+// detailed report: cycle count, per-task time breakdowns, memory-system
+// statistics, and (in slipstream mode) request classification, transparent
+// load, and self-invalidation counters.
+//
+// Usage:
+//
+//	slipsim -kernel SOR -mode slipstream -arsync L1 -cmps 8 -size small -tl -si
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"slipstream"
+)
+
+func main() {
+	var (
+		kernel   = flag.String("kernel", "SOR", "benchmark: "+strings.Join(slipstream.Kernels(), ", "))
+		mode     = flag.String("mode", "slipstream", "execution mode: sequential, single, double, slipstream")
+		arsync   = flag.String("arsync", "L1", "A-R synchronization: L1, L0, G1, G0")
+		cmps     = flag.Int("cmps", 8, "number of CMP nodes")
+		size     = flag.String("size", "small", "problem size preset: tiny, small, paper")
+		tl       = flag.Bool("tl", false, "enable transparent loads (slipstream only)")
+		si       = flag.Bool("si", false, "enable self-invalidation (implies -tl)")
+		adapt    = flag.Bool("adaptive", false, "vary the A-R policy dynamically (slipstream only)")
+		traceOut = flag.String("trace", "", "write a TSV event trace to this file")
+		verbose  = flag.Bool("v", false, "print per-task breakdowns")
+	)
+	flag.Parse()
+
+	opts := slipstream.Options{CMPs: *cmps}
+	switch strings.ToLower(*mode) {
+	case "sequential":
+		opts.Mode = slipstream.Sequential
+	case "single":
+		opts.Mode = slipstream.Single
+	case "double":
+		opts.Mode = slipstream.Double
+	case "slipstream":
+		opts.Mode = slipstream.Slipstream
+	default:
+		fatalf("unknown mode %q", *mode)
+	}
+	switch strings.ToUpper(*arsync) {
+	case "L1":
+		opts.ARSync = slipstream.L1
+	case "L0":
+		opts.ARSync = slipstream.L0
+	case "G1":
+		opts.ARSync = slipstream.G1
+	case "G0":
+		opts.ARSync = slipstream.G0
+	default:
+		fatalf("unknown A-R sync %q", *arsync)
+	}
+	if opts.Mode == slipstream.Slipstream {
+		opts.TransparentLoads = *tl || *si
+		opts.SelfInvalidate = *si
+		opts.AdaptiveARSync = *adapt
+	}
+
+	ksize, err := slipstream.ParseKernelSize(*size)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	k, err := slipstream.NewKernel(*kernel, ksize)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	var tr *slipstream.Trace
+	if *traceOut != "" {
+		tr = &slipstream.Trace{SlowThreshold: 600}
+		opts.Trace = tr
+	}
+
+	res, err := slipstream.Run(opts, k)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	fmt.Printf("%s  mode=%v", res.Kernel, res.Mode)
+	if res.Mode == slipstream.Slipstream {
+		fmt.Printf("/%v tl=%v si=%v", res.ARSync, opts.TransparentLoads, opts.SelfInvalidate)
+	}
+	fmt.Printf("  cmps=%d  size=%s\n", res.CMPs, ksize)
+	fmt.Printf("cycles: %d\n", res.Cycles)
+	if res.VerifyErr != nil {
+		fmt.Printf("VERIFICATION FAILED: %v\n", res.VerifyErr)
+		os.Exit(1)
+	}
+	fmt.Println("verification: ok")
+
+	avg := res.AvgTask()
+	fmt.Printf("task avg:   %v\n", avg)
+	if len(res.ATasks) > 0 {
+		fmt.Printf("A-task avg: %v  (recoveries: %d)\n", res.AvgATask(), res.Recoveries)
+	}
+	if opts.AdaptiveARSync {
+		fmt.Printf("adaptive: %d policy switches; final policies %v\n", res.PolicySwitches, res.FinalPolicies)
+	}
+	m := res.Mem
+	fmt.Printf("memory: L1 %d/%d hits, L2 %d hits %d misses, dir %d local %d remote\n",
+		m.L1Hits, m.L1Hits+m.L1Misses, m.L2Hits, m.L2Misses, m.LocalDirReqs, m.RemoteDirReqs)
+	fmt.Printf("        %d invalidations, %d writebacks, %d interventions, %d merged fills, %d excl prefetches\n",
+		m.Invalidations, m.Writebacks, m.Interventions, m.MergedFills, m.PrefetchExcl)
+	if res.Mode == slipstream.Slipstream {
+		fmt.Printf("requests: reads %v  exclusives %v\n", res.Req.Reads, res.Req.Exclusives)
+		if opts.TransparentLoads {
+			fmt.Printf("transparent loads: %.0f%% of %d A-reads issued transparent; %.0f%% got stale replies\n",
+				res.TL.IssuedPct(), res.TL.AReadRequests, res.TL.TransparentReplyPct())
+		}
+		if opts.SelfInvalidate {
+			fmt.Printf("self-invalidation: %d hints, %d written back, %d invalidated\n",
+				res.SI.HintsSent, res.SI.WrittenBack, res.SI.Invalidated)
+		}
+	}
+	if tr != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := tr.WriteTSV(f); err != nil {
+			fatalf("%v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("%v", err)
+		}
+		sum := tr.Summarize()
+		fmt.Printf("trace: %d events -> %s (mean barrier %.0f, mean token %.0f, mean A-lead %.0f cycles)\n",
+			tr.Len(), *traceOut, sum.MeanBarrier, sum.MeanToken, sum.MeanLead)
+	}
+	if *verbose {
+		for i, bd := range res.Tasks {
+			fmt.Printf("  task %2d: %v\n", i, bd)
+		}
+		for i, bd := range res.ATasks {
+			fmt.Printf("  A    %2d: %v\n", i, bd)
+		}
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "slipsim: "+format+"\n", args...)
+	os.Exit(1)
+}

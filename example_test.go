@@ -1,0 +1,76 @@
+package slipstream_test
+
+import (
+	"fmt"
+
+	"slipstream"
+)
+
+// ExampleRun simulates one of the paper's benchmarks under slipstream
+// mode and checks that the run verified numerically.
+func ExampleRun() {
+	k, err := slipstream.NewKernel("SOR", slipstream.SizeTiny)
+	if err != nil {
+		panic(err)
+	}
+	res, err := slipstream.Run(slipstream.Options{
+		CMPs:   4,
+		Mode:   slipstream.Slipstream,
+		ARSync: slipstream.L0,
+	}, k)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("verified:", res.VerifyErr == nil)
+	fmt.Println("R-streams:", len(res.Tasks), "A-streams:", len(res.ATasks))
+	// Output:
+	// verified: true
+	// R-streams: 4 A-streams: 4
+}
+
+// ExampleKernels lists the paper's benchmark suite.
+func ExampleKernels() {
+	for _, name := range slipstream.Kernels() {
+		fmt.Println(name)
+	}
+	// Output:
+	// FFT
+	// OCEAN
+	// WATER-NS
+	// WATER-SP
+	// SOR
+	// LU
+	// CG
+	// MG
+	// SP
+}
+
+// ExampleDefaultMachine shows the Table 1 golden latencies.
+func ExampleDefaultMachine() {
+	m := slipstream.DefaultMachine(16)
+	fmt.Println("local miss:", m.LocalMissLatency(), "cycles")
+	fmt.Println("remote miss:", m.RemoteMissLatency(), "cycles")
+	// Output:
+	// local miss: 170 cycles
+	// remote miss: 290 cycles
+}
+
+// ExampleOptions_adaptive demonstrates dynamic A-R policy selection (the
+// paper's Section 6 future work).
+func ExampleOptions_adaptive() {
+	k, _ := slipstream.NewKernel("CG", slipstream.SizeTiny)
+	res, err := slipstream.Run(slipstream.Options{
+		CMPs:           4,
+		Mode:           slipstream.Slipstream,
+		ARSync:         slipstream.L1, // starting policy
+		AdaptiveARSync: true,
+	}, k)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("pairs:", len(res.FinalPolicies))
+	fmt.Println("verified:", res.VerifyErr == nil)
+	// Output:
+	// pairs: 4
+	// verified: true
+}

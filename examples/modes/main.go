@@ -1,0 +1,67 @@
+// Modes: sweep a benchmark across machine sizes and every execution mode —
+// single, double, and slipstream under all four A-R synchronization
+// policies — reproducing one panel of the paper's Figure 5.
+//
+//	go run ./examples/modes [kernel]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"slipstream"
+)
+
+func main() {
+	name := "CG"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+
+	run := func(opts slipstream.Options) int64 {
+		k, err := slipstream.NewKernel(name, slipstream.SizeSmall)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := slipstream.Run(opts, k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.VerifyErr != nil {
+			log.Fatalf("%v/%v: %v", opts.Mode, opts.ARSync, res.VerifyErr)
+		}
+		return res.Cycles
+	}
+
+	fmt.Printf("%s: speedup relative to single mode (Figure 5 panel)\n\n", name)
+	fmt.Printf("%-8s", "mode")
+	cmpCounts := []int{2, 4, 8, 16}
+	for _, c := range cmpCounts {
+		fmt.Printf("  %2d CMPs", c)
+	}
+	fmt.Println()
+
+	singles := make(map[int]int64)
+	for _, c := range cmpCounts {
+		singles[c] = run(slipstream.Options{CMPs: c, Mode: slipstream.Single})
+	}
+
+	row := func(label string, f func(c int) int64) {
+		fmt.Printf("%-8s", label)
+		for _, c := range cmpCounts {
+			fmt.Printf("  %7.2f", float64(singles[c])/float64(f(c)))
+		}
+		fmt.Println()
+	}
+	row("double", func(c int) int64 {
+		return run(slipstream.Options{CMPs: c, Mode: slipstream.Double})
+	})
+	for _, ar := range slipstream.ARSyncs {
+		ar := ar
+		row(ar.String(), func(c int) int64 {
+			return run(slipstream.Options{CMPs: c, Mode: slipstream.Slipstream, ARSync: ar})
+		})
+	}
+	fmt.Println("\nL1/L0 = one/zero-token local, G1/G0 = one/zero-token global (Section 3.2)")
+}

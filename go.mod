@@ -1,0 +1,3 @@
+module slipstream
+
+go 1.22

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"slipstream/internal/memsys"
+	"slipstream/internal/trace"
+)
+
+// This file implements the paper's Section 6 future work: "extending the
+// analysis to recommend an A-R synchronization scheme for a given program,
+// or varying the scheme dynamically during program execution."
+//
+// Each A-R pair hill-climbs the policy ladder (loosest to tightest) using
+// the same evidence the paper reads off Figure 7: a high A-Only share
+// means the A-stream fetches prematurely (lines are invalidated before the
+// R-stream uses them), so the pair should tighten; a low A-Only share
+// combined with a low A-Timely share means the A-stream is not far enough
+// ahead to hide latency, so the pair may loosen. The classification window
+// is per node and resets after every decision.
+
+// policyLadder orders the A-R policies from loosest to tightest.
+var policyLadder = []ARSync{OneTokenLocal, OneTokenGlobal, ZeroTokenLocal, ZeroTokenGlobal}
+
+func ladderIndex(p ARSync) int {
+	for i, q := range policyLadder {
+		if q == p {
+			return i
+		}
+	}
+	return 0
+}
+
+// Adaptation thresholds (percent of classified A-stream reads in the
+// window) and the minimum window population for a decision.
+const (
+	adaptMinSamples   = 16
+	adaptAOnlyHighPct = 12
+	adaptAOnlyLowPct  = 4
+	adaptTimelyLowPct = 40
+)
+
+// adaptPolicy runs one controller decision for the pair, called by the
+// R-stream at session boundaries when Options.AdaptiveARSync is set.
+func (r *Runner) adaptPolicy(p *pair, node *memsys.Node) {
+	w := node.Window
+	total := w.Total()
+	if total < adaptMinSamples {
+		return
+	}
+	aOnlyPct := w.AOnly * 100 / total
+	aTimelyPct := w.ATimely * 100 / total
+	node.WindowReset()
+
+	idx := ladderIndex(p.policy)
+	switch {
+	case aOnlyPct > adaptAOnlyHighPct && idx < len(policyLadder)-1:
+		r.switchPolicy(p, policyLadder[idx+1])
+	case aOnlyPct < adaptAOnlyLowPct && aTimelyPct < adaptTimelyLowPct && idx > 0:
+		r.switchPolicy(p, policyLadder[idx-1])
+	}
+}
+
+// switchPolicy changes the pair's A-R policy in place. The token pool is
+// adjusted by the difference in initial allowances, so a tightened pair
+// may temporarily hold a negative balance (its A-stream blocks until the
+// R-stream has inserted enough tokens to repay it).
+func (r *Runner) switchPolicy(p *pair, next ARSync) {
+	if next == p.policy {
+		return
+	}
+	delta := next.InitialTokens() - p.policy.InitialTokens()
+	p.policy = next
+	p.sem.adjust(delta, r.eng.Now())
+	r.policySwitches++
+	r.opts.Trace.Add(trace.Event{
+		Time: r.eng.Now(), Task: p.id,
+		Kind: trace.EvPolicySwitch, Note: next.String(),
+	})
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"testing"
+
+	"slipstream/internal/memsys"
+	"slipstream/internal/sim"
+)
+
+func TestPolicyLadderCoversAllPolicies(t *testing.T) {
+	if len(policyLadder) != len(ARSyncs) {
+		t.Fatalf("ladder has %d rungs, want %d", len(policyLadder), len(ARSyncs))
+	}
+	seen := map[ARSync]bool{}
+	for _, p := range policyLadder {
+		seen[p] = true
+	}
+	for _, p := range ARSyncs {
+		if !seen[p] {
+			t.Errorf("policy %v missing from ladder", p)
+		}
+	}
+	// Initial-token allowance must be non-increasing along the ladder
+	// (loosest to tightest).
+	for i := 1; i < len(policyLadder); i++ {
+		if policyLadder[i].InitialTokens() > policyLadder[i-1].InitialTokens() {
+			t.Errorf("ladder not monotone at %d: %v -> %v", i, policyLadder[i-1], policyLadder[i])
+		}
+	}
+}
+
+// fakeAdaptEnv builds the minimal runner/pair/node wiring for direct
+// controller decisions.
+func fakeAdaptEnv(t *testing.T, start ARSync) (*Runner, *pair, *memsys.Node) {
+	t.Helper()
+	eng := sim.NewEngine()
+	sys, err := memsys.NewSystem(eng, memsys.DefaultParams(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Runner{opts: Options{AdaptiveARSync: true}.withDefaults(), eng: eng, sys: sys}
+	p := &pair{policy: start}
+	p.sem.reset(start.InitialTokens())
+	return r, p, sys.Nodes[0]
+}
+
+func TestAdaptTightensOnPrematureFetches(t *testing.T) {
+	r, p, node := fakeAdaptEnv(t, OneTokenLocal)
+	node.Window = memsys.ClassWindow{ATimely: 10, ALate: 5, AOnly: 15} // 50% A-Only
+	r.adaptPolicy(p, node)
+	if p.policy != OneTokenGlobal {
+		t.Fatalf("policy = %v, want G1 (one step tighter)", p.policy)
+	}
+	if node.Window.Total() != 0 {
+		t.Error("window not reset after decision")
+	}
+	if r.policySwitches != 1 {
+		t.Errorf("switches = %d", r.policySwitches)
+	}
+}
+
+func TestAdaptLoosensWhenBehindAndSafe(t *testing.T) {
+	r, p, node := fakeAdaptEnv(t, ZeroTokenGlobal)
+	node.Window = memsys.ClassWindow{ATimely: 5, ALate: 25, AOnly: 0} // timely 16%, A-Only 0%
+	r.adaptPolicy(p, node)
+	if p.policy != ZeroTokenLocal {
+		t.Fatalf("policy = %v, want L0 (one step looser)", p.policy)
+	}
+}
+
+func TestAdaptHoldsWhenTimely(t *testing.T) {
+	r, p, node := fakeAdaptEnv(t, ZeroTokenLocal)
+	node.Window = memsys.ClassWindow{ATimely: 20, ALate: 10, AOnly: 1}
+	r.adaptPolicy(p, node)
+	if p.policy != ZeroTokenLocal {
+		t.Fatalf("policy changed to %v on healthy window", p.policy)
+	}
+}
+
+func TestAdaptIgnoresTinyWindows(t *testing.T) {
+	r, p, node := fakeAdaptEnv(t, OneTokenLocal)
+	node.Window = memsys.ClassWindow{AOnly: adaptMinSamples - 1}
+	r.adaptPolicy(p, node)
+	if p.policy != OneTokenLocal || node.Window.Total() == 0 {
+		t.Fatal("controller acted on an under-populated window")
+	}
+}
+
+func TestAdaptClampsAtLadderEnds(t *testing.T) {
+	r, p, node := fakeAdaptEnv(t, ZeroTokenGlobal)
+	node.Window = memsys.ClassWindow{AOnly: 100}
+	r.adaptPolicy(p, node)
+	if p.policy != ZeroTokenGlobal {
+		t.Fatalf("tightened past the end: %v", p.policy)
+	}
+	p.policy = OneTokenLocal
+	node.Window = memsys.ClassWindow{ALate: 100}
+	r.adaptPolicy(p, node)
+	if p.policy != OneTokenLocal {
+		t.Fatalf("loosened past the end: %v", p.policy)
+	}
+}
+
+func TestTokenDebtOnTightening(t *testing.T) {
+	r, p, _ := fakeAdaptEnv(t, OneTokenLocal)
+	p.sem.tokens = 1
+	r.switchPolicy(p, ZeroTokenGlobal) // allowance 1 -> 0
+	if p.sem.tokens != 0 {
+		t.Fatalf("tokens = %d, want 0 after repaying the allowance", p.sem.tokens)
+	}
+	r.switchPolicy(p, OneTokenLocal) // back: allowance restored
+	if p.sem.tokens != 1 {
+		t.Fatalf("tokens = %d, want 1", p.sem.tokens)
+	}
+}
+
+// End-to-end: adaptive runs stay numerically correct and land within the
+// envelope of the fixed policies.
+func TestAdaptiveEndToEnd(t *testing.T) {
+	cycles := map[ARSync]int64{}
+	for _, ar := range ARSyncs {
+		k := &stencilKernel{n: 2048, iters: 8}
+		res, err := Run(Options{Mode: ModeSlipstream, CMPs: 4, ARSync: ar}, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cycles[ar] = res.Cycles
+	}
+	k := &stencilKernel{n: 2048, iters: 8}
+	res, err := Run(Options{
+		Mode: ModeSlipstream, CMPs: 4,
+		ARSync: OneTokenLocal, AdaptiveARSync: true,
+	}, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VerifyErr != nil {
+		t.Fatal(res.VerifyErr)
+	}
+	if len(res.FinalPolicies) != 4 {
+		t.Fatalf("FinalPolicies = %v", res.FinalPolicies)
+	}
+	worst := int64(0)
+	for _, c := range cycles {
+		if c > worst {
+			worst = c
+		}
+	}
+	// Adaptive must not be pathological: no worse than 10% over the worst
+	// fixed policy.
+	if res.Cycles > worst*11/10 {
+		t.Errorf("adaptive = %d cycles, worst fixed = %d", res.Cycles, worst)
+	}
+}
+
+func TestAdaptiveDeterministic(t *testing.T) {
+	run := func() *Result {
+		k := &gatherKernel{n: 2048, iters: 4}
+		res, err := Run(Options{
+			Mode: ModeSlipstream, CMPs: 4,
+			ARSync: OneTokenLocal, AdaptiveARSync: true,
+		}, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Cycles != b.Cycles || a.PolicySwitches != b.PolicySwitches {
+		t.Fatalf("nondeterministic adaptive run: %d/%d vs %d/%d",
+			a.Cycles, a.PolicySwitches, b.Cycles, b.PolicySwitches)
+	}
+}

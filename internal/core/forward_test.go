@@ -1,0 +1,78 @@
+package core
+
+import (
+	"testing"
+
+	"slipstream/internal/memsys"
+)
+
+func TestForwardQueueMechanics(t *testing.T) {
+	p := &pair{}
+	for i := 0; i < 40; i++ {
+		p.fqPush(memsys.Addr(i * 64))
+	}
+	if len(p.fq) != fqCap {
+		t.Fatalf("queue length = %d, want cap %d", len(p.fq), fqCap)
+	}
+	// Oldest entries were dropped: the head is entry 8 (40-32).
+	if p.fq[0] != memsys.Addr(8*64) {
+		t.Fatalf("head = %#x, want %#x", p.fq[0], 8*64)
+	}
+	got := p.fqPop(2)
+	if len(got) != 2 || got[0] != memsys.Addr(8*64) || got[1] != memsys.Addr(9*64) {
+		t.Fatalf("pop = %v", got)
+	}
+	if len(p.fq) != fqCap-2 {
+		t.Fatalf("after pop: %d", len(p.fq))
+	}
+	// Immediate duplicates collapse.
+	q := &pair{}
+	q.fqPush(64)
+	q.fqPush(64)
+	if len(q.fq) != 1 {
+		t.Fatalf("duplicate not collapsed: %v", q.fq)
+	}
+	// Popping more than available drains the queue.
+	rest := q.fqPop(10)
+	if len(rest) != 1 || len(q.fq) != 0 {
+		t.Fatalf("drain pop = %v, left %v", rest, q.fq)
+	}
+}
+
+func TestForwardQueueEndToEnd(t *testing.T) {
+	base := func(fq bool) *Result {
+		k := &transposeKernel{n: 64, iters: 3, compute: 40}
+		res, err := Run(Options{
+			Mode: ModeSlipstream, CMPs: 4, ARSync: ZeroTokenLocal,
+			ForwardQueue: fq,
+		}, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.VerifyErr != nil {
+			t.Fatal(res.VerifyErr)
+		}
+		return res
+	}
+	off := base(false)
+	on := base(true)
+	if on.Mem.L1Pushes == 0 {
+		t.Fatal("forwarding queue produced no L2-to-L1 pushes")
+	}
+	if off.Mem.L1Pushes != 0 {
+		t.Fatal("pushes recorded with the feature disabled")
+	}
+	// The R-streams' L1 hit rate must improve.
+	offRate := float64(off.Mem.L1Hits) / float64(off.Mem.L1Hits+off.Mem.L1Misses)
+	onRate := float64(on.Mem.L1Hits) / float64(on.Mem.L1Hits+on.Mem.L1Misses)
+	if onRate < offRate {
+		t.Errorf("L1 hit rate dropped with forwarding: %.4f -> %.4f", offRate, onRate)
+	}
+}
+
+func TestForwardQueueRejectedOutsideSlipstream(t *testing.T) {
+	k := &sumKernel{n: 64}
+	if _, err := Run(Options{Mode: ModeSingle, CMPs: 2, ForwardQueue: true}, k); err == nil {
+		t.Fatal("forwarding queue accepted outside slipstream mode")
+	}
+}

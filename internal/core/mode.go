@@ -1,0 +1,195 @@
+// Package core implements the paper's contribution: execution modes for
+// CMP-based multiprocessors, including slipstream mode. It provides the
+// task runtime (SPMD task contexts, barriers, locks, events), the A-R
+// synchronization token semaphore with its four policies, A-stream
+// reduction (skipped synchronization, skipped or converted shared stores,
+// transparent loads), deviation detection with kill-and-refork recovery,
+// and self-invalidation processing at synchronization points.
+package core
+
+import (
+	"fmt"
+
+	"slipstream/internal/memsys"
+	"slipstream/internal/trace"
+)
+
+// Mode selects how tasks are assigned to the processors of each CMP
+// (Figure 2 of the paper).
+type Mode int
+
+// Execution modes.
+const (
+	// ModeSequential runs one task on a single-node machine; it is the
+	// baseline for Figure 4's speedup curves.
+	ModeSequential Mode = iota
+	// ModeSingle runs one task per CMP; the second processor idles.
+	ModeSingle
+	// ModeDouble runs two independent parallel tasks per CMP.
+	ModeDouble
+	// ModeSlipstream runs an R-stream (full task) and an A-stream
+	// (reduced task) per CMP.
+	ModeSlipstream
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeSequential:
+		return "sequential"
+	case ModeSingle:
+		return "single"
+	case ModeDouble:
+		return "double"
+	case ModeSlipstream:
+		return "slipstream"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// ARSync selects the A-R synchronization policy: the initial token pool and
+// whether the R-stream inserts a new token when it enters (local) or exits
+// (global) a barrier or event wait (Section 3.2, Figure 3).
+type ARSync int
+
+// A-R synchronization policies, using the paper's abbreviations.
+const (
+	OneTokenLocal   ARSync = iota // L1: loosest
+	ZeroTokenLocal                // L0
+	OneTokenGlobal                // G1
+	ZeroTokenGlobal               // G0: tightest
+)
+
+// InitialTokens returns the policy's initial token pool.
+func (a ARSync) InitialTokens() int {
+	if a == OneTokenLocal || a == OneTokenGlobal {
+		return 1
+	}
+	return 0
+}
+
+// Global reports whether the R-stream inserts tokens at synchronization
+// exit (global) rather than entry (local).
+func (a ARSync) Global() bool {
+	return a == OneTokenGlobal || a == ZeroTokenGlobal
+}
+
+func (a ARSync) String() string {
+	switch a {
+	case OneTokenLocal:
+		return "L1"
+	case ZeroTokenLocal:
+		return "L0"
+	case OneTokenGlobal:
+		return "G1"
+	case ZeroTokenGlobal:
+		return "G0"
+	}
+	return fmt.Sprintf("ARSync(%d)", int(a))
+}
+
+// ARSyncs lists all four policies in the paper's Figure 5 order.
+var ARSyncs = []ARSync{OneTokenLocal, ZeroTokenLocal, OneTokenGlobal, ZeroTokenGlobal}
+
+// Options configures a run.
+type Options struct {
+	// CMPs is the number of CMP nodes. Sequential mode always uses one.
+	CMPs int
+
+	// Mode is the execution mode.
+	Mode Mode
+
+	// ARSync is the A-R synchronization policy (slipstream mode only).
+	// With AdaptiveARSync set it is only the starting policy.
+	ARSync ARSync
+
+	// AdaptiveARSync lets each A-R pair vary its synchronization policy
+	// at run time based on its node's request-classification window (the
+	// dynamic scheme selection of the paper's Section 6).
+	AdaptiveARSync bool
+
+	// TransparentLoads enables Section 4's transparent loads for A-stream
+	// reads issued ahead of the R-stream or inside critical sections.
+	TransparentLoads bool
+
+	// SelfInvalidate enables self-invalidation driven by future-sharer
+	// hints. It requires TransparentLoads.
+	SelfInvalidate bool
+
+	// Machine overrides the memory-system parameters. The zero value
+	// selects memsys.DefaultParams(CMPs).
+	Machine memsys.Params
+
+	// MaxCycles aborts a run that exceeds this simulated time (a model
+	// deadlock guard). Zero selects a large default.
+	MaxCycles int64
+
+	// ForkPenalty is the cycle cost of reforking a deviated A-stream.
+	ForkPenalty int64
+
+	// SyncOcc is the directory-controller occupancy charged per
+	// synchronization message (barrier arrivals/releases, lock traffic).
+	SyncOcc int64
+
+	// SkewQuantum bounds how far a task's local clock may run ahead of
+	// the global clock on private (L1-hit) work before yielding.
+	SkewQuantum int64
+
+	// StoreBuffer sets the processor write-buffer depth. Zero models the
+	// paper's MIPSY cores, whose store misses block the pipeline; a
+	// positive depth retires store misses into a serially draining FIFO
+	// (release consistency ablation), blocking only when it is full.
+	StoreBuffer int
+
+	// ForwardQueue enables the Section 6 extension: each A-stream pushes
+	// the line addresses it fetches into a small per-pair hardware queue,
+	// and the R-stream's cache controller drains it with L2-to-L1 pushes,
+	// converting the R-stream's L2-hit latency on A-prefetched lines into
+	// L1 hits. Slipstream mode only.
+	ForwardQueue bool
+
+	// Trace, when non-nil, collects structured run events (sessions,
+	// synchronization waits, recoveries, policy switches, and — when its
+	// SlowThreshold is set — slow memory accesses).
+	Trace *trace.Collector
+}
+
+// withDefaults fills unset options.
+func (o Options) withDefaults() Options {
+	if o.CMPs == 0 {
+		o.CMPs = 1
+	}
+	if o.Mode == ModeSequential {
+		o.CMPs = 1
+	}
+	if o.Machine.Nodes == 0 {
+		o.Machine = memsys.DefaultParams(o.CMPs)
+	}
+	o.Machine.Nodes = o.CMPs
+	if o.MaxCycles == 0 {
+		o.MaxCycles = 50e9
+	}
+	if o.ForkPenalty == 0 {
+		o.ForkPenalty = 10000
+	}
+	if o.SyncOcc == 0 {
+		o.SyncOcc = 10
+	}
+	if o.SkewQuantum == 0 {
+		o.SkewQuantum = 200
+	}
+	return o
+}
+
+// Validate reports option errors.
+func (o Options) Validate() error {
+	if o.Mode < ModeSequential || o.Mode > ModeSlipstream {
+		return fmt.Errorf("core: unknown mode %d", int(o.Mode))
+	}
+	if o.SelfInvalidate && !o.TransparentLoads {
+		return fmt.Errorf("core: SelfInvalidate requires TransparentLoads")
+	}
+	if o.Mode != ModeSlipstream && (o.TransparentLoads || o.SelfInvalidate || o.ForwardQueue) {
+		return fmt.Errorf("core: transparent loads, self-invalidation, and the forwarding queue apply only to slipstream mode")
+	}
+	return nil
+}

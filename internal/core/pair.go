@@ -1,0 +1,111 @@
+package core
+
+import (
+	"slipstream/internal/memsys"
+	"slipstream/internal/sim"
+	"slipstream/internal/stats"
+)
+
+// tokenSem is the single semaphore shared by an A-stream/R-stream pair
+// (Section 3.2). The A-stream consumes a token to enter a new session; the
+// R-stream inserts tokens at synchronization entry (local policies) or
+// exit (global policies). The paper assumes a shared hardware register, so
+// semaphore operations themselves are free.
+type tokenSem struct {
+	tokens  int
+	waiting *sim.Proc // the parked A-stream, if it ran out of tokens
+}
+
+// take consumes a token, parking the A-stream's process until one is
+// available (the pool may be negative after an adaptive tightening, in
+// which case the A-stream waits until the debt is repaid). It returns the
+// cycles spent waiting.
+func (s *tokenSem) take(p *sim.Proc, now func() int64) int64 {
+	if s.tokens > 0 {
+		s.tokens--
+		return 0
+	}
+	t0 := now()
+	for s.tokens <= 0 {
+		s.waiting = p
+		p.Park()
+		s.waiting = nil
+	}
+	s.tokens--
+	return now() - t0
+}
+
+// put inserts a token and wakes a waiting A-stream.
+func (s *tokenSem) put(now int64) {
+	s.tokens++
+	if s.waiting != nil {
+		s.waiting.Wake(now)
+	}
+}
+
+// reset restores the initial pool (used when a deviated A-stream is
+// reforked).
+func (s *tokenSem) reset(initial int) {
+	s.tokens = initial
+	s.waiting = nil
+}
+
+// adjust shifts the pool by delta (adaptive policy switches), waking a
+// parked A-stream if the balance becomes positive.
+func (s *tokenSem) adjust(delta int, now int64) {
+	s.tokens += delta
+	if s.tokens > 0 && s.waiting != nil {
+		s.waiting.Wake(now)
+		s.waiting = nil
+	}
+}
+
+// pair couples an R-stream with its A-stream on one CMP node.
+type pair struct {
+	id     int // logical task id
+	r      *Ctx
+	a      *Ctx
+	sem    tokenSem
+	policy ARSync // current A-R policy (fixed, or varied adaptively)
+
+	// Once-value forwarding (Section 3.2): the R-stream records results
+	// of Once operations in order; the A-stream consumes them in the same
+	// order, waiting on a local semaphore when it gets ahead.
+	onceVals  []int64
+	onceWait  *sim.Proc // A-stream parked waiting for a Once value
+	aConsumed int
+
+	// aPast accumulates the time breakdowns of killed A-stream
+	// incarnations, so the reported A-stream time covers the whole run.
+	aPast stats.Breakdown
+
+	// fq is the bounded address-forwarding queue (Section 6 extension):
+	// the A-stream enqueues fetched line addresses, the R-stream's side
+	// drains them as L2-to-L1 pushes. Overflow drops the oldest entry.
+	fq []memsys.Addr
+}
+
+// fqCap bounds the forwarding queue (a small hardware FIFO).
+const fqCap = 32
+
+// fqPush enqueues a line address, dropping the oldest entry on overflow.
+func (p *pair) fqPush(line memsys.Addr) {
+	if len(p.fq) > 0 && p.fq[len(p.fq)-1] == line {
+		return // collapse immediate duplicates
+	}
+	if len(p.fq) == fqCap {
+		copy(p.fq, p.fq[1:])
+		p.fq = p.fq[:fqCap-1]
+	}
+	p.fq = append(p.fq, line)
+}
+
+// fqPop dequeues up to n addresses.
+func (p *pair) fqPop(n int) []memsys.Addr {
+	if len(p.fq) < n {
+		n = len(p.fq)
+	}
+	out := p.fq[:n:n]
+	p.fq = append([]memsys.Addr(nil), p.fq[n:]...)
+	return out
+}

@@ -1,0 +1,91 @@
+package core
+
+import "slipstream/internal/memsys"
+
+// Program is the shared-memory image of one run: kernels allocate and
+// initialize shared data here during Setup, before any simulated time
+// elapses, and verify results from it afterwards.
+type Program struct {
+	mem      *memsys.Mem
+	numTasks int
+}
+
+// NumTasks returns the number of logical SPMD tasks. In slipstream mode
+// the A-stream and R-stream of a pair share one logical task id, so this
+// is the task count a kernel should partition work by.
+func (p *Program) NumTasks() int { return p.numTasks }
+
+// Mem exposes the functional memory for direct (untimed) access during
+// setup and verification.
+func (p *Program) Mem() *memsys.Mem { return p.mem }
+
+// F64 is a shared array of float64 values.
+type F64 struct {
+	Base memsys.Addr
+	N    int
+}
+
+// AllocF64 allocates a line-aligned shared array of n float64 values.
+func (p *Program) AllocF64(n int) F64 {
+	return F64{Base: p.mem.Alloc(n), N: n}
+}
+
+// Addr returns the address of element i.
+func (a F64) Addr(i int) memsys.Addr {
+	return a.Base + memsys.Addr(i*memsys.WordSize)
+}
+
+// Load performs a timed load of element i through the task context.
+func (a F64) Load(c *Ctx, i int) float64 { return c.LoadF(a.Addr(i)) }
+
+// Store performs a timed store of element i through the task context.
+func (a F64) Store(c *Ctx, i int, v float64) { c.StoreF(a.Addr(i), v) }
+
+// Get reads element i directly (setup/verification, no simulated time).
+func (a F64) Get(p *Program, i int) float64 { return p.mem.LoadF(a.Addr(i)) }
+
+// Set writes element i directly (setup/verification, no simulated time).
+func (a F64) Set(p *Program, i int, v float64) { p.mem.StoreF(a.Addr(i), v) }
+
+// I64 is a shared array of int64 values.
+type I64 struct {
+	Base memsys.Addr
+	N    int
+}
+
+// AllocI64 allocates a line-aligned shared array of n int64 values.
+func (p *Program) AllocI64(n int) I64 {
+	return I64{Base: p.mem.Alloc(n), N: n}
+}
+
+// Addr returns the address of element i.
+func (a I64) Addr(i int) memsys.Addr {
+	return a.Base + memsys.Addr(i*memsys.WordSize)
+}
+
+// Load performs a timed load of element i through the task context.
+func (a I64) Load(c *Ctx, i int) int64 { return c.LoadI(a.Addr(i)) }
+
+// Store performs a timed store of element i through the task context.
+func (a I64) Store(c *Ctx, i int, v int64) { c.StoreI(a.Addr(i), v) }
+
+// Get reads element i directly (setup/verification, no simulated time).
+func (a I64) Get(p *Program, i int) int64 { return p.mem.LoadI(a.Addr(i)) }
+
+// Set writes element i directly (setup/verification, no simulated time).
+func (a I64) Set(p *Program, i int, v int64) { p.mem.StoreI(a.Addr(i), v) }
+
+// Kernel is an SPMD workload: Setup allocates and initializes shared data,
+// Task is the per-task body (run once per logical task), and Verify checks
+// numeric results after the run.
+type Kernel interface {
+	// Name returns a short identifier (used in reports).
+	Name() string
+	// Setup allocates and initializes the program's shared data.
+	Setup(p *Program)
+	// Task runs the SPMD body for the logical task ctx.ID().
+	Task(ctx *Ctx)
+	// Verify checks the run's numeric results, returning a descriptive
+	// error on mismatch.
+	Verify(p *Program) error
+}

@@ -1,0 +1,58 @@
+package core
+
+import "slipstream/internal/stats"
+
+// Result reports one run: total parallel execution time, per-task time
+// breakdowns (Figure 6), and the memory-system measurements (Figures 7
+// and 9).
+type Result struct {
+	Kernel string
+	Mode   Mode
+	ARSync ARSync
+	CMPs   int
+
+	// Cycles is the parallel execution time: the completion time of the
+	// last R-stream (or conventional) task.
+	Cycles int64
+
+	// Tasks holds one breakdown per R-stream/conventional task.
+	Tasks []stats.Breakdown
+	// ATasks holds one breakdown per A-stream (slipstream mode only),
+	// including killed incarnations.
+	ATasks []stats.Breakdown
+
+	Mem stats.MemStats
+	Req stats.ReqBreakdown
+	TL  stats.TLStats
+	SI  stats.SIStats
+
+	// Recoveries counts A-streams killed and reforked by the deviation
+	// check.
+	Recoveries int
+
+	// PolicySwitches counts adaptive A-R policy changes across all pairs,
+	// and FinalPolicies records each pair's policy at the end of the run
+	// (slipstream mode with AdaptiveARSync).
+	PolicySwitches int
+	FinalPolicies  []ARSync
+
+	// VerifyErr records a kernel numeric-verification failure, if any.
+	VerifyErr error
+}
+
+// AvgTask returns the mean breakdown across R-stream/conventional tasks.
+func (r *Result) AvgTask() stats.Breakdown { return avgBreakdown(r.Tasks) }
+
+// AvgATask returns the mean breakdown across A-stream tasks.
+func (r *Result) AvgATask() stats.Breakdown { return avgBreakdown(r.ATasks) }
+
+func avgBreakdown(bs []stats.Breakdown) stats.Breakdown {
+	var sum stats.Breakdown
+	if len(bs) == 0 {
+		return sum
+	}
+	for _, b := range bs {
+		sum.Add(b)
+	}
+	return sum.Scale(1 / float64(len(bs)))
+}

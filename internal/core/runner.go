@@ -1,0 +1,213 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"slipstream/internal/memsys"
+	"slipstream/internal/sim"
+	"slipstream/internal/stats"
+	"slipstream/internal/trace"
+)
+
+// Runner owns one simulated run of a kernel under a mode.
+type Runner struct {
+	opts   Options
+	eng    *sim.Engine
+	sys    *memsys.System
+	prog   *Program
+	kernel Kernel
+
+	ctxs  []*Ctx  // R-stream / conventional task contexts
+	pairs []*pair // slipstream pairs, indexed by logical task
+
+	barrier barrierState
+	locks   map[int]*lockState
+	events  map[int]*eventState
+
+	recoveries     int
+	policySwitches int
+}
+
+// Run simulates the kernel under the given options and returns the
+// measured result. A non-nil error reports configuration problems or a
+// simulation that deadlocked or exceeded its cycle budget; numeric
+// verification failures are reported in Result.VerifyErr.
+func Run(opts Options, k Kernel) (*Result, error) {
+	opts = opts.withDefaults()
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	eng := sim.NewEngine()
+	sys, err := memsys.NewSystem(eng, opts.Machine)
+	if err != nil {
+		return nil, err
+	}
+	sys.Classify = opts.Mode == ModeSlipstream
+
+	numTasks := opts.CMPs
+	switch opts.Mode {
+	case ModeSequential:
+		numTasks = 1
+	case ModeDouble:
+		numTasks = 2 * opts.CMPs
+	}
+
+	r := &Runner{
+		opts:   opts,
+		eng:    eng,
+		sys:    sys,
+		kernel: k,
+		locks:  make(map[int]*lockState),
+		events: make(map[int]*eventState),
+	}
+	r.prog = &Program{mem: sys.Mem, numTasks: numTasks}
+	r.barrier.n = numTasks
+
+	k.Setup(r.prog)
+	r.spawnTasks()
+
+	if !eng.RunUntil(opts.MaxCycles) {
+		return nil, fmt.Errorf("core: %s/%s on %d CMPs exceeded %d cycles",
+			k.Name(), opts.Mode, opts.CMPs, opts.MaxCycles)
+	}
+	if blocked := eng.Blocked(); len(blocked) > 0 {
+		names := make([]string, len(blocked))
+		for i, p := range blocked {
+			names[i] = p.Name()
+		}
+		return nil, fmt.Errorf("core: %s/%s on %d CMPs deadlocked; blocked: %s",
+			k.Name(), opts.Mode, opts.CMPs, strings.Join(names, ", "))
+	}
+	for _, c := range r.ctxs {
+		if !c.finished {
+			return nil, fmt.Errorf("core: task %d did not finish", c.id)
+		}
+	}
+	sys.Finalize()
+	return r.collect(), nil
+}
+
+// spawnTasks creates the task processes according to the execution mode.
+func (r *Runner) spawnTasks() {
+	switch r.opts.Mode {
+	case ModeSequential:
+		r.spawnTask(0, r.sys.Nodes[0].CPUs[0], memsys.RoleNone, nil)
+	case ModeSingle:
+		for i, n := range r.sys.Nodes {
+			r.spawnTask(i, n.CPUs[0], memsys.RoleNone, nil)
+		}
+	case ModeDouble:
+		for i := 0; i < 2*len(r.sys.Nodes); i++ {
+			r.spawnTask(i, r.sys.Nodes[i/2].CPUs[i%2], memsys.RoleNone, nil)
+		}
+	case ModeSlipstream:
+		for i, n := range r.sys.Nodes {
+			p := &pair{id: i, policy: r.opts.ARSync}
+			p.sem.reset(p.policy.InitialTokens())
+			r.pairs = append(r.pairs, p)
+			p.r = r.spawnTask(i, n.CPUs[0], memsys.RoleR, p)
+			p.a = r.spawnA(p, n.CPUs[1], false, 0)
+		}
+	}
+}
+
+// spawnTask starts an R-stream or conventional task.
+func (r *Runner) spawnTask(id int, cpu *memsys.CPU, role memsys.Role, p *pair) *Ctx {
+	c := &Ctx{run: r, cpu: cpu, id: id, role: role, pr: p}
+	r.ctxs = append(r.ctxs, c)
+	name := fmt.Sprintf("task%d", id)
+	if role == memsys.RoleR {
+		name = fmt.Sprintf("task%d(R)", id)
+	}
+	c.proc = r.eng.Go(name, func(proc *sim.Proc) {
+		c.proc = proc
+		r.kernel.Task(c)
+		c.drainStores()
+		c.flush()
+		c.done = r.eng.Now()
+		c.finished = true
+		// The A-stream has no further purpose once its R-stream is done.
+		if p != nil && p.a != nil && !p.a.finished {
+			p.a.proc.Kill()
+			p.a.finished = true
+			p.aPast.Add(p.a.bd)
+			p.a.bd = stats.Breakdown{}
+		}
+	})
+	return c
+}
+
+// spawnA starts an A-stream incarnation. Reforked incarnations fast-forward
+// functionally to ffTarget sessions before resuming timed execution.
+func (r *Runner) spawnA(p *pair, cpu *memsys.CPU, refork bool, ffTarget int) *Ctx {
+	c := &Ctx{
+		run: r, cpu: cpu, id: p.id, role: memsys.RoleA, pr: p,
+		fastForward: refork, ffTarget: ffTarget,
+	}
+	c.proc = r.eng.Go(fmt.Sprintf("task%d(A)", p.id), func(proc *sim.Proc) {
+		c.proc = proc
+		if refork {
+			proc.Delay(r.opts.ForkPenalty)
+		}
+		r.kernel.Task(c)
+		c.finished = true
+	})
+	return c
+}
+
+// reforkA implements recovery: the R-stream kills its deviated A-stream and
+// forks a fresh one from its own current point (modelled as a functional
+// fast-forward replay plus a fork penalty). The pair's token pool resets to
+// the policy's initial value.
+func (r *Runner) reforkA(p *pair, rCtx *Ctx) {
+	old := p.a
+	p.aPast.Add(old.bd)
+	old.proc.Kill()
+	old.finished = true
+	r.recoveries++
+	r.opts.Trace.Add(trace.Event{
+		Time: r.eng.Now(), Task: p.id, AStream: true,
+		Kind: trace.EvRecovery, Session: rCtx.session,
+	})
+	p.sem.reset(p.policy.InitialTokens())
+	p.onceWait = nil
+	// The new A-stream replays up to the barrier the R-stream is entering
+	// (which ends session rCtx.session), then resumes ahead of it.
+	p.a = r.spawnA(p, old.cpu, true, rCtx.session+1)
+}
+
+// collect assembles the Result after the engine drains.
+func (r *Runner) collect() *Result {
+	res := &Result{
+		Kernel:     r.kernel.Name(),
+		Mode:       r.opts.Mode,
+		ARSync:     r.opts.ARSync,
+		CMPs:       r.opts.CMPs,
+		Mem:        r.sys.MS,
+		Req:        r.sys.Req,
+		TL:         r.sys.TL,
+		SI:         r.sys.SIst,
+		Recoveries: r.recoveries,
+
+		PolicySwitches: r.policySwitches,
+	}
+	for _, p := range r.pairs {
+		res.FinalPolicies = append(res.FinalPolicies, p.policy)
+	}
+	for _, c := range r.ctxs {
+		res.Tasks = append(res.Tasks, c.bd)
+		if c.done > res.Cycles {
+			res.Cycles = c.done
+		}
+	}
+	for _, p := range r.pairs {
+		bd := p.aPast
+		if p.a != nil {
+			bd.Add(p.a.bd)
+		}
+		res.ATasks = append(res.ATasks, bd)
+	}
+	res.VerifyErr = r.kernel.Verify(r.prog)
+	return res
+}

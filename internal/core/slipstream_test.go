@@ -1,0 +1,446 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"slipstream/internal/stats"
+)
+
+// stencilKernel is a producer-consumer workload with real communication: a
+// 1-D ring stencil iterated over several barrier-separated phases. Each
+// task updates its block from its own values and its neighbours' boundary
+// blocks, so every phase moves boundary lines between nodes — the access
+// pattern slipstream prefetching targets.
+type stencilKernel struct {
+	n, iters int
+	a, b     F64
+}
+
+func (k *stencilKernel) Name() string { return "stencil" }
+
+func (k *stencilKernel) Setup(p *Program) {
+	k.a = p.AllocF64(k.n)
+	k.b = p.AllocF64(k.n)
+	for i := 0; i < k.n; i++ {
+		k.a.Set(p, i, float64(i%13))
+	}
+}
+
+func (k *stencilKernel) Task(c *Ctx) {
+	nt := c.NumTasks()
+	lo, hi := k.n*c.ID()/nt, k.n*(c.ID()+1)/nt
+	src, dst := k.a, k.b
+	for it := 0; it < k.iters; it++ {
+		for i := lo; i < hi; i++ {
+			im := (i - 1 + k.n) % k.n
+			ip := (i + 1) % k.n
+			v := (src.Load(c, im) + src.Load(c, i) + src.Load(c, ip)) / 3
+			c.Compute(4)
+			dst.Store(c, i, v)
+		}
+		c.Barrier()
+		src, dst = dst, src
+	}
+}
+
+func (k *stencilKernel) Verify(p *Program) error {
+	// Replay the stencil with plain Go and compare.
+	cur := make([]float64, k.n)
+	next := make([]float64, k.n)
+	for i := range cur {
+		cur[i] = float64(i % 13)
+	}
+	for it := 0; it < k.iters; it++ {
+		for i := range cur {
+			im := (i - 1 + k.n) % k.n
+			ip := (i + 1) % k.n
+			next[i] = (cur[im] + cur[i] + cur[ip]) / 3
+		}
+		cur, next = next, cur
+	}
+	final := k.a
+	if k.iters%2 == 1 {
+		final = k.b
+	}
+	for i := 0; i < k.n; i++ {
+		if got := final.Get(p, i); got != cur[i] {
+			return fmt.Errorf("cell %d = %v, want %v", i, got, cur[i])
+		}
+	}
+	return nil
+}
+
+func runStencil(t *testing.T, opts Options) *Result {
+	t.Helper()
+	k := &stencilKernel{n: 2048, iters: 6}
+	res, err := Run(opts, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VerifyErr != nil {
+		t.Fatalf("%v/%v: %v", opts.Mode, opts.ARSync, res.VerifyErr)
+	}
+	return res
+}
+
+func TestSlipstreamNumericsUnderAllPolicies(t *testing.T) {
+	for _, ar := range ARSyncs {
+		runStencil(t, Options{Mode: ModeSlipstream, CMPs: 4, ARSync: ar})
+	}
+}
+
+func TestSlipstreamPrefetchesForRStream(t *testing.T) {
+	res := runStencil(t, Options{Mode: ModeSlipstream, CMPs: 4, ARSync: OneTokenLocal})
+	// The A-stream must generate timely prefetches.
+	timely := res.Req.Reads[stats.ATimely]
+	if timely == 0 {
+		t.Fatalf("no A-Timely read requests; breakdown: %v", res.Req.Reads)
+	}
+	// And some skipped stores must convert to exclusive prefetches when in
+	// the same session.
+	if res.Mem.PrefetchExcl == 0 {
+		t.Error("no exclusive prefetches issued")
+	}
+}
+
+// gatherKernel is communication-bound: every iteration each task reads the
+// whole shared array (all-gather) and then rewrites its own block, so every
+// remote line is invalidated and re-fetched each iteration. This is the
+// reference pattern where slipstream prefetching should shine.
+type gatherKernel struct {
+	n, iters int
+	src      F64
+	acc      F64
+}
+
+func (k *gatherKernel) Name() string { return "gather" }
+
+func (k *gatherKernel) Setup(p *Program) {
+	k.src = p.AllocF64(k.n)
+	k.acc = p.AllocF64(p.NumTasks() * 8)
+	for i := 0; i < k.n; i++ {
+		k.src.Set(p, i, float64(i%7))
+	}
+}
+
+func (k *gatherKernel) Task(c *Ctx) {
+	nt := c.NumTasks()
+	lo, hi := k.n*c.ID()/nt, k.n*(c.ID()+1)/nt
+	acc := 0.0
+	for it := 0; it < k.iters; it++ {
+		for i := 0; i < k.n; i++ {
+			acc += k.src.Load(c, i)
+			c.Compute(1)
+		}
+		c.Barrier()
+		for i := lo; i < hi; i++ {
+			k.src.Store(c, i, float64((i+it)%5))
+		}
+		c.Barrier()
+	}
+	k.acc.Store(c, c.ID()*8, acc)
+}
+
+func (k *gatherKernel) Verify(p *Program) error {
+	// All tasks read the same data between barriers, so each accumulates
+	// the same total.
+	vals := make([]float64, k.n)
+	for i := range vals {
+		vals[i] = float64(i % 7)
+	}
+	want := 0.0
+	for it := 0; it < k.iters; it++ {
+		for _, v := range vals {
+			want += v
+		}
+		for i := range vals {
+			vals[i] = float64((i + it) % 5)
+		}
+	}
+	nt := k.acc.N / 8
+	for t := 0; t < nt; t++ {
+		if got := k.acc.Get(p, t*8); got != want {
+			return fmt.Errorf("task %d acc = %v, want %v", t, got, want)
+		}
+	}
+	for i := 0; i < k.n; i++ {
+		if got := k.src.Get(p, i); got != vals[i] {
+			return fmt.Errorf("src[%d] = %v, want %v", i, got, vals[i])
+		}
+	}
+	return nil
+}
+
+func runGather(t *testing.T, opts Options) *Result {
+	t.Helper()
+	k := &gatherKernel{n: 2048, iters: 4}
+	res, err := Run(opts, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VerifyErr != nil {
+		t.Fatalf("%v/%v: %v", opts.Mode, opts.ARSync, res.VerifyErr)
+	}
+	return res
+}
+
+// transposeKernel interleaves remote coherence-miss loads with stores that
+// need ownership upgrades (the FFT-transpose pattern): each iteration every
+// task reads a column block scattered across all row owners and rewrites
+// its own rows. The A-stream skips the store upgrades and runs ahead,
+// prefetching the remote lines — the pattern where slipstream wins.
+type transposeKernel struct {
+	n, iters int
+	compute  int64 // cycles of FP work per element (butterfly-like)
+	m        [2]F64
+}
+
+func (k *transposeKernel) Name() string { return "transpose" }
+
+func (k *transposeKernel) Setup(p *Program) {
+	k.m[0] = p.AllocF64(k.n * k.n)
+	k.m[1] = p.AllocF64(k.n * k.n)
+	for i := 0; i < k.n*k.n; i++ {
+		k.m[0].Set(p, i, float64(i%11))
+	}
+}
+
+func (k *transposeKernel) Task(c *Ctx) {
+	nt := c.NumTasks()
+	rlo, rhi := k.n*c.ID()/nt, k.n*(c.ID()+1)/nt
+	// Stagger each task's column sweep (as the SPLASH-2 FFT transpose
+	// staggers its patches) so home directories are not hammered by all
+	// tasks at once.
+	off := c.ID() * k.n / nt
+	for it := 0; it < k.iters; it++ {
+		src, dst := k.m[it%2], k.m[1-it%2]
+		for r := rlo; r < rhi; r++ {
+			for j := 0; j < k.n; j++ {
+				col := (j + off) % k.n
+				v := src.Load(c, col*k.n+r)
+				c.Compute(k.compute)
+				dst.Store(c, r*k.n+col, v+1)
+			}
+		}
+		c.Barrier()
+	}
+}
+
+func (k *transposeKernel) Verify(p *Program) error {
+	cur := make([]float64, k.n*k.n)
+	next := make([]float64, k.n*k.n)
+	for i := range cur {
+		cur[i] = float64(i % 11)
+	}
+	for it := 0; it < k.iters; it++ {
+		for r := 0; r < k.n; r++ {
+			for col := 0; col < k.n; col++ {
+				next[r*k.n+col] = cur[col*k.n+r] + 1
+			}
+		}
+		cur, next = next, cur
+	}
+	final := k.m[k.iters%2]
+	for i := 0; i < k.n*k.n; i++ {
+		if got := final.Get(p, i); got != cur[i] {
+			return fmt.Errorf("cell %d = %v, want %v", i, got, cur[i])
+		}
+	}
+	return nil
+}
+
+func runTranspose(t *testing.T, opts Options) *Result {
+	t.Helper()
+	k := &transposeKernel{n: 128, iters: 3, compute: 60}
+	res, err := Run(opts, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VerifyErr != nil {
+		t.Fatalf("%v/%v: %v", opts.Mode, opts.ARSync, res.VerifyErr)
+	}
+	return res
+}
+
+func TestSlipstreamReducesRStreamStall(t *testing.T) {
+	single := runTranspose(t, Options{Mode: ModeSingle, CMPs: 8})
+	slip := runTranspose(t, Options{Mode: ModeSlipstream, CMPs: 8, ARSync: OneTokenLocal})
+	sStall := single.AvgTask().MemStall
+	rStall := slip.AvgTask().MemStall
+	if rStall >= sStall {
+		t.Errorf("R-stream stall %d not below single-mode stall %d", rStall, sStall)
+	}
+}
+
+func TestSlipstreamOutperformsSingleOnCommunicationBoundKernel(t *testing.T) {
+	single := runTranspose(t, Options{Mode: ModeSingle, CMPs: 16})
+	best := int64(1 << 62)
+	var bestAR ARSync
+	for _, ar := range ARSyncs {
+		slip := runTranspose(t, Options{Mode: ModeSlipstream, CMPs: 16, ARSync: ar})
+		if slip.Cycles < best {
+			best, bestAR = slip.Cycles, ar
+		}
+	}
+	t.Logf("single=%d best slipstream=%d (%v)", single.Cycles, best, bestAR)
+	if best >= single.Cycles {
+		t.Errorf("best slipstream (%d cycles, %v) not faster than single (%d cycles)",
+			best, bestAR, single.Cycles)
+	}
+}
+
+func TestGatherNumerics(t *testing.T) {
+	for _, mode := range []Mode{ModeSingle, ModeDouble} {
+		runGather(t, Options{Mode: mode, CMPs: 4})
+	}
+	runGather(t, Options{Mode: ModeSlipstream, CMPs: 4, ARSync: ZeroTokenGlobal})
+}
+
+func TestTightPolicyBoundsAStreamLead(t *testing.T) {
+	// Under G0 the A-stream may never be more than one session ahead; its
+	// reads therefore merge with R's more often (A-Late) than under L1,
+	// while L1 produces a higher share of A-Timely fetches (Figure 7's
+	// contrast between the tightest and loosest policies).
+	g0 := runStencil(t, Options{Mode: ModeSlipstream, CMPs: 4, ARSync: ZeroTokenGlobal})
+	l1 := runStencil(t, Options{Mode: ModeSlipstream, CMPs: 4, ARSync: OneTokenLocal})
+	if g0.AvgATask().ARSync == 0 {
+		t.Error("G0: A-stream recorded no A-R synchronization wait")
+	}
+	lateShareG0 := g0.Req.ReadPct(stats.ALate)
+	lateShareL1 := l1.Req.ReadPct(stats.ALate)
+	if lateShareG0 < lateShareL1 {
+		t.Errorf("A-Late share under G0 (%.1f%%) below L1 (%.1f%%)", lateShareG0, lateShareL1)
+	}
+}
+
+func TestTransparentLoadsIssuedWhenAhead(t *testing.T) {
+	res := runStencil(t, Options{
+		Mode: ModeSlipstream, CMPs: 4, ARSync: OneTokenGlobal,
+		TransparentLoads: true,
+	})
+	if res.TL.TransparentIssued == 0 {
+		t.Fatalf("no transparent loads issued: %+v", res.TL)
+	}
+	if res.TL.TransparentIssued > res.TL.AReadRequests {
+		t.Fatalf("more transparent loads than A reads: %+v", res.TL)
+	}
+	if res.TL.TransparentReply+res.TL.Upgraded != res.TL.TransparentIssued {
+		t.Fatalf("transparent replies + upgrades != issued: %+v", res.TL)
+	}
+}
+
+func TestSelfInvalidationActivates(t *testing.T) {
+	res := runStencil(t, Options{
+		Mode: ModeSlipstream, CMPs: 4, ARSync: OneTokenGlobal,
+		TransparentLoads: true, SelfInvalidate: true,
+	})
+	if res.SI.HintsSent == 0 {
+		t.Fatalf("no SI hints sent: %+v", res.SI)
+	}
+	if res.SI.WrittenBack == 0 {
+		t.Errorf("no SI writebacks performed: %+v", res.SI)
+	}
+}
+
+// deviantKernel deliberately diverges: each task's round begins by reading
+// a per-task round flag that the R-stream only publishes late in the
+// previous round. An A-stream running ahead reads the stale flag, takes a
+// slow path the R-stream never takes, falls a session behind, and must be
+// killed and reforked by the deviation check.
+type deviantKernel struct {
+	flag   F64
+	out    F64
+	rounds int
+}
+
+func (k *deviantKernel) Name() string { return "deviant" }
+func (k *deviantKernel) Setup(p *Program) {
+	k.flag = p.AllocF64(p.NumTasks() * 8) // one line per task
+	k.out = p.AllocF64(p.NumTasks() * 8)
+}
+func (k *deviantKernel) Task(c *Ctx) {
+	me := c.ID() * 8
+	for r := 0; r < k.rounds; r++ {
+		if int(k.flag.Load(c, me)) != r {
+			// Stale flag: only an A-stream that entered the round before
+			// its R-stream published the value lands here. Burn enough
+			// time to fall a whole session behind.
+			c.Compute(400000)
+		}
+		c.Compute(3000)
+		// Publish the next round's flag late in the round, after a gap
+		// wide enough that a token-ahead A-stream reads before it.
+		c.Compute(2000)
+		k.flag.Store(c, me, float64(r+1))
+		c.Barrier()
+	}
+	k.out.Store(c, me, float64(k.rounds))
+}
+func (k *deviantKernel) Verify(p *Program) error {
+	for i := 0; i < k.out.N/8; i++ {
+		if got := k.out.Get(p, i*8); got != float64(k.rounds) {
+			return fmt.Errorf("task %d out = %v, want %v", i, got, float64(k.rounds))
+		}
+	}
+	return nil
+}
+
+func TestDeviationRecovery(t *testing.T) {
+	k := &deviantKernel{rounds: 6}
+	res, err := Run(Options{Mode: ModeSlipstream, CMPs: 2, ARSync: OneTokenLocal}, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VerifyErr != nil {
+		t.Fatal(res.VerifyErr)
+	}
+	if res.Recoveries == 0 {
+		t.Error("deviating A-stream was never killed and reforked")
+	}
+}
+
+// Property: whatever the mode, policy and machine size, shared memory after
+// the run is exactly what the R-streams computed — A-streams never corrupt
+// it (the paper's central correctness requirement).
+func TestAStreamNeverCorruptsMemoryProperty(t *testing.T) {
+	f := func(seed int64, cmpSel, arSel uint8) bool {
+		cmps := 1 << (cmpSel%3 + 1) // 2, 4, or 8
+		ar := ARSyncs[int(arSel)%len(ARSyncs)]
+		rng := rand.New(rand.NewSource(seed))
+		n := 256 + rng.Intn(512)
+		iters := 1 + rng.Intn(3)
+
+		ref := &stencilKernel{n: n, iters: iters}
+		if _, err := Run(Options{Mode: ModeSingle, CMPs: cmps}, ref); err != nil {
+			return false
+		}
+		slip := &stencilKernel{n: n, iters: iters}
+		res, err := Run(Options{
+			Mode: ModeSlipstream, CMPs: cmps, ARSync: ar,
+			TransparentLoads: seed%2 == 0,
+			SelfInvalidate:   seed%2 == 0,
+		}, slip)
+		if err != nil {
+			return false
+		}
+		return res.VerifyErr == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: token semantics — the A-stream can be at most
+// initial+insertions sessions ahead, and the session counters never allow
+// A to lag R by more than the deviation threshold without recovery.
+func TestARSyncPolicyProperties(t *testing.T) {
+	for _, ar := range ARSyncs {
+		res := runStencil(t, Options{Mode: ModeSlipstream, CMPs: 2, ARSync: ar})
+		if res.Recoveries != 0 {
+			t.Errorf("%v: unexpected recoveries (%d) in a well-behaved kernel", ar, res.Recoveries)
+		}
+	}
+}

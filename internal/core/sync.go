@@ -1,0 +1,63 @@
+package core
+
+import (
+	"slipstream/internal/memsys"
+	"slipstream/internal/sim"
+)
+
+// syncWaiter is a process parked at a synchronization object, remembered
+// with its node so release latency can be charged per destination.
+type syncWaiter struct {
+	proc *sim.Proc
+	node *memsys.Node
+}
+
+// barrierState is the single program-wide barrier (the ANL-macro style
+// centralized barrier, homed at node 0). All R-stream/normal tasks
+// participate; A-streams skip it entirely.
+type barrierState struct {
+	n       int
+	arrived int
+	waiters []syncWaiter
+}
+
+// lockState is a FIFO-granted lock homed at node (id mod nodes).
+type lockState struct {
+	held  bool
+	queue []syncWaiter
+}
+
+// eventState is a one-shot event flag: waiters park until it is signaled.
+type eventState struct {
+	signaled bool
+	waiters  []syncWaiter
+}
+
+// transit returns the one-way latency of a synchronization message between
+// two nodes.
+func (r *Runner) transit(a, b *memsys.Node) int64 {
+	if a == b {
+		return r.sys.P.BusTime
+	}
+	return r.sys.P.BusTime + r.sys.P.NetTime
+}
+
+// lock returns the lock with the given id, creating it on first use.
+func (r *Runner) lock(id int) *lockState {
+	ls := r.locks[id]
+	if ls == nil {
+		ls = &lockState{}
+		r.locks[id] = ls
+	}
+	return ls
+}
+
+// event returns the event with the given id, creating it on first use.
+func (r *Runner) event(id int) *eventState {
+	es := r.events[id]
+	if es == nil {
+		es = &eventState{}
+		r.events[id] = es
+	}
+	return es
+}

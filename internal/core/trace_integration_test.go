@@ -1,0 +1,73 @@
+package core
+
+import (
+	"testing"
+
+	"slipstream/internal/trace"
+)
+
+func TestTraceCapturesSlipstreamRun(t *testing.T) {
+	tr := &trace.Collector{SlowThreshold: 400}
+	k := &stencilKernel{n: 1024, iters: 4}
+	res, err := Run(Options{
+		Mode: ModeSlipstream, CMPs: 4, ARSync: ZeroTokenLocal, Trace: tr,
+	}, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VerifyErr != nil {
+		t.Fatal(res.VerifyErr)
+	}
+	sum := tr.Summarize()
+	// 4 R-streams x 4 sessions plus 4 A-streams x 4 sessions.
+	if sum.Counts[trace.EvSession] < 16 {
+		t.Errorf("session events = %d, want >= 16", sum.Counts[trace.EvSession])
+	}
+	if sum.Counts[trace.EvBarrier] == 0 {
+		t.Error("no barrier events recorded")
+	}
+	if sum.Counts[trace.EvSlowAccess] == 0 {
+		t.Error("no slow accesses recorded despite remote misses")
+	}
+	leads := tr.LeadSeries()
+	if len(leads) == 0 {
+		t.Fatal("no A-over-R leads computable")
+	}
+}
+
+func TestTraceCapturesRecoveryAndSwitches(t *testing.T) {
+	tr := &trace.Collector{}
+	k := &chronicKernel{rounds: 10}
+	res, err := Run(Options{
+		Mode: ModeSlipstream, CMPs: 2, ARSync: OneTokenLocal,
+		AdaptiveARSync: true, Trace: tr,
+	}, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := tr.Summarize()
+	if res.Recoveries > 0 && sum.Counts[trace.EvRecovery] != res.Recoveries {
+		t.Errorf("traced %d recoveries, result says %d",
+			sum.Counts[trace.EvRecovery], res.Recoveries)
+	}
+	if res.PolicySwitches != sum.Counts[trace.EvPolicySwitch] {
+		t.Errorf("traced %d switches, result says %d",
+			sum.Counts[trace.EvPolicySwitch], res.PolicySwitches)
+	}
+}
+
+func TestTracingDoesNotPerturbTiming(t *testing.T) {
+	run := func(tr *trace.Collector) int64 {
+		k := &gatherKernel{n: 1024, iters: 3}
+		res, err := Run(Options{Mode: ModeSlipstream, CMPs: 4, ARSync: ZeroTokenGlobal, Trace: tr}, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Cycles
+	}
+	plain := run(nil)
+	traced := run(&trace.Collector{SlowThreshold: 100})
+	if plain != traced {
+		t.Fatalf("tracing changed the simulation: %d vs %d cycles", plain, traced)
+	}
+}

@@ -1,0 +1,35 @@
+package harness
+
+import (
+	"testing"
+
+	"slipstream/internal/core"
+	"slipstream/internal/kernels"
+)
+
+// TestCalibrationProfile prints single-mode time fractions at 16 CMPs for
+// comparison against the paper's Figure 6. Run with -v.
+func TestCalibrationProfile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration probe")
+	}
+	for _, name := range kernels.Names() {
+		k, err := kernels.New(name, kernels.Paper)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmps := 16
+		if name == "FFT" {
+			cmps = 4
+		}
+		res, err := core.Run(core.Options{Mode: core.ModeSingle, CMPs: cmps}, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bd := res.AvgTask()
+		tot := float64(bd.Total())
+		t.Logf("%-9s @%2d: busy=%4.1f%% stall=%4.1f%% barrier=%4.1f%% lock=%4.1f%%  (cycles=%d)",
+			name, cmps, 100*float64(bd.Busy)/tot, 100*float64(bd.MemStall)/tot,
+			100*float64(bd.Barrier)/tot, 100*float64(bd.Lock)/tot, res.Cycles)
+	}
+}

@@ -1,0 +1,39 @@
+package harness
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteCSV(t *testing.T) {
+	dir := t.TempDir()
+	s := tinySession()
+	if err := s.WriteCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 7 {
+		t.Fatalf("wrote %d files, want 7", len(files))
+	}
+	// Every file has a header plus at least one data row.
+	for _, f := range files {
+		b, err := os.ReadFile(filepath.Join(dir, f.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Split(strings.TrimSpace(string(b)), "\n")
+		if len(lines) < 2 {
+			t.Errorf("%s: only %d lines", f.Name(), len(lines))
+		}
+	}
+	// Spot-check fig1: 9 kernels x 2 machine sizes + header.
+	b, _ := os.ReadFile(filepath.Join(dir, "fig1_double_vs_single.csv"))
+	if got := len(strings.Split(strings.TrimSpace(string(b)), "\n")); got != 19 {
+		t.Errorf("fig1 rows = %d, want 19", got)
+	}
+}

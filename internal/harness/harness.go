@@ -1,0 +1,160 @@
+// Package harness runs the paper's experiments: it sweeps kernels, modes,
+// A-R synchronization policies, and machine sizes, and renders each table
+// and figure of the evaluation as text. Results are memoized within a
+// Session so figures that share configurations (e.g. the single-mode
+// baselines) reuse runs.
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"slipstream/internal/core"
+	"slipstream/internal/kernels"
+)
+
+// Config controls a harness session.
+type Config struct {
+	// Size is the benchmark size preset (kernels.Tiny/Small/Paper).
+	Size kernels.Size
+	// CMPCounts are the machine sizes swept (default 2, 4, 8, 16).
+	CMPCounts []int
+	// Out receives the rendered tables and plots.
+	Out io.Writer
+	// Progress, when set, receives one line per completed run.
+	Progress io.Writer
+}
+
+// Session memoizes simulation runs across figures.
+type Session struct {
+	cfg  Config
+	memo map[runKey]*core.Result
+}
+
+type runKey struct {
+	kernel string
+	mode   core.Mode
+	ar     core.ARSync
+	cmps   int
+	tl     bool
+	si     bool
+}
+
+// NewSession returns a session with the given configuration, applying
+// defaults for unset fields.
+func NewSession(cfg Config) *Session {
+	if len(cfg.CMPCounts) == 0 {
+		cfg.CMPCounts = []int{2, 4, 8, 16}
+	}
+	if cfg.Out == nil {
+		cfg.Out = io.Discard
+	}
+	return &Session{cfg: cfg, memo: make(map[runKey]*core.Result)}
+}
+
+// MaxCMPs returns the largest machine size in the sweep.
+func (s *Session) MaxCMPs() int {
+	m := s.cfg.CMPCounts[0]
+	for _, c := range s.cfg.CMPCounts {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// fftCMPs returns the machine size used for FFT in the Section 4 studies:
+// the paper holds FFT at 4 CMPs because its absolute performance degrades
+// beyond that for the (scaled) data set.
+func (s *Session) fftCMPs() int {
+	if s.MaxCMPs() >= 4 {
+		return 4
+	}
+	return s.MaxCMPs()
+}
+
+// run simulates one configuration, memoized. Verification failures are
+// returned as errors: a figure must never be built from wrong numerics.
+func (s *Session) run(kernel string, mode core.Mode, ar core.ARSync, cmps int, tl, si bool) (*core.Result, error) {
+	key := runKey{kernel, mode, ar, cmps, tl, si}
+	if res, ok := s.memo[key]; ok {
+		return res, nil
+	}
+	k, err := kernels.New(kernel, s.cfg.Size)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.Run(core.Options{
+		CMPs:             cmps,
+		Mode:             mode,
+		ARSync:           ar,
+		TransparentLoads: tl,
+		SelfInvalidate:   si,
+	}, k)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s %v/%v @%d: %w", kernel, mode, ar, cmps, err)
+	}
+	if res.VerifyErr != nil {
+		return nil, fmt.Errorf("harness: %s %v/%v @%d: verification: %w", kernel, mode, ar, cmps, res.VerifyErr)
+	}
+	if s.cfg.Progress != nil {
+		fmt.Fprintf(s.cfg.Progress, "ran %-9s %-10v %v @%2d CMPs tl=%v si=%v: %d cycles\n",
+			kernel, mode, ar, cmps, tl, si, res.Cycles)
+	}
+	s.memo[key] = res
+	return res, nil
+}
+
+// sequential returns the one-task baseline run for a kernel.
+func (s *Session) sequential(kernel string) (*core.Result, error) {
+	return s.run(kernel, core.ModeSequential, 0, 1, false, false)
+}
+
+// single returns the single-mode run at the given machine size.
+func (s *Session) single(kernel string, cmps int) (*core.Result, error) {
+	return s.run(kernel, core.ModeSingle, 0, cmps, false, false)
+}
+
+// double returns the double-mode run at the given machine size.
+func (s *Session) double(kernel string, cmps int) (*core.Result, error) {
+	return s.run(kernel, core.ModeDouble, 0, cmps, false, false)
+}
+
+// slip returns a slipstream run.
+func (s *Session) slip(kernel string, ar core.ARSync, cmps int, tl, si bool) (*core.Result, error) {
+	return s.run(kernel, core.ModeSlipstream, ar, cmps, tl, si)
+}
+
+// bestARSync returns the A-R policy with the best prefetch-only slipstream
+// performance for a kernel at the given machine size (used by Figure 6,
+// which plots "the best A-R synchronization method").
+func (s *Session) bestARSync(kernel string, cmps int) (core.ARSync, error) {
+	best := core.OneTokenLocal
+	var bestCycles int64 = 1 << 62
+	for _, ar := range core.ARSyncs {
+		res, err := s.slip(kernel, ar, cmps, false, false)
+		if err != nil {
+			return best, err
+		}
+		if res.Cycles < bestCycles {
+			bestCycles = res.Cycles
+			best = ar
+		}
+	}
+	return best, nil
+}
+
+// All renders every table and figure in paper order, followed by the
+// Section 6 extension studies.
+func (s *Session) All() error {
+	steps := []func() error{
+		s.Table1, s.Table2, s.Fig1, s.Fig4, s.Fig5, s.Fig6, s.Fig7, s.Fig9, s.Fig10,
+		s.ExtAdaptive, s.ExtForward, s.ExtSensitivity, s.ExtLeads, s.ExtBanks,
+	}
+	for _, step := range steps {
+		if err := step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

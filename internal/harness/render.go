@@ -1,0 +1,97 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// table renders rows with aligned columns.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *table) add(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+func (t *table) render(w io.Writer) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.header)
+	seps := make([]string, len(t.header))
+	for i := range seps {
+		seps[i] = strings.Repeat("-", widths[i])
+	}
+	line(seps)
+	for _, row := range t.rows {
+		line(row)
+	}
+}
+
+// bar renders a proportional ASCII bar for values in [0, maxVal].
+func bar(v, maxVal float64, width int) string {
+	if maxVal <= 0 {
+		return ""
+	}
+	n := int(v/maxVal*float64(width) + 0.5)
+	if n < 0 {
+		n = 0
+	}
+	if n > width {
+		n = width
+	}
+	return strings.Repeat("#", n)
+}
+
+// stacked renders a stacked ASCII bar whose segments are proportional to
+// parts (scaled so that total==scale fills width), using one rune per
+// segment class.
+func stacked(parts []float64, runes []rune, scale float64, width int) string {
+	if scale <= 0 {
+		return ""
+	}
+	var b strings.Builder
+	used := 0
+	for i, p := range parts {
+		n := int(p/scale*float64(width) + 0.5)
+		if used+n > width {
+			n = width - used
+		}
+		if n < 0 {
+			n = 0
+		}
+		b.WriteString(strings.Repeat(string(runes[i%len(runes)]), n))
+		used += n
+	}
+	return b.String()
+}
+
+func (s *Session) section(title string) {
+	fmt.Fprintf(s.cfg.Out, "\n%s\n%s\n", title, strings.Repeat("=", len(title)))
+}
+
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func f1(v float64) string  { return fmt.Sprintf("%.1f", v) }
+func pct(v float64) string { return fmt.Sprintf("%.0f%%", v) }

@@ -1,0 +1,36 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"slipstream/internal/kernels"
+)
+
+// TestSmokeAll renders every table, figure, and extension at tiny scale
+// and sanity-checks the output.
+func TestSmokeAll(t *testing.T) {
+	var sb strings.Builder
+	s := NewSession(Config{Size: kernels.Tiny, CMPCounts: []int{2, 4}, Out: &sb})
+	if err := s.All(); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"Table 1", "Table 2",
+		"Figure 1", "Figure 4", "Figure 5", "Figure 6", "Figure 7",
+		"Figure 9", "Figure 10",
+		"dynamic A-R synchronization selection",
+		"access-pattern forwarding",
+		"network latency",
+		"session boundaries",
+		"directory-controller banking",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing section %q", want)
+		}
+	}
+	if len(out) < 4000 {
+		t.Errorf("suspiciously short output: %d bytes", len(out))
+	}
+}

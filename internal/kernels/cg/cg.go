@@ -1,0 +1,285 @@
+// Package cg implements the NAS CG kernel: conjugate-gradient iterations
+// on a sparse symmetric diagonally dominant matrix. Rows are partitioned
+// across tasks; the mat-vec reads the whole direction vector (all-gather
+// communication), and the dot products use per-task partial sums that
+// every task then re-reads — a deterministic reduction with CG's
+// characteristic traffic.
+package cg
+
+import (
+	"fmt"
+	"sort"
+
+	"slipstream/internal/core"
+	"slipstream/internal/kernels/kutil"
+)
+
+const (
+	nzCycles  = 40 // multiply-add plus CSR index arithmetic per nonzero
+	vecCycles = 20 // per-element vector update
+)
+
+// Config sizes the kernel.
+type Config struct {
+	N      int // matrix dimension (paper: 1400; harness default 420)
+	PerRow int // approximate off-diagonal nonzeros per row
+	Iters  int // CG iterations
+}
+
+// Kernel is the CG benchmark.
+type Kernel struct {
+	cfg Config
+
+	// CSR matrix (read-only after setup).
+	rowptr core.I64
+	colidx core.I64
+	vals   core.F64
+
+	x, r, pv, q core.F64
+	partial     core.F64 // padded per-task partial sums
+	rhoHist     core.F64 // rho after each iteration (task 0 writes)
+
+	nnz int
+}
+
+// New returns a CG kernel.
+func New(cfg Config) *Kernel {
+	if cfg.N < 16 {
+		cfg.N = 16
+	}
+	if cfg.PerRow < 2 {
+		cfg.PerRow = 8
+	}
+	if cfg.Iters < 1 {
+		cfg.Iters = 5
+	}
+	return &Kernel{cfg: cfg}
+}
+
+// Name implements core.Kernel.
+func (k *Kernel) Name() string { return "CG" }
+
+// buildMatrix generates the deterministic sparse symmetric matrix as
+// (rowptr, colidx, vals) CSR slices.
+func buildMatrix(cfg Config) (rowptr []int64, colidx []int64, vals []float64) {
+	n := cfg.N
+	rnd := kutil.NewRand(99)
+	entries := make([]map[int]float64, n)
+	for i := range entries {
+		entries[i] = map[int]float64{i: float64(cfg.PerRow) + 4}
+	}
+	for i := 0; i < n; i++ {
+		for e := 0; e < cfg.PerRow/2; e++ {
+			j := rnd.Intn(n)
+			if j == i {
+				continue
+			}
+			v := rnd.Float64() - 0.5
+			entries[i][j] = v
+			entries[j][i] = v
+		}
+	}
+	rowptr = make([]int64, n+1)
+	for i := 0; i < n; i++ {
+		cols := make([]int, 0, len(entries[i]))
+		for j := range entries[i] {
+			cols = append(cols, j)
+		}
+		sort.Ints(cols)
+		for _, j := range cols {
+			colidx = append(colidx, int64(j))
+			vals = append(vals, entries[i][j])
+		}
+		rowptr[i+1] = int64(len(colidx))
+	}
+	return rowptr, colidx, vals
+}
+
+// Setup allocates the matrix and vectors.
+func (k *Kernel) Setup(p *core.Program) {
+	n := k.cfg.N
+	rowptr, colidx, vals := buildMatrix(k.cfg)
+	k.nnz = len(vals)
+	k.rowptr = p.AllocI64(n + 1)
+	k.colidx = p.AllocI64(len(colidx))
+	k.vals = p.AllocF64(len(vals))
+	for i, v := range rowptr {
+		k.rowptr.Set(p, i, v)
+	}
+	for i, v := range colidx {
+		k.colidx.Set(p, i, v)
+	}
+	for i, v := range vals {
+		k.vals.Set(p, i, v)
+	}
+	k.x = p.AllocF64(n)
+	k.r = p.AllocF64(n)
+	k.pv = p.AllocF64(n)
+	k.q = p.AllocF64(n)
+	k.partial = p.AllocF64(p.NumTasks() * 8)
+	k.rhoHist = p.AllocF64(k.cfg.Iters)
+	// b = all ones; x0 = 0; r = p = b.
+	for i := 0; i < n; i++ {
+		k.r.Set(p, i, 1)
+		k.pv.Set(p, i, 1)
+	}
+}
+
+// reduce computes the global sum of per-task values deterministically:
+// each task publishes its partial, barriers, then sums all partials in
+// task order.
+func (k *Kernel) reduce(c *core.Ctx, local float64) float64 {
+	k.partial.Store(c, c.ID()*8, local)
+	c.Barrier()
+	sum := 0.0
+	for t := 0; t < c.NumTasks(); t++ {
+		sum += k.partial.Load(c, t*8)
+		c.Compute(2)
+	}
+	c.Barrier()
+	return sum
+}
+
+// Task runs the SPMD CG iterations.
+func (k *Kernel) Task(c *core.Ctx) {
+	n := k.cfg.N
+	lo, hi := kutil.Block(n, c.ID(), c.NumTasks())
+
+	// rho = r . r
+	local := 0.0
+	for i := lo; i < hi; i++ {
+		v := k.r.Load(c, i)
+		local += v * v
+		c.Compute(vecCycles)
+	}
+	rho := k.reduce(c, local)
+
+	for it := 0; it < k.cfg.Iters; it++ {
+		// q = A p (reads the whole of p: the all-gather).
+		for i := lo; i < hi; i++ {
+			start := int(k.rowptr.Load(c, i))
+			end := int(k.rowptr.Load(c, i+1))
+			sum := 0.0
+			for e := start; e < end; e++ {
+				j := int(k.colidx.Load(c, e))
+				sum += k.vals.Load(c, e) * k.pv.Load(c, j)
+				c.Compute(nzCycles)
+			}
+			k.q.Store(c, i, sum)
+		}
+		c.Barrier()
+
+		// alpha = rho / (p . q)
+		local = 0.0
+		for i := lo; i < hi; i++ {
+			local += k.pv.Load(c, i) * k.q.Load(c, i)
+			c.Compute(vecCycles)
+		}
+		pq := k.reduce(c, local)
+		alpha := rho / pq
+
+		// x += alpha p ; r -= alpha q ; rhoNew = r . r
+		local = 0.0
+		for i := lo; i < hi; i++ {
+			k.x.Store(c, i, k.x.Load(c, i)+alpha*k.pv.Load(c, i))
+			rv := k.r.Load(c, i) - alpha*k.q.Load(c, i)
+			k.r.Store(c, i, rv)
+			local += rv * rv
+			c.Compute(3 * vecCycles)
+		}
+		rhoNew := k.reduce(c, local)
+		beta := rhoNew / rho
+		rho = rhoNew
+		if c.ID() == 0 {
+			k.rhoHist.Store(c, it, rho)
+		}
+
+		// p = r + beta p
+		for i := lo; i < hi; i++ {
+			k.pv.Store(c, i, k.r.Load(c, i)+beta*k.pv.Load(c, i))
+			c.Compute(vecCycles)
+		}
+		c.Barrier()
+	}
+}
+
+// Verify replays CG with identical arithmetic (including the partial-sum
+// order of the simulated reduction) and compares exactly.
+func (k *Kernel) Verify(p *core.Program) error {
+	n := k.cfg.N
+	nt := p.NumTasks()
+	rowptr, colidx, vals := buildMatrix(k.cfg)
+
+	x := make([]float64, n)
+	r := make([]float64, n)
+	pv := make([]float64, n)
+	q := make([]float64, n)
+	for i := 0; i < n; i++ {
+		r[i], pv[i] = 1, 1
+	}
+	reduce := func(f func(t, lo, hi int) float64) float64 {
+		partials := make([]float64, nt)
+		for t := 0; t < nt; t++ {
+			lo, hi := kutil.Block(n, t, nt)
+			partials[t] = f(t, lo, hi)
+		}
+		sum := 0.0
+		for _, v := range partials {
+			sum += v
+		}
+		return sum
+	}
+	rho := reduce(func(_, lo, hi int) float64 {
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			s += r[i] * r[i]
+		}
+		return s
+	})
+	rhoHist := make([]float64, k.cfg.Iters)
+	for it := 0; it < k.cfg.Iters; it++ {
+		for i := 0; i < n; i++ {
+			sum := 0.0
+			for e := rowptr[i]; e < rowptr[i+1]; e++ {
+				sum += vals[e] * pv[colidx[e]]
+			}
+			q[i] = sum
+		}
+		pq := reduce(func(_, lo, hi int) float64 {
+			s := 0.0
+			for i := lo; i < hi; i++ {
+				s += pv[i] * q[i]
+			}
+			return s
+		})
+		alpha := rho / pq
+		for i := 0; i < n; i++ {
+			x[i] += alpha * pv[i]
+			r[i] -= alpha * q[i]
+		}
+		rhoNew := reduce(func(_, lo, hi int) float64 {
+			s := 0.0
+			for i := lo; i < hi; i++ {
+				s += r[i] * r[i]
+			}
+			return s
+		})
+		beta := rhoNew / rho
+		rho = rhoNew
+		rhoHist[it] = rho
+		for i := 0; i < n; i++ {
+			pv[i] = r[i] + beta*pv[i]
+		}
+	}
+	for i := 0; i < n; i++ {
+		if got := k.x.Get(p, i); got != x[i] {
+			return fmt.Errorf("cg: x[%d] = %g, want %g", i, got, x[i])
+		}
+	}
+	for it := 0; it < k.cfg.Iters; it++ {
+		if got := k.rhoHist.Get(p, it); got != rhoHist[it] {
+			return fmt.Errorf("cg: rho[%d] = %g, want %g", it, got, rhoHist[it])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,96 @@
+package cg
+
+import (
+	"testing"
+
+	"slipstream/internal/core"
+)
+
+// rhoSpy wraps the kernel to capture the Program at verification time, so
+// the test can read the shared rho history after the run.
+type rhoSpy struct {
+	*Kernel
+	prog *core.Program
+}
+
+func (s *rhoSpy) Verify(p *core.Program) error {
+	s.prog = p
+	return s.Kernel.Verify(p)
+}
+
+// TestResidualDecreases proves the CG iterations actually converge on the
+// generated system (rho shrinks for the well-conditioned diagonally
+// dominant matrix).
+func TestResidualDecreases(t *testing.T) {
+	k := &rhoSpy{Kernel: New(Config{N: 128, PerRow: 6, Iters: 8})}
+	res, err := core.Run(core.Options{Mode: core.ModeSingle, CMPs: 2}, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VerifyErr != nil {
+		t.Fatal(res.VerifyErr)
+	}
+	first := k.rhoHist.Get(k.prog, 0)
+	last := k.rhoHist.Get(k.prog, k.cfg.Iters-1)
+	if !(last < first) {
+		t.Fatalf("rho did not decrease: first=%g last=%g", first, last)
+	}
+	if last > 1e-6*first {
+		t.Errorf("rho after %d iterations = %g of initial %g; expected strong convergence", k.cfg.Iters, last, first)
+	}
+}
+
+func TestMatrixIsSymmetric(t *testing.T) {
+	cfg := Config{N: 200, PerRow: 8, Iters: 1}
+	rowptr, colidx, vals := buildMatrix(cfg)
+	get := func(i, j int) float64 {
+		for e := rowptr[i]; e < rowptr[i+1]; e++ {
+			if int(colidx[e]) == j {
+				return vals[e]
+			}
+		}
+		return 0
+	}
+	for i := 0; i < cfg.N; i++ {
+		for e := rowptr[i]; e < rowptr[i+1]; e++ {
+			j := int(colidx[e])
+			if get(j, i) != vals[e] {
+				t.Fatalf("A[%d][%d] = %g but A[%d][%d] = %g", i, j, vals[e], j, i, get(j, i))
+			}
+		}
+	}
+}
+
+func TestMatrixIsDiagonallyDominant(t *testing.T) {
+	cfg := Config{N: 150, PerRow: 8, Iters: 1}
+	rowptr, colidx, vals := buildMatrix(cfg)
+	for i := 0; i < cfg.N; i++ {
+		diag, off := 0.0, 0.0
+		for e := rowptr[i]; e < rowptr[i+1]; e++ {
+			if int(colidx[e]) == i {
+				diag = vals[e]
+			} else {
+				if vals[e] < 0 {
+					off -= vals[e]
+				} else {
+					off += vals[e]
+				}
+			}
+		}
+		if diag <= off {
+			t.Fatalf("row %d not diagonally dominant: diag=%g off=%g", i, diag, off)
+		}
+	}
+}
+
+func TestColumnsSortedWithinRows(t *testing.T) {
+	cfg := Config{N: 100, PerRow: 10, Iters: 1}
+	rowptr, colidx, _ := buildMatrix(cfg)
+	for i := 0; i < cfg.N; i++ {
+		for e := rowptr[i] + 1; e < rowptr[i+1]; e++ {
+			if colidx[e] <= colidx[e-1] {
+				t.Fatalf("row %d columns not strictly increasing", i)
+			}
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package kernels
+
+import (
+	"testing"
+
+	"slipstream/internal/core"
+)
+
+// run executes one configuration and fails on simulation or verification
+// errors.
+func run(t *testing.T, name string, opts core.Options) *core.Result {
+	t.Helper()
+	k, err := New(name, Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(opts, k)
+	if err != nil {
+		t.Fatalf("%s %v/%v: %v", name, opts.Mode, opts.ARSync, err)
+	}
+	if res.VerifyErr != nil {
+		t.Fatalf("%s %v/%v: verification: %v", name, opts.Mode, opts.ARSync, res.VerifyErr)
+	}
+	return res
+}
+
+// Every kernel must produce numerically correct results in every mode.
+func TestAllKernelsAllModes(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			run(t, name, core.Options{Mode: core.ModeSequential})
+			run(t, name, core.Options{Mode: core.ModeSingle, CMPs: 4})
+			run(t, name, core.Options{Mode: core.ModeDouble, CMPs: 4})
+			for _, ar := range core.ARSyncs {
+				run(t, name, core.Options{Mode: core.ModeSlipstream, CMPs: 4, ARSync: ar})
+			}
+		})
+	}
+}
+
+// Transparent loads and self-invalidation must never affect R-stream
+// results.
+func TestAllKernelsWithTransparentLoadsAndSI(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			run(t, name, core.Options{
+				Mode: core.ModeSlipstream, CMPs: 4, ARSync: core.OneTokenGlobal,
+				TransparentLoads: true,
+			})
+			run(t, name, core.Options{
+				Mode: core.ModeSlipstream, CMPs: 4, ARSync: core.OneTokenGlobal,
+				TransparentLoads: true, SelfInvalidate: true,
+			})
+		})
+	}
+}
+
+// Runs must be deterministic: identical cycle counts and memory stats.
+func TestKernelDeterminism(t *testing.T) {
+	for _, name := range []string{"SOR", "CG", "WATER-NS", "SP"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			opts := core.Options{Mode: core.ModeSlipstream, CMPs: 4, ARSync: core.OneTokenLocal}
+			a := run(t, name, opts)
+			b := run(t, name, opts)
+			if a.Cycles != b.Cycles {
+				t.Errorf("cycles %d vs %d", a.Cycles, b.Cycles)
+			}
+			if a.Mem != b.Mem {
+				t.Error("memory stats differ between identical runs")
+			}
+		})
+	}
+}
+
+// Larger machines must not break numerics (odd task counts stress the
+// partitioners).
+func TestKernelsAtVariousCMPCounts(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			for _, cmps := range []int{1, 2, 3, 8} {
+				run(t, name, core.Options{Mode: core.ModeSingle, CMPs: cmps})
+			}
+			run(t, name, core.Options{Mode: core.ModeSlipstream, CMPs: 8, ARSync: core.ZeroTokenGlobal})
+		})
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	if len(Names()) != 9 {
+		t.Fatalf("want the paper's 9 benchmarks, got %d", len(Names()))
+	}
+	for _, name := range Names() {
+		for _, size := range []Size{Tiny, Small, Paper} {
+			k, err := New(name, size)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if k.Name() != name {
+				t.Errorf("kernel %q reports name %q", name, k.Name())
+			}
+		}
+	}
+	if _, err := New("NOPE", Tiny); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+	if _, err := ParseSize("nope"); err == nil {
+		t.Error("unknown size accepted")
+	}
+	for _, s := range []string{"tiny", "small", "paper"} {
+		if _, err := ParseSize(s); err != nil {
+			t.Errorf("ParseSize(%q): %v", s, err)
+		}
+	}
+}
+
+// Size presets must be strictly ordered: each preset's simulated workload
+// (measured in cycles on the same machine) grows with the preset.
+func TestSizePresetsAreOrdered(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			var prev int64
+			for _, size := range []Size{Tiny, Small, Paper} {
+				k, err := New(name, size)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := core.Run(core.Options{Mode: core.ModeSingle, CMPs: 2}, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Cycles <= prev {
+					t.Fatalf("%s at %v (%d cycles) not larger than previous preset (%d)",
+						name, size, res.Cycles, prev)
+				}
+				prev = res.Cycles
+			}
+		})
+	}
+}

@@ -1,0 +1,64 @@
+// Package kutil provides small helpers shared by the benchmark kernels:
+// block partitioning, deterministic initialization, and tolerant numeric
+// comparison for verification.
+package kutil
+
+import (
+	"fmt"
+	"math"
+)
+
+// Block returns the half-open range [lo, hi) of n items assigned to task
+// id of nt tasks, balanced to within one item.
+func Block(n, id, nt int) (lo, hi int) {
+	return n * id / nt, n * (id + 1) / nt
+}
+
+// Rand is a small deterministic PRNG (xorshift64*) used to initialize
+// benchmark data identically across runs and against reference replays.
+type Rand struct{ s uint64 }
+
+// NewRand returns a generator seeded with seed (zero is remapped).
+func NewRand(seed uint64) *Rand {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &Rand{s: seed}
+}
+
+// Uint64 returns the next pseudo-random value.
+func (r *Rand) Uint64() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 0x2545f4914f6cdd1d
+}
+
+// Float64 returns a value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a value in [0, n).
+func (r *Rand) Intn(n int) int {
+	return int(r.Uint64() % uint64(n))
+}
+
+// Close reports whether got and want agree to within a relative tolerance
+// (with an absolute floor for values near zero).
+func Close(got, want, tol float64) bool {
+	if got == want {
+		return true
+	}
+	diff := math.Abs(got - want)
+	scale := math.Max(math.Abs(got), math.Abs(want))
+	return diff <= tol*math.Max(scale, 1)
+}
+
+// CheckClose returns a descriptive error if got and want differ beyond tol.
+func CheckClose(name string, i int, got, want, tol float64) error {
+	if !Close(got, want, tol) {
+		return fmt.Errorf("%s[%d] = %g, want %g (tol %g)", name, i, got, want, tol)
+	}
+	return nil
+}

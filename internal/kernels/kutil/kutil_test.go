@@ -1,0 +1,89 @@
+package kutil
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: Block partitions [0, n) into nt contiguous, disjoint,
+// exhaustive, balanced ranges.
+func TestBlockProperty(t *testing.T) {
+	f := func(nRaw, ntRaw uint16) bool {
+		n := int(nRaw % 10000)
+		nt := 1 + int(ntRaw%64)
+		prev := 0
+		minSz, maxSz := n+1, -1
+		for id := 0; id < nt; id++ {
+			lo, hi := Block(n, id, nt)
+			if lo != prev || hi < lo {
+				return false
+			}
+			prev = hi
+			if sz := hi - lo; sz < minSz {
+				minSz = sz
+			} else if sz > maxSz {
+				maxSz = sz
+			}
+			if sz := hi - lo; sz > maxSz {
+				maxSz = sz
+			}
+		}
+		if prev != n {
+			return false
+		}
+		// Balanced to within one item.
+		return maxSz-minSz <= 1 || n == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandDeterministic(t *testing.T) {
+	a, b := NewRand(5), NewRand(5)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	if NewRand(0).Uint64() == 0 {
+		t.Error("zero seed not remapped")
+	}
+}
+
+func TestRandRanges(t *testing.T) {
+	r := NewRand(9)
+	for i := 0; i < 1000; i++ {
+		if v := r.Float64(); v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v", v)
+		}
+		if v := r.Intn(7); v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %v", v)
+		}
+	}
+}
+
+func TestClose(t *testing.T) {
+	cases := []struct {
+		got, want, tol float64
+		ok             bool
+	}{
+		{1, 1, 0, true},
+		{1, 1.0000000001, 1e-9, true},
+		{1, 1.1, 1e-9, false},
+		{0, 1e-12, 1e-9, true}, // absolute floor near zero
+		{1e9, 1e9 * (1 + 1e-10), 1e-9, true},
+		{-5, 5, 1e-9, false},
+	}
+	for i, c := range cases {
+		if Close(c.got, c.want, c.tol) != c.ok {
+			t.Errorf("case %d: Close(%v, %v, %v) != %v", i, c.got, c.want, c.tol, c.ok)
+		}
+	}
+	if err := CheckClose("x", 3, 1, 2, 1e-9); err == nil {
+		t.Error("CheckClose accepted a mismatch")
+	}
+	if err := CheckClose("x", 3, 1, 1, 1e-9); err != nil {
+		t.Errorf("CheckClose rejected a match: %v", err)
+	}
+}

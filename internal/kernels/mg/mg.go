@@ -1,0 +1,323 @@
+// Package mg implements a simplified NAS MG: V-cycles of a 3-D 7-point
+// multigrid solver (Jacobi smoothing, full-weighting-style restriction,
+// trilinear-style prolongation). Grids are partitioned by z-planes at
+// every level, so coarse levels leave tasks idle at barriers — the poor
+// coarse-grid scaling that limits MG is reproduced, along with face
+// sharing between neighbouring plane owners.
+package mg
+
+import (
+	"fmt"
+
+	"slipstream/internal/core"
+	"slipstream/internal/kernels/kutil"
+)
+
+const stencilCycles = 90 // 7-point residual/smoothing update
+
+// Config sizes the kernel.
+type Config struct {
+	N      int // finest grid dimension (power of two; paper: 32)
+	Cycles int // number of V-cycles
+}
+
+// Kernel is the MG benchmark.
+type Kernel struct {
+	cfg    Config
+	levels []level
+}
+
+type level struct {
+	n         int
+	u, f, tmp core.F64
+}
+
+// New returns an MG kernel.
+func New(cfg Config) *Kernel {
+	if cfg.N < 8 {
+		cfg.N = 8
+	}
+	// Round down to a power of two.
+	n := 8
+	for n*2 <= cfg.N {
+		n *= 2
+	}
+	cfg.N = n
+	if cfg.Cycles < 1 {
+		cfg.Cycles = 1
+	}
+	return &Kernel{cfg: cfg}
+}
+
+// Name implements core.Kernel.
+func (k *Kernel) Name() string { return "MG" }
+
+// Setup allocates the grid hierarchy (finest down to 4^3).
+func (k *Kernel) Setup(p *core.Program) {
+	k.levels = nil
+	for n := k.cfg.N; n >= 4; n /= 2 {
+		k.levels = append(k.levels, level{
+			n:   n,
+			u:   p.AllocF64(n * n * n),
+			f:   p.AllocF64(n * n * n),
+			tmp: p.AllocF64(n * n * n),
+		})
+	}
+	n := k.cfg.N
+	initRHS(n, func(i int, v float64) { k.levels[0].f.Set(p, i, v) })
+}
+
+func initRHS(n int, set func(int, float64)) {
+	rnd := kutil.NewRand(11)
+	for i := 0; i < n*n*n; i++ {
+		set(i, rnd.Float64()-0.5)
+	}
+}
+
+// Task runs the SPMD body: repeated V-cycles.
+func (k *Kernel) Task(c *core.Ctx) {
+	for cyc := 0; cyc < k.cfg.Cycles; cyc++ {
+		k.vcycle(c, 0)
+	}
+}
+
+// planeRange returns the z-planes of an n^3 grid owned by the task; tasks
+// beyond the plane count own nothing but still participate in barriers.
+func planeRange(n, id, nt int) (lo, hi int) {
+	if id >= n-2 {
+		return 1, 1 // empty interior range
+	}
+	lo, hi = kutil.Block(n-2, id, min(nt, n-2))
+	if id >= min(nt, n-2) {
+		return 1, 1
+	}
+	return lo + 1, hi + 1
+}
+
+func (k *Kernel) vcycle(c *core.Ctx, l int) {
+	k.smooth(c, l)
+	if l == len(k.levels)-1 {
+		// Coarsest level: extra smoothing passes stand in for a direct
+		// solve.
+		k.smooth(c, l)
+		k.smooth(c, l)
+		return
+	}
+	k.restrictResidual(c, l)
+	// Clear the coarser grid's solution.
+	nc := k.levels[l+1].n
+	zlo, zhi := planeRange(nc, c.ID(), c.NumTasks())
+	for z := zlo; z < zhi; z++ {
+		for y := 1; y < nc-1; y++ {
+			for x := 1; x < nc-1; x++ {
+				k.levels[l+1].u.Store(c, (z*nc+y)*nc+x, 0)
+			}
+		}
+	}
+	c.Barrier()
+	k.vcycle(c, l+1)
+	k.prolongate(c, l)
+	k.smooth(c, l)
+}
+
+// smooth performs one damped-Jacobi sweep into tmp, then copies back
+// (deterministic regardless of task interleaving).
+func (k *Kernel) smooth(c *core.Ctx, l int) {
+	lv := k.levels[l]
+	n := lv.n
+	zlo, zhi := planeRange(n, c.ID(), c.NumTasks())
+	idx := func(z, y, x int) int { return (z*n+y)*n + x }
+	for z := zlo; z < zhi; z++ {
+		for y := 1; y < n-1; y++ {
+			for x := 1; x < n-1; x++ {
+				s := lv.u.Load(c, idx(z-1, y, x)) + lv.u.Load(c, idx(z+1, y, x)) +
+					lv.u.Load(c, idx(z, y-1, x)) + lv.u.Load(c, idx(z, y+1, x)) +
+					lv.u.Load(c, idx(z, y, x-1)) + lv.u.Load(c, idx(z, y, x+1))
+				c.Compute(stencilCycles)
+				v := (s + lv.f.Load(c, idx(z, y, x))) / 6
+				u := lv.u.Load(c, idx(z, y, x))
+				lv.tmp.Store(c, idx(z, y, x), u+0.8*(v-u))
+			}
+		}
+	}
+	c.Barrier()
+	for z := zlo; z < zhi; z++ {
+		for y := 1; y < n-1; y++ {
+			for x := 1; x < n-1; x++ {
+				lv.u.Store(c, idx(z, y, x), lv.tmp.Load(c, idx(z, y, x)))
+				c.Compute(8)
+			}
+		}
+	}
+	c.Barrier()
+}
+
+// restrictResidual computes r = f - Au on level l and injects a weighted
+// restriction into level l+1's right-hand side.
+func (k *Kernel) restrictResidual(c *core.Ctx, l int) {
+	fine, coarse := k.levels[l], k.levels[l+1]
+	n, nc := fine.n, coarse.n
+	idx := func(z, y, x int) int { return (z*n+y)*n + x }
+	zlo, zhi := planeRange(nc, c.ID(), c.NumTasks())
+	for zc := zlo; zc < zhi; zc++ {
+		for yc := 1; yc < nc-1; yc++ {
+			for xc := 1; xc < nc-1; xc++ {
+				z, y, x := 2*zc, 2*yc, 2*xc
+				if z >= n-1 || y >= n-1 || x >= n-1 {
+					continue
+				}
+				au := 6*fine.u.Load(c, idx(z, y, x)) -
+					fine.u.Load(c, idx(z-1, y, x)) - fine.u.Load(c, idx(z+1, y, x)) -
+					fine.u.Load(c, idx(z, y-1, x)) - fine.u.Load(c, idx(z, y+1, x)) -
+					fine.u.Load(c, idx(z, y, x-1)) - fine.u.Load(c, idx(z, y, x+1))
+				c.Compute(stencilCycles)
+				r := fine.f.Load(c, idx(z, y, x)) - au
+				coarse.f.Store(c, (zc*nc+yc)*nc+xc, r)
+			}
+		}
+	}
+	c.Barrier()
+}
+
+// prolongate injects the coarse correction back into the fine grid.
+func (k *Kernel) prolongate(c *core.Ctx, l int) {
+	fine, coarse := k.levels[l], k.levels[l+1]
+	n, nc := fine.n, coarse.n
+	idx := func(z, y, x int) int { return (z*n+y)*n + x }
+	zlo, zhi := planeRange(nc, c.ID(), c.NumTasks())
+	for zc := zlo; zc < zhi; zc++ {
+		for yc := 1; yc < nc-1; yc++ {
+			for xc := 1; xc < nc-1; xc++ {
+				z, y, x := 2*zc, 2*yc, 2*xc
+				if z >= n-1 || y >= n-1 || x >= n-1 {
+					continue
+				}
+				corr := coarse.u.Load(c, (zc*nc+yc)*nc+xc)
+				c.Compute(20)
+				u := fine.u.Load(c, idx(z, y, x))
+				fine.u.Store(c, idx(z, y, x), u+corr)
+			}
+		}
+	}
+	c.Barrier()
+}
+
+// Verify replays the V-cycles in plain Go and compares the finest grid.
+func (k *Kernel) Verify(p *core.Program) error {
+	r := newRef(k.cfg)
+	for cyc := 0; cyc < k.cfg.Cycles; cyc++ {
+		r.vcycle(0)
+	}
+	n := k.cfg.N
+	for i := 0; i < n*n*n; i++ {
+		if got := k.levels[0].u.Get(p, i); got != r.levels[0].u[i] {
+			return fmt.Errorf("mg: u[%d] = %g, want %g", i, got, r.levels[0].u[i])
+		}
+	}
+	return nil
+}
+
+// ref is the plain-Go reference implementation.
+type ref struct {
+	levels []refLevel
+}
+
+type refLevel struct {
+	n         int
+	u, f, tmp []float64
+}
+
+func newRef(cfg Config) *ref {
+	r := &ref{}
+	for n := cfg.N; n >= 4; n /= 2 {
+		r.levels = append(r.levels, refLevel{
+			n: n, u: make([]float64, n*n*n), f: make([]float64, n*n*n), tmp: make([]float64, n*n*n),
+		})
+	}
+	initRHS(cfg.N, func(i int, v float64) { r.levels[0].f[i] = v })
+	return r
+}
+
+func (r *ref) vcycle(l int) {
+	r.smooth(l)
+	if l == len(r.levels)-1 {
+		r.smooth(l)
+		r.smooth(l)
+		return
+	}
+	r.restrict(l)
+	nc := r.levels[l+1].n
+	for z := 1; z < nc-1; z++ {
+		for y := 1; y < nc-1; y++ {
+			for x := 1; x < nc-1; x++ {
+				r.levels[l+1].u[(z*nc+y)*nc+x] = 0
+			}
+		}
+	}
+	r.vcycle(l + 1)
+	r.prolongate(l)
+	r.smooth(l)
+}
+
+func (r *ref) smooth(l int) {
+	lv := &r.levels[l]
+	n := lv.n
+	idx := func(z, y, x int) int { return (z*n+y)*n + x }
+	for z := 1; z < n-1; z++ {
+		for y := 1; y < n-1; y++ {
+			for x := 1; x < n-1; x++ {
+				s := lv.u[idx(z-1, y, x)] + lv.u[idx(z+1, y, x)] +
+					lv.u[idx(z, y-1, x)] + lv.u[idx(z, y+1, x)] +
+					lv.u[idx(z, y, x-1)] + lv.u[idx(z, y, x+1)]
+				v := (s + lv.f[idx(z, y, x)]) / 6
+				u := lv.u[idx(z, y, x)]
+				lv.tmp[idx(z, y, x)] = u + 0.8*(v-u)
+			}
+		}
+	}
+	for z := 1; z < n-1; z++ {
+		for y := 1; y < n-1; y++ {
+			for x := 1; x < n-1; x++ {
+				lv.u[idx(z, y, x)] = lv.tmp[idx(z, y, x)]
+			}
+		}
+	}
+}
+
+func (r *ref) restrict(l int) {
+	fine, coarse := &r.levels[l], &r.levels[l+1]
+	n, nc := fine.n, coarse.n
+	idx := func(z, y, x int) int { return (z*n+y)*n + x }
+	for zc := 1; zc < nc-1; zc++ {
+		for yc := 1; yc < nc-1; yc++ {
+			for xc := 1; xc < nc-1; xc++ {
+				z, y, x := 2*zc, 2*yc, 2*xc
+				if z >= n-1 || y >= n-1 || x >= n-1 {
+					continue
+				}
+				au := 6*fine.u[idx(z, y, x)] -
+					fine.u[idx(z-1, y, x)] - fine.u[idx(z+1, y, x)] -
+					fine.u[idx(z, y-1, x)] - fine.u[idx(z, y+1, x)] -
+					fine.u[idx(z, y, x-1)] - fine.u[idx(z, y, x+1)]
+				coarse.f[(zc*nc+yc)*nc+xc] = fine.f[idx(z, y, x)] - au
+			}
+		}
+	}
+}
+
+func (r *ref) prolongate(l int) {
+	fine, coarse := &r.levels[l], &r.levels[l+1]
+	n, nc := fine.n, coarse.n
+	idx := func(z, y, x int) int { return (z*n+y)*n + x }
+	for zc := 1; zc < nc-1; zc++ {
+		for yc := 1; yc < nc-1; yc++ {
+			for xc := 1; xc < nc-1; xc++ {
+				z, y, x := 2*zc, 2*yc, 2*xc
+				if z >= n-1 || y >= n-1 || x >= n-1 {
+					continue
+				}
+				fine.u[idx(z, y, x)] += coarse.u[(zc*nc+yc)*nc+xc]
+			}
+		}
+	}
+}

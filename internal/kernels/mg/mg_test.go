@@ -1,0 +1,94 @@
+package mg
+
+import (
+	"math"
+	"testing"
+
+	"slipstream/internal/core"
+)
+
+// residual computes ||f - Au|| on the finest reference grid.
+func residual(r *ref) float64 {
+	lv := &r.levels[0]
+	n := lv.n
+	idx := func(z, y, x int) int { return (z*n+y)*n + x }
+	sum := 0.0
+	for z := 1; z < n-1; z++ {
+		for y := 1; y < n-1; y++ {
+			for x := 1; x < n-1; x++ {
+				au := 6*lv.u[idx(z, y, x)] -
+					lv.u[idx(z-1, y, x)] - lv.u[idx(z+1, y, x)] -
+					lv.u[idx(z, y-1, x)] - lv.u[idx(z, y+1, x)] -
+					lv.u[idx(z, y, x-1)] - lv.u[idx(z, y, x+1)]
+				d := lv.f[idx(z, y, x)] - au
+				sum += d * d
+			}
+		}
+	}
+	return math.Sqrt(sum)
+}
+
+// TestVCycleReducesResidual proves the multigrid solver converges.
+func TestVCycleReducesResidual(t *testing.T) {
+	r := newRef(Config{N: 16, Cycles: 1})
+	r0 := residual(r)
+	r.vcycle(0)
+	r1 := residual(r)
+	r.vcycle(0)
+	r2 := residual(r)
+	if !(r1 < r0 && r2 < r1) {
+		t.Fatalf("residual not decreasing: %g -> %g -> %g", r0, r1, r2)
+	}
+	if r2 > 0.5*r0 {
+		t.Errorf("V-cycles converge too slowly: %g -> %g", r0, r2)
+	}
+}
+
+// TestPlaneRangePartition checks the coarse-grid plane partitioner:
+// disjoint, exhaustive over interior planes, and empty for surplus tasks.
+func TestPlaneRangePartition(t *testing.T) {
+	for _, n := range []int{4, 8, 16} {
+		for _, nt := range []int{1, 3, 16, 32} {
+			covered := make([]int, n)
+			for id := 0; id < nt; id++ {
+				lo, hi := planeRange(n, id, nt)
+				if lo < 1 || hi > n-1 || hi < lo {
+					t.Fatalf("n=%d nt=%d id=%d: range [%d,%d)", n, nt, id, lo, hi)
+				}
+				for z := lo; z < hi; z++ {
+					covered[z]++
+				}
+			}
+			for z := 1; z < n-1; z++ {
+				if covered[z] != 1 {
+					t.Fatalf("n=%d nt=%d: plane %d covered %d times", n, nt, z, covered[z])
+				}
+			}
+		}
+	}
+}
+
+func TestPowerOfTwoClamping(t *testing.T) {
+	if k := New(Config{N: 24}); k.cfg.N != 16 {
+		t.Errorf("N=24 rounded to %d, want 16", k.cfg.N)
+	}
+	if k := New(Config{N: 32}); len(k.levels) != 0 {
+		t.Errorf("levels allocated before Setup")
+	}
+}
+
+func TestMGSlipstreamMatchesSingle(t *testing.T) {
+	for _, mode := range []core.Options{
+		{Mode: core.ModeSingle, CMPs: 4},
+		{Mode: core.ModeSlipstream, CMPs: 4, ARSync: core.ZeroTokenLocal},
+	} {
+		k := New(Config{N: 8, Cycles: 2})
+		res, err := core.Run(mode, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.VerifyErr != nil {
+			t.Fatal(res.VerifyErr)
+		}
+	}
+}

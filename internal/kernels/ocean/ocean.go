@@ -1,0 +1,164 @@
+// Package ocean implements a simplified SPLASH-2 Ocean: two coupled 2-D
+// grids (streamfunction and vorticity) advanced by Jacobi relaxation
+// sweeps between paired grids, with a lock-protected global residual
+// reduction every time step. It reproduces Ocean's communication
+// structure — nearest-neighbour row sharing on multiple grids,
+// barrier-separated phases, and the reduction pattern the paper discusses
+// (a conditional store to a shared maximum whose control-flow effect is
+// local to the task).
+package ocean
+
+import (
+	"fmt"
+	"math"
+
+	"slipstream/internal/core"
+	"slipstream/internal/kernels/kutil"
+)
+
+const (
+	stencilCycles = 36 // 5-point update incl. index arithmetic
+	reduceLock    = 1  // lock id guarding the global residual
+)
+
+// Config sizes the kernel.
+type Config struct {
+	N     int // grid dimension (paper: 258x258)
+	Steps int // time steps
+}
+
+// Kernel is the Ocean benchmark.
+type Kernel struct {
+	cfg Config
+	psi [2]core.F64 // streamfunction, double-buffered
+	vor core.F64    // vorticity
+	res core.F64    // res[0] = global max residual over the run
+}
+
+// New returns an Ocean kernel.
+func New(cfg Config) *Kernel {
+	if cfg.N < 6 {
+		cfg.N = 6
+	}
+	if cfg.Steps < 1 {
+		cfg.Steps = 1
+	}
+	return &Kernel{cfg: cfg}
+}
+
+// Name implements core.Kernel.
+func (k *Kernel) Name() string { return "OCEAN" }
+
+// Setup allocates and initializes the grids.
+func (k *Kernel) Setup(p *core.Program) {
+	n := k.cfg.N
+	k.psi[0] = p.AllocF64(n * n)
+	k.psi[1] = p.AllocF64(n * n)
+	k.vor = p.AllocF64(n * n)
+	k.res = p.AllocF64(1)
+	initGrids(n, func(i int, a, b float64) {
+		k.psi[0].Set(p, i, a)
+		k.psi[1].Set(p, i, a)
+		k.vor.Set(p, i, b)
+	})
+}
+
+func initGrids(n int, set func(int, float64, float64)) {
+	rnd := kutil.NewRand(7)
+	for i := 0; i < n*n; i++ {
+		set(i, rnd.Float64(), 0.1*rnd.Float64())
+	}
+}
+
+// Task runs the SPMD body.
+func (k *Kernel) Task(c *core.Ctx) {
+	n := k.cfg.N
+	lo, hi := kutil.Block(n-2, c.ID(), c.NumTasks())
+	lo, hi = lo+1, hi+1
+	for step := 0; step < k.cfg.Steps; step++ {
+		cur, next := k.psi[step%2], k.psi[1-step%2]
+		// Phase 1: vorticity from streamfunction (reads the stable
+		// current psi, writes the task's own vor rows).
+		for i := lo; i < hi; i++ {
+			for j := 1; j < n-1; j++ {
+				lap := cur.Load(c, (i-1)*n+j) + cur.Load(c, (i+1)*n+j) +
+					cur.Load(c, i*n+j-1) + cur.Load(c, i*n+j+1) -
+					4*cur.Load(c, i*n+j)
+				c.Compute(stencilCycles)
+				k.vor.Store(c, i*n+j, 0.9*k.vor.Load(c, i*n+j)+0.1*lap)
+			}
+		}
+		c.Barrier()
+		// Phase 2: Jacobi relaxation of psi with vorticity as the RHS,
+		// written into the paired grid.
+		localRes := 0.0
+		for i := lo; i < hi; i++ {
+			for j := 1; j < n-1; j++ {
+				v := (cur.Load(c, (i-1)*n+j) + cur.Load(c, (i+1)*n+j) +
+					cur.Load(c, i*n+j-1) + cur.Load(c, i*n+j+1) +
+					k.vor.Load(c, i*n+j)) / 4
+				c.Compute(stencilCycles)
+				old := cur.Load(c, i*n+j)
+				if d := math.Abs(v - old); d > localRes {
+					localRes = d
+				}
+				next.Store(c, i*n+j, v)
+			}
+		}
+		c.Barrier()
+		// Phase 3: global residual reduction. The comparison against the
+		// shared maximum decides locally whether to store (the pattern
+		// Section 3.1 discusses for reduction variables).
+		c.Lock(reduceLock)
+		if localRes > k.res.Load(c, 0) {
+			k.res.Store(c, 0, localRes)
+		}
+		c.Unlock(reduceLock)
+		c.Barrier()
+	}
+}
+
+// Verify replays the computation in plain Go. Grid updates are exact; the
+// reduction is a max, which is order-independent, so comparison is exact.
+func (k *Kernel) Verify(p *core.Program) error {
+	n := k.cfg.N
+	psi := [2][]float64{make([]float64, n*n), make([]float64, n*n)}
+	vor := make([]float64, n*n)
+	initGrids(n, func(i int, a, b float64) { psi[0][i], psi[1][i], vor[i] = a, a, b })
+	globalRes := 0.0
+	for step := 0; step < k.cfg.Steps; step++ {
+		cur, next := psi[step%2], psi[1-step%2]
+		for i := 1; i < n-1; i++ {
+			for j := 1; j < n-1; j++ {
+				lap := cur[(i-1)*n+j] + cur[(i+1)*n+j] + cur[i*n+j-1] + cur[i*n+j+1] - 4*cur[i*n+j]
+				vor[i*n+j] = 0.9*vor[i*n+j] + 0.1*lap
+			}
+		}
+		stepRes := 0.0
+		for i := 1; i < n-1; i++ {
+			for j := 1; j < n-1; j++ {
+				v := (cur[(i-1)*n+j] + cur[(i+1)*n+j] + cur[i*n+j-1] + cur[i*n+j+1] + vor[i*n+j]) / 4
+				if d := math.Abs(v - cur[i*n+j]); d > stepRes {
+					stepRes = d
+				}
+				next[i*n+j] = v
+			}
+		}
+		if stepRes > globalRes {
+			globalRes = stepRes
+		}
+	}
+	finalPsi := psi[k.cfg.Steps%2]
+	for i := 0; i < n*n; i++ {
+		if got := k.psi[k.cfg.Steps%2].Get(p, i); got != finalPsi[i] {
+			return fmt.Errorf("ocean: psi[%d] = %g, want %g", i, got, finalPsi[i])
+		}
+		if got := k.vor.Get(p, i); got != vor[i] {
+			return fmt.Errorf("ocean: vor[%d] = %g, want %g", i, got, vor[i])
+		}
+	}
+	if got := k.res.Get(p, 0); got != globalRes {
+		return fmt.Errorf("ocean: residual = %g, want %g", got, globalRes)
+	}
+	return nil
+}

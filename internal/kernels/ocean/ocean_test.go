@@ -1,0 +1,69 @@
+package ocean
+
+import (
+	"testing"
+
+	"slipstream/internal/core"
+)
+
+type spy struct {
+	*Kernel
+	prog *core.Program
+}
+
+func (s *spy) Verify(p *core.Program) error {
+	s.prog = p
+	return s.Kernel.Verify(p)
+}
+
+// TestResidualRecorded: the lock-guarded reduction must leave the global
+// maximum residual, and it must be positive (the grids do move).
+func TestResidualRecorded(t *testing.T) {
+	k := &spy{Kernel: New(Config{N: 34, Steps: 3})}
+	res, err := core.Run(core.Options{Mode: core.ModeSingle, CMPs: 4}, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VerifyErr != nil {
+		t.Fatal(res.VerifyErr)
+	}
+	if got := k.res.Get(k.prog, 0); !(got > 0) {
+		t.Errorf("global residual = %v, want > 0", got)
+	}
+}
+
+// TestReductionIndependentOfTaskCount: the recorded maximum must be the
+// same whatever the partitioning (max is order-independent).
+func TestReductionIndependentOfTaskCount(t *testing.T) {
+	var vals []float64
+	for _, cmps := range []int{1, 2, 4} {
+		k := &spy{Kernel: New(Config{N: 34, Steps: 2})}
+		res, err := core.Run(core.Options{Mode: core.ModeSingle, CMPs: cmps}, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.VerifyErr != nil {
+			t.Fatal(res.VerifyErr)
+		}
+		vals = append(vals, k.res.Get(k.prog, 0))
+	}
+	for i := 1; i < len(vals); i++ {
+		if vals[i] != vals[0] {
+			t.Fatalf("residuals differ across task counts: %v", vals)
+		}
+	}
+}
+
+func TestOceanSlipstreamWithSI(t *testing.T) {
+	k := New(Config{N: 34, Steps: 2})
+	res, err := core.Run(core.Options{
+		Mode: core.ModeSlipstream, CMPs: 4, ARSync: core.OneTokenGlobal,
+		TransparentLoads: true, SelfInvalidate: true,
+	}, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VerifyErr != nil {
+		t.Fatal(res.VerifyErr)
+	}
+}

@@ -1,0 +1,98 @@
+// Package kernels provides the registry of the paper's nine benchmarks
+// (Table 2) with size presets: Tiny for unit tests and Go benchmarks,
+// Small for quick interactive runs, and Paper for the experiment harness
+// (the scaled-down equivalents of Table 2 recorded in EXPERIMENTS.md).
+package kernels
+
+import (
+	"fmt"
+	"strings"
+
+	"slipstream/internal/core"
+	"slipstream/internal/kernels/cg"
+	"slipstream/internal/kernels/fft"
+	"slipstream/internal/kernels/lu"
+	"slipstream/internal/kernels/mg"
+	"slipstream/internal/kernels/ocean"
+	"slipstream/internal/kernels/sor"
+	"slipstream/internal/kernels/sp"
+	"slipstream/internal/kernels/waterns"
+	"slipstream/internal/kernels/watersp"
+)
+
+// Size selects a preset problem size.
+type Size int
+
+// Presets.
+const (
+	Tiny  Size = iota // unit tests and testing.B benchmarks
+	Small             // quick interactive runs
+	Paper             // experiment harness (Table 2, scaled; see EXPERIMENTS.md)
+)
+
+func (s Size) String() string {
+	switch s {
+	case Tiny:
+		return "tiny"
+	case Small:
+		return "small"
+	case Paper:
+		return "paper"
+	}
+	return fmt.Sprintf("Size(%d)", int(s))
+}
+
+// ParseSize converts a preset name.
+func ParseSize(s string) (Size, error) {
+	switch strings.ToLower(s) {
+	case "tiny":
+		return Tiny, nil
+	case "small":
+		return Small, nil
+	case "paper":
+		return Paper, nil
+	}
+	return 0, fmt.Errorf("kernels: unknown size %q (want tiny, small, or paper)", s)
+}
+
+// Names lists the benchmarks in the paper's Table 2 order.
+func Names() []string {
+	return []string{"FFT", "OCEAN", "WATER-NS", "WATER-SP", "SOR", "LU", "CG", "MG", "SP"}
+}
+
+// New builds the named benchmark at the given size preset.
+func New(name string, size Size) (core.Kernel, error) {
+	switch strings.ToUpper(name) {
+	case "FFT":
+		return fft.New(fft.Config{LogN: pick(size, 8, 10, 12)}), nil
+	case "OCEAN":
+		return ocean.New(ocean.Config{N: pick(size, 34, 66, 258), Steps: pick(size, 2, 3, 4)}), nil
+	case "WATER-NS":
+		return waterns.New(waterns.Config{N: pick(size, 16, 32, 128), Steps: pick(size, 2, 2, 3)}), nil
+	case "WATER-SP":
+		return watersp.New(watersp.Config{N: pick(size, 27, 64, 216), Cells: pick(size, 3, 4, 4), Steps: pick(size, 2, 3, 4)}), nil
+	case "SOR":
+		return sor.New(sor.Config{N: pick(size, 34, 130, 258), Iters: pick(size, 2, 3, 4)}), nil
+	case "LU":
+		return lu.New(lu.Config{N: pick(size, 48, 96, 256), B: 16}), nil
+	case "CG":
+		return cg.New(cg.Config{N: pick(size, 96, 256, 700), PerRow: pick(size, 8, 8, 12), Iters: pick(size, 3, 5, 10)}), nil
+	case "MG":
+		return mg.New(mg.Config{N: pick(size, 8, 16, 32), Cycles: pick(size, 1, 2, 2)}), nil
+	case "SP":
+		return sp.New(sp.Config{N: pick(size, 8, 12, 24), Iters: pick(size, 2, 3, 4)}), nil
+	}
+	return nil, fmt.Errorf("kernels: unknown benchmark %q (want one of %s)",
+		name, strings.Join(Names(), ", "))
+}
+
+func pick(s Size, tiny, small, paper int) int {
+	switch s {
+	case Tiny:
+		return tiny
+	case Small:
+		return small
+	default:
+		return paper
+	}
+}

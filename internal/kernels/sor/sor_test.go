@@ -1,0 +1,87 @@
+package sor
+
+import (
+	"math"
+	"testing"
+
+	"slipstream/internal/core"
+)
+
+// spy captures the Program for post-run inspection.
+type spy struct {
+	*Kernel
+	prog *core.Program
+}
+
+func (s *spy) Verify(p *core.Program) error {
+	s.prog = p
+	return s.Kernel.Verify(p)
+}
+
+// TestSweepSmooths: over-relaxation sweeps must reduce the grid's
+// roughness (sum of squared horizontal neighbour differences).
+func TestSweepSmooths(t *testing.T) {
+	const n = 34
+	k := &spy{Kernel: New(Config{N: n, Iters: 6})}
+	res, err := core.Run(core.Options{Mode: core.ModeSingle, CMPs: 2}, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VerifyErr != nil {
+		t.Fatal(res.VerifyErr)
+	}
+	// Initial roughness, from the same deterministic initialization.
+	initVals := make([]float64, n*n)
+	initGrid(n, func(i int, v float64) { initVals[i] = v })
+	before, after := 0.0, 0.0
+	final := k.grid[k.cfg.Iters%2]
+	for i := 1; i < n-1; i++ {
+		for j := 1; j < n-2; j++ {
+			d0 := initVals[i*n+j] - initVals[i*n+j+1]
+			before += d0 * d0
+			d1 := final.Get(k.prog, i*n+j) - final.Get(k.prog, i*n+j+1)
+			after += d1 * d1
+		}
+	}
+	if math.IsNaN(after) {
+		t.Fatal("NaN in grid")
+	}
+	if after > before/2 {
+		t.Errorf("roughness %g -> %g; expected at least a 2x reduction", before, after)
+	}
+}
+
+func TestSORAllPolicies(t *testing.T) {
+	for _, ar := range core.ARSyncs {
+		k := New(Config{N: 34, Iters: 2})
+		res, err := core.Run(core.Options{Mode: core.ModeSlipstream, CMPs: 4, ARSync: ar}, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.VerifyErr != nil {
+			t.Fatalf("%v: %v", ar, res.VerifyErr)
+		}
+	}
+}
+
+func TestBoundaryIsFixed(t *testing.T) {
+	k := &spy{Kernel: New(Config{N: 20, Iters: 3})}
+	res, err := core.Run(core.Options{Mode: core.ModeSingle, CMPs: 2}, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VerifyErr != nil {
+		t.Fatal(res.VerifyErr)
+	}
+	n := k.cfg.N
+	// Boundary cells are never written: both grids still hold the initial
+	// (identical) boundary values.
+	for j := 0; j < n; j++ {
+		if k.grid[0].Get(k.prog, j) != k.grid[1].Get(k.prog, j) {
+			t.Fatalf("top boundary cell %d diverged", j)
+		}
+		if k.grid[0].Get(k.prog, (n-1)*n+j) != k.grid[1].Get(k.prog, (n-1)*n+j) {
+			t.Fatalf("bottom boundary cell %d diverged", j)
+		}
+	}
+}

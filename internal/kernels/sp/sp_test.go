@@ -1,0 +1,186 @@
+package sp
+
+import (
+	"math"
+	"testing"
+
+	"slipstream/internal/core"
+)
+
+// refResidual computes ||b - Au|| for the reference state produced by
+// replaying iters ADI iterations.
+func refResidual(cfg Config, iters int) float64 {
+	k := New(Config{N: cfg.N, Iters: iters})
+	n := k.cfg.N
+	u := make([]float64, n*n*n)
+	b := make([]float64, n*n*n)
+	r := make([]float64, n*n*n)
+	w := make([]float64, n*n*n)
+	initForcing(n, func(i int, v float64) { b[i] = v })
+	idx := func(z, y, x int) int { return (z*n+y)*n + x }
+	cp := cprime(n)
+	stencil := func() {
+		for z := 0; z < n; z++ {
+			for y := 0; y < n; y++ {
+				for x := 0; x < n; x++ {
+					s := 6 * u[idx(z, y, x)]
+					if z > 0 {
+						s -= u[idx(z-1, y, x)]
+					}
+					if z < n-1 {
+						s -= u[idx(z+1, y, x)]
+					}
+					if y > 0 {
+						s -= u[idx(z, y-1, x)]
+					}
+					if y < n-1 {
+						s -= u[idx(z, y+1, x)]
+					}
+					if x > 0 {
+						s -= u[idx(z, y, x-1)]
+					}
+					if x < n-1 {
+						s -= u[idx(z, y, x+1)]
+					}
+					r[idx(z, y, x)] = b[idx(z, y, x)] - s
+				}
+			}
+		}
+	}
+	for it := 0; it < iters; it++ {
+		stencil()
+		for z := 0; z < n; z++ {
+			for y := 0; y < n; y++ {
+				r[idx(z, y, 0)] /= coefB
+				prev := r[idx(z, y, 0)]
+				for x := 1; x < n; x++ {
+					d := (r[idx(z, y, x)] - coefA*prev) / (coefB - coefA*cp[x-1])
+					r[idx(z, y, x)] = d
+					prev = d
+				}
+				for x := n - 2; x >= 0; x-- {
+					r[idx(z, y, x)] -= cp[x] * r[idx(z, y, x+1)]
+				}
+			}
+		}
+		for z := 0; z < n; z++ {
+			for x := 0; x < n; x++ {
+				r[idx(z, 0, x)] /= coefB
+				prev := r[idx(z, 0, x)]
+				for y := 1; y < n; y++ {
+					d := (r[idx(z, y, x)] - coefA*prev) / (coefB - coefA*cp[y-1])
+					r[idx(z, y, x)] = d
+					prev = d
+				}
+				for y := n - 2; y >= 0; y-- {
+					r[idx(z, y, x)] -= cp[y] * r[idx(z, y+1, x)]
+				}
+			}
+		}
+		for z := 0; z < n; z++ {
+			for y := 0; y < n; y++ {
+				for x := 0; x < n; x++ {
+					if z == 0 {
+						w[idx(0, y, x)] = r[idx(0, y, x)] / coefB
+					} else {
+						w[idx(z, y, x)] = (r[idx(z, y, x)] - coefA*w[idx(z-1, y, x)]) / (coefB - coefA*cp[z-1])
+					}
+				}
+			}
+		}
+		for z := n - 1; z >= 0; z-- {
+			for y := 0; y < n; y++ {
+				for x := 0; x < n; x++ {
+					if z < n-1 {
+						w[idx(z, y, x)] -= cp[z] * w[idx(z+1, y, x)]
+					}
+				}
+			}
+		}
+		for i := 0; i < n*n*n; i++ {
+			u[i] += 0.7 * w[i]
+		}
+	}
+	stencil()
+	sum := 0.0
+	for _, v := range r {
+		sum += v * v
+	}
+	return math.Sqrt(sum)
+}
+
+// TestADIConverges proves the ADI iterations reduce the residual of the
+// implicit system.
+func TestADIConverges(t *testing.T) {
+	cfg := Config{N: 12}
+	r1 := refResidual(cfg, 1)
+	r3 := refResidual(cfg, 3)
+	r6 := refResidual(cfg, 6)
+	if !(r3 < r1 && r6 < r3) {
+		t.Fatalf("residual not decreasing: %g, %g, %g", r1, r3, r6)
+	}
+}
+
+// TestThomasSolver: cprime-based solves satisfy the tridiagonal system.
+func TestThomasSolver(t *testing.T) {
+	const m = 17
+	cp := cprime(m)
+	d := make([]float64, m)
+	for i := range d {
+		d[i] = float64((i*7)%5) - 2
+	}
+	x := make([]float64, m)
+	x[0] = d[0] / coefB
+	for i := 1; i < m; i++ {
+		x[i] = (d[i] - coefA*x[i-1]) / (coefB - coefA*cp[i-1])
+	}
+	for i := m - 2; i >= 0; i-- {
+		x[i] -= cp[i] * x[i+1]
+	}
+	// Check A x = d for the tridiagonal A.
+	for i := 0; i < m; i++ {
+		v := coefB * x[i]
+		if i > 0 {
+			v += coefA * x[i-1]
+		}
+		if i < m-1 {
+			v += coefC * x[i+1]
+		}
+		if math.Abs(v-d[i]) > 1e-10 {
+			t.Fatalf("row %d: Ax = %g, want %g", i, v, d[i])
+		}
+	}
+}
+
+// TestWavefrontEventIDsUnique: no two (iter, dir, task, chunk) tuples may
+// collide, or the one-shot events would alias.
+func TestWavefrontEventIDsUnique(t *testing.T) {
+	k := New(Config{N: 8, Iters: 3})
+	seen := make(map[int]bool)
+	for it := 0; it < 3; it++ {
+		for dir := 0; dir < 2; dir++ {
+			for task := 0; task < 64; task++ {
+				for ch := 0; ch < wfChunks; ch++ {
+					id := k.eventID(it, dir, task, ch)
+					if seen[id] {
+						t.Fatalf("event id collision at it=%d dir=%d task=%d ch=%d", it, dir, task, ch)
+					}
+					seen[id] = true
+				}
+			}
+		}
+	}
+}
+
+func TestSPWavefrontAcrossTaskCounts(t *testing.T) {
+	for _, cmps := range []int{1, 2, 5, 8} {
+		k := New(Config{N: 10, Iters: 2})
+		res, err := core.Run(core.Options{Mode: core.ModeSingle, CMPs: cmps}, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.VerifyErr != nil {
+			t.Fatalf("cmps=%d: %v", cmps, res.VerifyErr)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package waterns
+
+import (
+	"math"
+	"testing"
+
+	"slipstream/internal/core"
+)
+
+// spy captures the Program so tests can read final state.
+type spy struct {
+	*Kernel
+	prog *core.Program
+}
+
+func (s *spy) Verify(p *core.Program) error {
+	s.prog = p
+	return s.Kernel.Verify(p)
+}
+
+// TestMomentumConserved: pairwise forces are equal and opposite, so total
+// momentum must be (nearly) constant across the run.
+func TestMomentumConserved(t *testing.T) {
+	k := &spy{Kernel: New(Config{N: 24, Steps: 3})}
+	res, err := core.Run(core.Options{Mode: core.ModeSingle, CMPs: 2}, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VerifyErr != nil {
+		t.Fatal(res.VerifyErr)
+	}
+	// Initial total momentum.
+	n := k.cfg.N
+	var want [3]float64
+	initState(n, func(i int, _, vv float64) { want[i%3] += vv })
+	var got [3]float64
+	for i := 0; i < n; i++ {
+		for d := 0; d < 3; d++ {
+			got[d] += k.vel.Get(k.prog, 3*i+d)
+		}
+	}
+	for d := 0; d < 3; d++ {
+		if math.Abs(got[d]-want[d]) > 1e-9 {
+			t.Errorf("momentum[%d] = %g, want %g", d, got[d], want[d])
+		}
+	}
+}
+
+// TestPairCoverage: the wraparound pairing enumerates each unordered pair
+// exactly once.
+func TestPairCoverage(t *testing.T) {
+	for _, n := range []int{8, 10, 24} {
+		seen := make(map[[2]int]int)
+		for i := 0; i < n; i++ {
+			for d := 1; d <= n/2; d++ {
+				j := (i + d) % n
+				if d == n/2 && i >= j {
+					continue
+				}
+				a, b := i, j
+				if a > b {
+					a, b = b, a
+				}
+				seen[[2]int{a, b}]++
+			}
+		}
+		want := n * (n - 1) / 2
+		if len(seen) != want {
+			t.Fatalf("n=%d: %d distinct pairs, want %d", n, len(seen), want)
+		}
+		for p, c := range seen {
+			if c != 1 {
+				t.Fatalf("n=%d: pair %v visited %d times", n, p, c)
+			}
+		}
+	}
+}
+
+func TestLockTimeAppears(t *testing.T) {
+	k := New(Config{N: 24, Steps: 2})
+	res, err := core.Run(core.Options{Mode: core.ModeSingle, CMPs: 4}, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lock int64
+	for _, bd := range res.Tasks {
+		lock += bd.Lock
+	}
+	if lock == 0 {
+		t.Error("Water-NS recorded no lock wait time")
+	}
+}
+
+func TestEvenMoleculeCount(t *testing.T) {
+	if k := New(Config{N: 9}); k.cfg.N%2 != 0 {
+		t.Errorf("odd molecule count %d accepted", k.cfg.N)
+	}
+}

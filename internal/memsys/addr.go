@@ -1,0 +1,68 @@
+// Package memsys models the memory system of a CMP-based DSM
+// multiprocessor: per-processor L1 caches, a shared L2 per CMP node, an
+// invalidate-based fully-mapped directory protocol, and a fixed-delay
+// interconnect with contention at the directory controllers and network
+// interface ports. Latency parameters follow Table 1 of the paper
+// (approximating the SGI Origin 3000 memory system).
+//
+// The package performs combined functional and timing simulation: every
+// simulated word lives in a flat shared address space (Mem), and every
+// access both moves data and advances simulated time through the cache
+// hierarchy and protocol.
+package memsys
+
+import "math"
+
+// Addr is a byte address in the simulated shared address space.
+type Addr uint64
+
+// WordSize is the size in bytes of a simulated word.
+const WordSize = 8
+
+// Line returns the line-aligned address containing a, for the given line
+// size (a power of two).
+func (a Addr) Line(lineSize int) Addr {
+	return a &^ Addr(lineSize-1)
+}
+
+// Mem is the flat functional store backing the simulated shared address
+// space. Words are 8 bytes; allocation only grows. The zero value is an
+// empty memory ready to use.
+type Mem struct {
+	words    []uint64
+	lineSize int
+}
+
+// NewMem returns a memory that aligns allocations to lineSize bytes.
+func NewMem(lineSize int) *Mem {
+	return &Mem{lineSize: lineSize}
+}
+
+// Alloc reserves nWords 8-byte words, line-aligned, and returns the base
+// address of the region. Successive regions never share a cache line, so
+// false sharing only arises within a region (as in the original codes,
+// where each array is page-aligned).
+func (m *Mem) Alloc(nWords int) Addr {
+	base := Addr(len(m.words) * WordSize)
+	wordsPerLine := m.lineSize / WordSize
+	n := (nWords + wordsPerLine - 1) / wordsPerLine * wordsPerLine
+	m.words = append(m.words, make([]uint64, n)...)
+	return base
+}
+
+// Size returns the allocated size in bytes.
+func (m *Mem) Size() int64 { return int64(len(m.words)) * WordSize }
+
+func (m *Mem) index(a Addr) int { return int(a / WordSize) }
+
+// LoadF reads the float64 at address a.
+func (m *Mem) LoadF(a Addr) float64 { return math.Float64frombits(m.words[m.index(a)]) }
+
+// StoreF writes the float64 v at address a.
+func (m *Mem) StoreF(a Addr, v float64) { m.words[m.index(a)] = math.Float64bits(v) }
+
+// LoadI reads the int64 at address a.
+func (m *Mem) LoadI(a Addr) int64 { return int64(m.words[m.index(a)]) }
+
+// StoreI writes the int64 v at address a.
+func (m *Mem) StoreI(a Addr, v int64) { m.words[m.index(a)] = uint64(v) }

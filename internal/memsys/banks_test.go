@@ -1,0 +1,116 @@
+package memsys
+
+import (
+	"testing"
+
+	"slipstream/internal/sim"
+)
+
+// TestBankedUnloadedLatenciesUnchanged: directory-controller banking is a
+// contention knob only — unloaded miss paths must match the single-queue
+// machine exactly.
+func TestBankedUnloadedLatenciesUnchanged(t *testing.T) {
+	for _, banks := range []int{1, 2, 4, 16} {
+		eng := sim.NewEngine()
+		p := DefaultParams(4)
+		p.DCBanks = banks
+		s, err := NewSystem(eng, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cpu := s.Nodes[0].CPUs[0]
+		local := addrHomedAt(s, 0)
+		remote := addrHomedAt(s, 2)
+		if d := read(s, cpu, local, 0); d != p.L1Hit+p.L2Hit+170 {
+			t.Errorf("banks=%d: local miss = %d", banks, d)
+		}
+		if d := read(s, cpu, remote, 100000); d != 100000+p.L1Hit+p.L2Hit+290 {
+			t.Errorf("banks=%d: remote miss = %d", banks, d)
+		}
+	}
+}
+
+// TestBankSelectionIsByLine: different lines map across banks; the same
+// line always hits the same bank (occupancy accumulates there).
+func TestBankSelectionIsByLine(t *testing.T) {
+	eng := sim.NewEngine()
+	p := DefaultParams(2)
+	p.DCBanks = 4
+	s, err := NewSystem(eng, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := s.Nodes[0]
+	a := Addr(0)
+	b := a + Addr(p.LineSize) // adjacent line: different bank
+	if n.DC(a) == n.DC(b) {
+		t.Error("adjacent lines share a bank under 4-way banking")
+	}
+	if n.DC(a) != n.DC(a+8) {
+		t.Error("words of one line map to different banks")
+	}
+	if n.DC(a) != n.DC(a+Addr(4*p.LineSize)) {
+		t.Error("bank interleaving does not wrap at the bank count")
+	}
+}
+
+// TestBankingRelievesContention: two same-time local misses to lines in
+// different banks must not queue behind each other.
+func TestBankingRelievesContention(t *testing.T) {
+	run := func(banks int) (int64, int64) {
+		eng := sim.NewEngine()
+		p := DefaultParams(2)
+		p.DCBanks = banks
+		s, err := NewSystem(eng, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := s.Nodes[0]
+		// Two lines homed at node 0, adjacent (different banks when
+		// banked).
+		var lines []Addr
+		for a := Addr(0); len(lines) < 2; a += Addr(p.LineSize) {
+			if s.Home(a).ID == 0 {
+				lines = append(lines, a)
+			}
+		}
+		d0 := read(s, n.CPUs[0], lines[0], 0)
+		d1 := read(s, n.CPUs[1], lines[1], 0)
+		return d0, d1
+	}
+	_, queued := run(1)
+	_, parallel := run(4)
+	if parallel >= queued {
+		t.Errorf("banked second miss (%d) not faster than single-queue (%d)", parallel, queued)
+	}
+}
+
+func TestDCBanksValidation(t *testing.T) {
+	p := DefaultParams(4)
+	p.DCBanks = 0
+	if err := p.Validate(); err == nil {
+		t.Error("DCBanks=0 accepted")
+	}
+	p.DCBanks = 17
+	if err := p.Validate(); err == nil {
+		t.Error("DCBanks=17 accepted")
+	}
+}
+
+// TestDCStats aggregates across banks.
+func TestDCStats(t *testing.T) {
+	eng := sim.NewEngine()
+	p := DefaultParams(2)
+	p.DCBanks = 4
+	s, err := NewSystem(eng, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := s.Nodes[0]
+	a := addrHomedAt(s, 0)
+	read(s, n.CPUs[0], a, 0)
+	busy, uses := n.DCStats()
+	if busy == 0 || uses == 0 {
+		t.Fatalf("DCStats = %d busy, %d uses", busy, uses)
+	}
+}

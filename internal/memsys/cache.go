@@ -1,0 +1,181 @@
+package memsys
+
+// LineState is the coherence state of a cached line. The model merges the
+// usual E and M states: Exclusive means this cache holds the only copy and
+// may write it (a dirty copy that must be written back when displaced).
+type LineState uint8
+
+// Line states.
+const (
+	Invalid LineState = iota
+	Shared
+	Exclusive
+)
+
+func (s LineState) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	}
+	return "?"
+}
+
+// Role identifies which slipstream stream issued an access. In single and
+// double modes all accesses are RoleNone.
+type Role uint8
+
+// Stream roles.
+const (
+	RoleNone Role = iota
+	RoleR         // the full (redundant) task
+	RoleA         // the reduced (advanced) task
+)
+
+func (r Role) String() string {
+	switch r {
+	case RoleR:
+		return "R"
+	case RoleA:
+		return "A"
+	}
+	return "-"
+}
+
+// reqRec is an open classification record for one directory request on a
+// line (see stats.ReqClass). It is closed and counted when the line's
+// residency ends.
+type reqRec struct {
+	role       Role
+	excl       bool
+	fillDone   int64
+	compDuring bool // companion stream touched while the fill was in flight
+	compAfter  bool // companion stream touched after the fill completed
+}
+
+// Line is one cache line's metadata. Data is not stored here; all values
+// live in the flat functional memory.
+type Line struct {
+	Addr  Addr // line-aligned address, meaningful when State != Invalid
+	State LineState
+
+	// Transparent marks an L2 line filled by a transparent reply: a
+	// non-coherent copy visible only to the A-stream.
+	Transparent bool
+
+	// SIMark is set when the directory sent this (exclusively owned) line
+	// a self-invalidation hint; the line is processed at the R-stream's
+	// next synchronization point.
+	SIMark bool
+
+	// WrittenInCS records that a store touched the line from inside a
+	// critical section; SI then treats the line as migratory and fully
+	// invalidates it rather than downgrading.
+	WrittenInCS bool
+
+	// FillDone is the simulated time the most recent fill completes.
+	// Accesses arriving earlier merge with the outstanding fill.
+	FillDone int64
+
+	lru  int64
+	recs []reqRec
+}
+
+// Cache is a set-associative cache with LRU replacement. It stores tags
+// and coherence metadata only.
+type Cache struct {
+	sets     [][]Line
+	lineSize int
+	nsets    int
+	clock    int64
+}
+
+// NewCache returns a cache of the given total size in bytes, associativity,
+// and line size.
+func NewCache(size, assoc, lineSize int) *Cache {
+	nsets := size / (assoc * lineSize)
+	if nsets < 1 {
+		nsets = 1
+	}
+	c := &Cache{lineSize: lineSize, nsets: nsets}
+	c.sets = make([][]Line, nsets)
+	ways := make([]Line, nsets*assoc)
+	for i := range c.sets {
+		c.sets[i], ways = ways[:assoc:assoc], ways[assoc:]
+	}
+	return c
+}
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.nsets }
+
+// Assoc returns the associativity.
+func (c *Cache) Assoc() int { return len(c.sets[0]) }
+
+func (c *Cache) set(line Addr) []Line {
+	return c.sets[int(line/Addr(c.lineSize))%c.nsets]
+}
+
+// Lookup returns the valid line holding the line-aligned address, or nil.
+func (c *Cache) Lookup(line Addr) *Line {
+	set := c.set(line)
+	for i := range set {
+		if set[i].State != Invalid && set[i].Addr == line {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Touch updates LRU state for a line that was just accessed.
+func (c *Cache) Touch(l *Line) {
+	c.clock++
+	l.lru = c.clock
+}
+
+// Victim returns the frame to fill for the given line address: an invalid
+// way if one exists, otherwise the least recently used valid line (which
+// the caller must evict before reuse).
+func (c *Cache) Victim(line Addr) *Line {
+	set := c.set(line)
+	var lru *Line
+	for i := range set {
+		if set[i].State == Invalid {
+			return &set[i]
+		}
+		if lru == nil || set[i].lru < lru.lru {
+			lru = &set[i]
+		}
+	}
+	return lru
+}
+
+// Reset invalidates every line and clears metadata (used when a cache is
+// reused across runs).
+func (c *Cache) Reset() {
+	for _, set := range c.sets {
+		for i := range set {
+			set[i] = Line{}
+		}
+	}
+	c.clock = 0
+}
+
+// ForEachValid calls fn for every valid line.
+func (c *Cache) ForEachValid(fn func(*Line)) {
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].State != Invalid {
+				fn(&set[i])
+			}
+		}
+	}
+}
+
+// clearLine resets a frame to Invalid, preserving nothing.
+func clearLine(l *Line) {
+	*l = Line{lru: l.lru}
+}

@@ -1,0 +1,93 @@
+package memsys
+
+// DirState is the coherence state of a line at its home directory.
+type DirState uint8
+
+// Directory states.
+const (
+	DirIdle      DirState = iota // memory holds the only copy
+	DirShared                    // one or more nodes hold read-only copies
+	DirExclusive                 // exactly one node owns a writable copy
+)
+
+func (s DirState) String() string {
+	switch s {
+	case DirIdle:
+		return "Idle"
+	case DirShared:
+		return "Shared"
+	case DirExclusive:
+		return "Exclusive"
+	}
+	return "?"
+}
+
+// DirEntry is the fully-mapped directory state for one line: a presence
+// bitmask of sharers, the exclusive owner, and the future-sharer bitmask
+// fed by transparent loads (Section 4 of the paper).
+type DirEntry struct {
+	State   DirState
+	Sharers uint64 // bitmask over nodes
+	Owner   int    // valid when State == DirExclusive
+	Future  uint64 // future-sharer bitmask (set by transparent loads)
+}
+
+// HasSharer reports whether node n is in the sharer list.
+func (e *DirEntry) HasSharer(n int) bool { return e.Sharers&(1<<uint(n)) != 0 }
+
+// AddSharer inserts node n into the sharer list.
+func (e *DirEntry) AddSharer(n int) { e.Sharers |= 1 << uint(n) }
+
+// RemoveSharer removes node n from the sharer list.
+func (e *DirEntry) RemoveSharer(n int) { e.Sharers &^= 1 << uint(n) }
+
+// SharerCount returns the number of sharers.
+func (e *DirEntry) SharerCount() int {
+	n := 0
+	for m := e.Sharers; m != 0; m &= m - 1 {
+		n++
+	}
+	return n
+}
+
+// HasFuture reports whether node n is marked as a future sharer.
+func (e *DirEntry) HasFuture(n int) bool { return e.Future&(1<<uint(n)) != 0 }
+
+// AddFuture marks node n as a future sharer.
+func (e *DirEntry) AddFuture(n int) { e.Future |= 1 << uint(n) }
+
+// ClearFuture removes node n from the future-sharer list.
+func (e *DirEntry) ClearFuture(n int) { e.Future &^= 1 << uint(n) }
+
+// Directory holds the home-node directory entries for the lines homed at
+// one node. Entries are created on demand in the Idle state.
+type Directory struct {
+	entries map[Addr]*DirEntry
+}
+
+// NewDirectory returns an empty directory.
+func NewDirectory() *Directory {
+	return &Directory{entries: make(map[Addr]*DirEntry)}
+}
+
+// Entry returns the entry for a line-aligned address, creating an Idle
+// entry if none exists.
+func (d *Directory) Entry(line Addr) *DirEntry {
+	e := d.entries[line]
+	if e == nil {
+		e = &DirEntry{}
+		d.entries[line] = e
+	}
+	return e
+}
+
+// Peek returns the entry if present, without creating one.
+func (d *Directory) Peek(line Addr) *DirEntry { return d.entries[line] }
+
+// ForEach calls fn for every entry (iteration order is unspecified; callers
+// must not let it influence simulation outcomes).
+func (d *Directory) ForEach(fn func(Addr, *DirEntry)) {
+	for a, e := range d.entries {
+		fn(a, e)
+	}
+}

@@ -1,0 +1,136 @@
+package memsys
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"slipstream/internal/sim"
+)
+
+// Property: L1 inclusion — every valid L1 line is backed by a valid L2
+// line on the same node, and an Exclusive L1 line implies an Exclusive L2
+// line.
+func TestL1InclusionProperty(t *testing.T) {
+	f := func(seed int64, steps uint8) bool {
+		eng := sim.NewEngine()
+		p := DefaultParams(4)
+		p.L2Size = p.LineSize * p.L2Assoc * 4 // small L2 to force evictions
+		s, err := NewSystem(eng, p)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		now := int64(0)
+		for i := 0; i < int(steps)*4; i++ {
+			node := s.Nodes[rng.Intn(4)]
+			cpu := node.CPUs[rng.Intn(2)]
+			a := Addr(rng.Intn(40)) * Addr(p.LineSize)
+			kind := Read
+			if rng.Intn(3) == 0 {
+				kind = Write
+			}
+			now = s.Access(Req{CPU: cpu, Kind: kind, Addr: a, Role: RoleR}, now)
+		}
+		for _, node := range s.Nodes {
+			for _, cpu := range node.CPUs {
+				ok := true
+				cpu.L1.ForEachValid(func(l1 *Line) {
+					l2 := node.L2.Lookup(l1.Addr)
+					if l2 == nil || l2.State == Invalid {
+						ok = false
+						return
+					}
+					if l1.State == Exclusive && l2.State != Exclusive {
+						ok = false
+					}
+				})
+				if !ok {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNIPortQueuing: back-to-back remote misses from one node must show
+// queuing delay at the network-interface ports beyond the unloaded path.
+func TestDCQueuingUnderBurst(t *testing.T) {
+	s, _ := newSys(t, 4)
+	// All four nodes fire a remote miss to node 3's memory simultaneously.
+	var lines []Addr
+	for a, found := Addr(0), 0; found < 3; a += Addr(s.P.LineSize) {
+		if s.Home(a).ID == 3 {
+			lines = append(lines, a)
+			found++
+		}
+	}
+	d0 := read(s, s.Nodes[0].CPUs[0], lines[0], 0)
+	d1 := read(s, s.Nodes[1].CPUs[0], lines[1], 0)
+	d2 := read(s, s.Nodes[2].CPUs[0], lines[2], 0)
+	base := s.P.L1Hit + s.P.L2Hit + s.P.RemoteMissLatency()
+	if d0 != base {
+		t.Fatalf("first miss = %d, want unloaded %d", d0, base)
+	}
+	// Later arrivals queue behind the first at node 3's DC.
+	if d1 <= d0 || d2 <= d1 {
+		t.Fatalf("no DC queuing visible: %d, %d, %d", d0, d1, d2)
+	}
+	if d2-d0 < 2*s.P.NILocalDCTime {
+		t.Fatalf("queuing too small: %d-%d", d0, d2)
+	}
+}
+
+// TestUpgradeDuringOutstandingFill: a write arriving while the same
+// node's read fill is still in flight must wait for the fill, then
+// upgrade.
+func TestUpgradeDuringOutstandingFill(t *testing.T) {
+	s, _ := newSys(t, 4)
+	n := s.Nodes[0]
+	a := addrHomedAt(s, 2)
+	dRead := read(s, n.CPUs[0], a, 0)
+	dWrite := write(s, n.CPUs[1], a, 5)
+	if dWrite <= dRead {
+		t.Fatalf("write (%d) finished before the read fill (%d)", dWrite, dRead)
+	}
+	e := s.Home(a).Dir.Entry(a.Line(s.P.LineSize))
+	if e.State != DirExclusive || e.Owner != 0 {
+		t.Fatalf("after upgrade: %v owner %d", e.State, e.Owner)
+	}
+}
+
+// TestPushL1 covers the Section 6 forwarding mechanism's memory-system
+// half directly.
+func TestPushL1(t *testing.T) {
+	s, _ := newSys(t, 2)
+	n := s.Nodes[0]
+	a := addrHomedAt(s, 0)
+
+	// Nothing to push before the line is in L2.
+	if s.PushL1(n.CPUs[0], a, 0) {
+		t.Fatal("pushed a line absent from L2")
+	}
+	done := read(s, n.CPUs[1], a, 0) // fills L2 (+ CPU1's L1)
+	// Push into CPU0's L1 only after the fill completes.
+	if s.PushL1(n.CPUs[0], a, done-1) {
+		t.Fatal("pushed while fill outstanding")
+	}
+	if !s.PushL1(n.CPUs[0], a, done+10) {
+		t.Fatal("push failed on a resident line")
+	}
+	if s.PushL1(n.CPUs[0], a, done+20) {
+		t.Fatal("pushed a line already in L1")
+	}
+	// The pushed line gives CPU0 an L1 hit.
+	d := read(s, n.CPUs[0], a, done+100)
+	if d != done+100+s.P.L1Hit {
+		t.Fatalf("post-push read = %d, want L1 hit", d)
+	}
+	if s.MS.L1Pushes != 1 {
+		t.Fatalf("L1Pushes = %d", s.MS.L1Pushes)
+	}
+}

@@ -1,0 +1,170 @@
+package memsys
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"slipstream/internal/sim"
+)
+
+// Property: under arbitrary mixed traffic — normal reads/writes from
+// R-streams, transparent reads and exclusive prefetches from A-streams,
+// self-invalidation processing — the directory and caches stay mutually
+// consistent and no invariant breaks (the protocol paths must not panic
+// and the coherent-state invariant must hold; transparent copies are
+// exempt from it by design).
+func TestMixedTrafficConsistencyProperty(t *testing.T) {
+	f := func(seed int64, steps uint8) bool {
+		eng := sim.NewEngine()
+		s, err := NewSystem(eng, DefaultParams(4))
+		if err != nil {
+			return false
+		}
+		s.Classify = true
+		rng := rand.New(rand.NewSource(seed))
+		now := int64(0)
+		for i := 0; i < int(steps)*4; i++ {
+			node := s.Nodes[rng.Intn(4)]
+			a := Addr(rng.Intn(24)) * Addr(s.P.LineSize)
+			switch rng.Intn(6) {
+			case 0, 1:
+				now = s.Access(Req{CPU: node.CPUs[0], Kind: Read, Addr: a, Role: RoleR}, now)
+			case 2:
+				now = s.Access(Req{CPU: node.CPUs[0], Kind: Write, Addr: a, Role: RoleR}, now)
+			case 3:
+				now = s.Access(Req{CPU: node.CPUs[1], Kind: Read, Addr: a, Role: RoleA, Transparent: rng.Intn(2) == 0}, now)
+			case 4:
+				now = s.Access(Req{CPU: node.CPUs[1], Kind: PrefetchExcl, Addr: a, Role: RoleA}, now)
+			case 5:
+				s.ProcessSI(node, now)
+			}
+			// Let asynchronous events (SI hints, deferred invalidations)
+			// settle periodically.
+			if i%8 == 7 {
+				eng.RunUntil(now)
+			}
+		}
+		eng.Run()
+		s.Finalize()
+
+		ok := true
+		for _, home := range s.Nodes {
+			home.Dir.ForEach(func(line Addr, e *DirEntry) {
+				switch e.State {
+				case DirExclusive:
+					l := s.Nodes[e.Owner].L2.Lookup(line)
+					if l == nil || l.State != Exclusive || l.Transparent {
+						ok = false
+					}
+					for _, n := range s.Nodes {
+						if n.ID != e.Owner {
+							if l := n.L2.Lookup(line); l != nil && !l.Transparent {
+								ok = false
+							}
+						}
+					}
+				case DirShared:
+					if e.Sharers == 0 {
+						ok = false
+					}
+					for m, id := e.Sharers, 0; m != 0; m, id = m>>1, id+1 {
+						if m&1 == 0 {
+							continue
+						}
+						l := s.Nodes[id].L2.Lookup(line)
+						if l == nil || l.State != Shared || l.Transparent {
+							ok = false
+						}
+					}
+				}
+				// Future sharers are always a subset of existing nodes.
+				if e.Future>>(uint(len(s.Nodes))) != 0 {
+					ok = false
+				}
+			})
+		}
+		// Classification totals must be internally consistent: every
+		// closed record landed in exactly one class.
+		if s.Req.TotalReads() < 0 || s.Req.TotalExclusives() < 0 {
+			ok = false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEvictionOfSIMarkedLine: a line marked for self-invalidation that is
+// evicted before the sync point must not corrupt the deferred SI action.
+func TestEvictionOfSIMarkedLine(t *testing.T) {
+	eng := sim.NewEngine()
+	p := DefaultParams(2)
+	p.L2Size = p.LineSize * p.L2Assoc // single set
+	s, err := NewSystem(eng, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := s.Nodes[0]
+	line := addrHomedAt(s, 1)
+	write(s, owner.CPUs[0], line, 0)
+	tread(s, s.Nodes[1].CPUs[1], line, 1000)
+	eng.Run() // hint delivered, line marked
+
+	// Evict the marked line by sweeping the set.
+	now := int64(2000)
+	for i := 1; i <= p.L2Assoc; i++ {
+		now = write(s, owner.CPUs[0], line+Addr(i*p.LineSize), now)
+	}
+	if owner.L2.Lookup(line) != nil {
+		t.Fatal("line not evicted")
+	}
+	// The pending SI action must be a no-op, not a crash or a bogus
+	// directory transition.
+	s.ProcessSI(owner, now)
+	eng.Run()
+	e := s.Home(line).Dir.Entry(line)
+	if e.State != DirIdle {
+		t.Fatalf("directory state = %v, want Idle after eviction writeback", e.State)
+	}
+	if s.SIst.Invalidated != 0 && s.SIst.WrittenBack != 0 {
+		// Neither action may be double-counted for the evicted line.
+		t.Fatalf("SI acted on an evicted line: %+v", s.SIst)
+	}
+}
+
+// TestTransparentLoadFromOwnHomeNode: an A-stream transparent load whose
+// home is the requester's own node still works (local path).
+func TestTransparentLoadFromOwnHomeNode(t *testing.T) {
+	s, eng := newSys(t, 4)
+	line := addrHomedAt(s, 1) // homed at the requester's node
+	write(s, s.Nodes[0].CPUs[0], line, 0)
+	d := tread(s, s.Nodes[1].CPUs[1], line, 1000)
+	if d-1000 > s.P.L1Hit+s.P.L2Hit+s.P.L2Occ+s.P.LocalMissLatency() {
+		t.Errorf("local transparent load too slow: %d cycles", d-1000)
+	}
+	eng.Run()
+	if l := s.Nodes[0].L2.Lookup(line); l == nil || !l.SIMark {
+		t.Fatal("owner not marked via local hint")
+	}
+}
+
+// TestWriteToOwnTransparentCopy: a processor's write to a line its node
+// holds only transparently must refetch coherently.
+func TestWriteToOwnTransparentCopy(t *testing.T) {
+	s, _ := newSys(t, 4)
+	line := addrHomedAt(s, 2)
+	write(s, s.Nodes[0].CPUs[0], line, 0)
+	tread(s, s.Nodes[1].CPUs[1], line, 1000)
+	// R-stream of node 1 writes the line: transparent copy is unusable.
+	s.Access(Req{CPU: s.Nodes[1].CPUs[0], Kind: Write, Addr: line, Role: RoleR}, 5000)
+	e := s.Home(line).Dir.Entry(line)
+	if e.State != DirExclusive || e.Owner != 1 {
+		t.Fatalf("after write: state=%v owner=%d", e.State, e.Owner)
+	}
+	l := s.Nodes[1].L2.Lookup(line)
+	if l == nil || l.Transparent || l.State != Exclusive {
+		t.Fatalf("line after write over transparent copy: %+v", l)
+	}
+}

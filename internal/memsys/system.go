@@ -1,0 +1,214 @@
+package memsys
+
+import (
+	"fmt"
+
+	"slipstream/internal/sim"
+	"slipstream/internal/stats"
+)
+
+// CPU is one processor of a CMP node, with its private L1 data cache.
+type CPU struct {
+	ID   int // global processor id: node*2 + slot
+	Slot int // 0 or 1 within the node
+	Node *Node
+	L1   *Cache
+}
+
+// Node is one CMP: two processors, a shared unified L2, the node's slice of
+// the directory, its network-interface ports, and its directory controller.
+type Node struct {
+	ID   int
+	sys  *System
+	CPUs [2]*CPU
+	L2   *Cache
+	Dir  *Directory
+
+	L2Port sim.Resource // shared L2 port: the two processors contend here
+	NIIn   sim.Resource // network interface, incoming messages
+	NIOut  sim.Resource // network interface, outgoing messages
+
+	// dcBanks are the directory/memory-controller occupancy banks,
+	// interleaved by line address (Params.DCBanks; 1 = Table 1's single
+	// occupancy).
+	dcBanks []sim.Resource
+
+	siList []Addr // lines with pending self-invalidation hints
+
+	// Window accumulates this node's classified A-stream read requests
+	// since the last WindowReset. The adaptive A-R synchronization
+	// controller (Section 6 of the paper: varying the scheme dynamically)
+	// reads and resets it at session boundaries.
+	Window ClassWindow
+}
+
+// DC returns the directory-controller bank serving the given line (with
+// one bank, the node's single Table 1 occupancy).
+func (n *Node) DC(line Addr) *sim.Resource {
+	if len(n.dcBanks) == 1 {
+		return &n.dcBanks[0]
+	}
+	return &n.dcBanks[int(line/Addr(n.sys.P.LineSize))%len(n.dcBanks)]
+}
+
+// DCStats sums busy cycles and uses across the node's DC banks.
+func (n *Node) DCStats() (busy, uses int64) {
+	for i := range n.dcBanks {
+		busy += n.dcBanks[i].BusyCycles()
+		uses += n.dcBanks[i].Uses()
+	}
+	return busy, uses
+}
+
+// ClassWindow counts a node's recently classified A-stream read requests.
+type ClassWindow struct {
+	ATimely int64
+	ALate   int64
+	AOnly   int64
+}
+
+// Total returns the number of classified A-stream reads in the window.
+func (w *ClassWindow) Total() int64 { return w.ATimely + w.ALate + w.AOnly }
+
+// WindowReset clears the node's classification window.
+func (n *Node) WindowReset() { n.Window = ClassWindow{} }
+
+// System is the whole machine: nodes, the interconnect parameters, the flat
+// functional memory, and the measurement sinks.
+type System struct {
+	P   Params
+	Eng *sim.Engine
+	Mem *Mem
+
+	Nodes []*Node
+
+	// Classify enables request classification (Figure 7). It is turned on
+	// for slipstream-mode runs, where accesses carry stream roles.
+	Classify bool
+
+	MS   stats.MemStats
+	Req  stats.ReqBreakdown
+	TL   stats.TLStats
+	SIst stats.SIStats
+}
+
+// NewSystem builds a machine from the given parameters.
+func NewSystem(eng *sim.Engine, p Params) (*System, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	s := &System{P: p, Eng: eng, Mem: NewMem(p.LineSize)}
+	s.Nodes = make([]*Node, p.Nodes)
+	for i := range s.Nodes {
+		n := &Node{
+			ID:      i,
+			sys:     s,
+			L2:      NewCache(p.L2Size, p.L2Assoc, p.LineSize),
+			Dir:     NewDirectory(),
+			dcBanks: make([]sim.Resource, p.DCBanks),
+		}
+		for slot := 0; slot < 2; slot++ {
+			n.CPUs[slot] = &CPU{
+				ID:   i*2 + slot,
+				Slot: slot,
+				Node: n,
+				L1:   NewCache(p.L1Size, p.L1Assoc, p.LineSize),
+			}
+		}
+		s.Nodes[i] = n
+	}
+	return s, nil
+}
+
+// CPUByID returns the processor with the given global id.
+func (s *System) CPUByID(id int) *CPU {
+	return s.Nodes[id/2].CPUs[id%2]
+}
+
+// Home returns the home node of a line-aligned address. Lines are
+// interleaved round-robin across nodes.
+func (s *System) Home(line Addr) *Node {
+	return s.Nodes[int(line/Addr(s.P.LineSize))%len(s.Nodes)]
+}
+
+// Finalize closes all open classification records (end of run counts as the
+// end of every line's residency).
+func (s *System) Finalize() {
+	for _, n := range s.Nodes {
+		n := n
+		n.L2.ForEachValid(func(l *Line) { s.closeRecs(n, l) })
+	}
+}
+
+// String summarizes the configuration.
+func (s *System) String() string {
+	return fmt.Sprintf("memsys: %d CMP nodes, L1 %dKB/%d-way, L2 %dKB/%d-way, line %dB",
+		s.P.Nodes, s.P.L1Size>>10, s.P.L1Assoc, s.P.L2Size>>10, s.P.L2Assoc, s.P.LineSize)
+}
+
+// --- classification bookkeeping (Figure 7) ---
+
+// addRec opens a classification record on an L2 line for a request that
+// reached the directory.
+func (s *System) addRec(l *Line, role Role, excl bool, fillDone int64) {
+	if !s.Classify || role == RoleNone {
+		return
+	}
+	l.recs = append(l.recs, reqRec{role: role, excl: excl, fillDone: fillDone})
+}
+
+// recordTouch notes that the given stream referenced the line at time t,
+// updating open records of the companion stream.
+func (s *System) recordTouch(l *Line, role Role, t int64) {
+	if !s.Classify || role == RoleNone {
+		return
+	}
+	for i := range l.recs {
+		r := &l.recs[i]
+		if r.role == role {
+			continue
+		}
+		if t < r.fillDone {
+			r.compDuring = true
+		} else {
+			r.compAfter = true
+		}
+	}
+}
+
+// closeRecs classifies and drops all open records on a line. Called when
+// the line's residency at node ends (eviction, invalidation, or end of
+// run). A-stream read outcomes also feed the node's adaptive window.
+func (s *System) closeRecs(node *Node, l *Line) {
+	for _, r := range l.recs {
+		var c stats.ReqClass
+		switch {
+		case r.role == RoleA && r.compDuring:
+			c = stats.ALate
+		case r.role == RoleA && r.compAfter:
+			c = stats.ATimely
+		case r.role == RoleA:
+			c = stats.AOnly
+		case r.compDuring:
+			c = stats.RLate
+		case r.compAfter:
+			c = stats.RTimely
+		default:
+			c = stats.ROnly
+		}
+		if r.excl {
+			s.Req.AddExclusive(c)
+		} else {
+			s.Req.AddRead(c)
+			switch c {
+			case stats.ATimely:
+				node.Window.ATimely++
+			case stats.ALate:
+				node.Window.ALate++
+			case stats.AOnly:
+				node.Window.AOnly++
+			}
+		}
+	}
+	l.recs = nil
+}

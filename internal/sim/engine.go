@@ -1,0 +1,115 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine maintains a virtual clock and an event queue ordered by
+// (time, insertion sequence). Simulated processes (Proc) are goroutines
+// driven by strict handoff: exactly one goroutine — either the event loop
+// or a single process — executes at any moment, so simulations are fully
+// deterministic and free of data races without locks.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Engine is a discrete-event simulator. The zero value is not usable; use
+// NewEngine.
+type Engine struct {
+	now    int64
+	seq    uint64
+	events eventHeap
+	yield  chan struct{}
+	procs  []*Proc
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{yield: make(chan struct{})}
+}
+
+// Now returns the current simulated time in cycles.
+func (e *Engine) Now() int64 { return e.now }
+
+// At schedules fn to run at absolute time t. Scheduling in the past is an
+// error that indicates a model bug, so it panics.
+func (e *Engine) At(t int64, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: event scheduled in the past: %d < now %d", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d cycles from now.
+func (e *Engine) After(d int64, fn func()) { e.At(e.now+d, fn) }
+
+// Step executes the next pending event, advancing the clock. It reports
+// whether an event was executed.
+func (e *Engine) Step() bool {
+	if e.events.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(event)
+	e.now = ev.at
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue is empty.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with time <= deadline. It reports whether the
+// queue drained (true) or the deadline was hit with events pending (false).
+func (e *Engine) RunUntil(deadline int64) bool {
+	for e.events.Len() > 0 {
+		if e.events[0].at > deadline {
+			return false
+		}
+		e.Step()
+	}
+	return true
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return e.events.Len() }
+
+// Blocked returns the processes that have neither finished nor been killed
+// but are parked with no pending wake event. A non-empty result after Run
+// indicates simulated deadlock.
+func (e *Engine) Blocked() []*Proc {
+	var b []*Proc
+	for _, p := range e.procs {
+		if !p.done && p.parked {
+			b = append(b, p)
+		}
+	}
+	return b
+}
+
+type event struct {
+	at  int64
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,173 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.At(30, func() { got = append(got, 3) })
+	e.At(10, func() { got = append(got, 1) })
+	e.At(20, func() { got = append(got, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 30 {
+		t.Fatalf("Now = %d, want 30", e.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.At(5, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-time events not FIFO at %d: %v", i, got[:i+1])
+		}
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(5, func() {})
+	})
+	e.Run()
+}
+
+func TestAfterAndNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var times []int64
+	e.After(10, func() {
+		times = append(times, e.Now())
+		e.After(15, func() { times = append(times, e.Now()) })
+	})
+	e.Run()
+	if len(times) != 2 || times[0] != 10 || times[1] != 25 {
+		t.Fatalf("times = %v, want [10 25]", times)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	e.At(10, func() { ran++ })
+	e.At(20, func() { ran++ })
+	e.At(30, func() { ran++ })
+	if e.RunUntil(20) {
+		t.Fatal("RunUntil(20) reported drained with event at 30 pending")
+	}
+	if ran != 2 {
+		t.Fatalf("ran = %d, want 2", ran)
+	}
+	if !e.RunUntil(100) {
+		t.Fatal("RunUntil(100) should drain")
+	}
+	if ran != 3 {
+		t.Fatalf("ran = %d, want 3", ran)
+	}
+}
+
+// Property: events always fire in nondecreasing time order regardless of
+// insertion order.
+func TestTimeMonotonicityProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine()
+		var fired []int64
+		for _, d := range delays {
+			at := int64(d)
+			e.At(at, func() { fired = append(fired, at) })
+		}
+		e.Run()
+		if len(fired) != len(delays) {
+			return false
+		}
+		if !sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] }) {
+			return false
+		}
+		// The multiset of fire times must equal the multiset scheduled.
+		want := make([]int64, len(delays))
+		for i, d := range delays {
+			want[i] = int64(d)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range want {
+			if fired[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResourceQueuing(t *testing.T) {
+	var r Resource
+	// Three back-to-back requests of 10 cycles arriving at time 0, 0, 5.
+	if s := r.Acquire(0, 10); s != 0 {
+		t.Fatalf("first start = %d, want 0", s)
+	}
+	if s := r.Acquire(0, 10); s != 10 {
+		t.Fatalf("second start = %d, want 10", s)
+	}
+	if s := r.Acquire(5, 10); s != 20 {
+		t.Fatalf("third start = %d, want 20", s)
+	}
+	// After the backlog drains, a late arrival is served immediately.
+	if s := r.Acquire(100, 10); s != 100 {
+		t.Fatalf("late start = %d, want 100", s)
+	}
+	if r.BusyCycles() != 40 || r.Uses() != 4 {
+		t.Fatalf("busy=%d uses=%d, want 40, 4", r.BusyCycles(), r.Uses())
+	}
+}
+
+// Property: a FIFO resource never serves a request before its arrival, never
+// overlaps two requests, and is work-conserving for nondecreasing arrivals.
+func TestResourceProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var r Resource
+		now := int64(0)
+		prevEnd := int64(0)
+		for i := 0; i < int(n); i++ {
+			now += int64(rng.Intn(20))
+			busy := int64(1 + rng.Intn(15))
+			start := r.Acquire(now, busy)
+			if start < now {
+				return false // served before arrival
+			}
+			if start < prevEnd {
+				return false // overlapping service
+			}
+			if now >= prevEnd && start != now {
+				return false // idle resource must serve immediately
+			}
+			prevEnd = start + busy
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

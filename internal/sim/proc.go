@@ -1,0 +1,118 @@
+package sim
+
+// errKilled is the sentinel panic value used to unwind a killed process.
+type killedError struct{}
+
+func (killedError) Error() string { return "sim: process killed" }
+
+// Proc is a simulated process: a goroutine whose execution is interleaved
+// with simulated time under strict handoff. All Proc methods except Kill
+// and Wake must be called from the process's own goroutine.
+type Proc struct {
+	eng    *Engine
+	resume chan struct{}
+	name   string
+	done   bool
+	parked bool
+	killed bool
+}
+
+// Go starts a new simulated process running fn. The process begins at the
+// current simulated time, after already-queued events at this time.
+func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{eng: e, resume: make(chan struct{}), name: name}
+	e.procs = append(e.procs, p)
+	e.After(0, func() {
+		go func() {
+			defer func() {
+				p.done = true
+				p.parked = false
+				if r := recover(); r != nil {
+					if _, ok := r.(killedError); !ok {
+						// Re-panicking in a goroutine would crash without
+						// context; surface the original value.
+						e.yield <- struct{}{}
+						panic(r)
+					}
+				}
+				e.yield <- struct{}{}
+			}()
+			<-p.resume
+			p.checkKilled()
+			fn(p)
+		}()
+		p.dispatch()
+	})
+	return p
+}
+
+// Name returns the process name given to Go.
+func (p *Proc) Name() string { return p.name }
+
+// Done reports whether the process function has returned or been killed.
+func (p *Proc) Done() bool { return p.done }
+
+// Killed reports whether Kill was called on the process.
+func (p *Proc) Killed() bool { return p.killed }
+
+// dispatch transfers control from the event loop (or the currently running
+// process) into p, and returns when p yields back.
+func (p *Proc) dispatch() {
+	if p.done {
+		return
+	}
+	p.parked = false
+	p.resume <- struct{}{}
+	<-p.eng.yield
+}
+
+// yield returns control to the event loop and blocks until dispatched again.
+func (p *Proc) yield() {
+	p.eng.yield <- struct{}{}
+	<-p.resume
+	p.checkKilled()
+}
+
+func (p *Proc) checkKilled() {
+	if p.killed {
+		panic(killedError{})
+	}
+}
+
+// WaitUntil blocks the process until absolute simulated time t.
+// Waiting for a past time returns immediately.
+func (p *Proc) WaitUntil(t int64) {
+	if t <= p.eng.now {
+		p.checkKilled()
+		return
+	}
+	p.eng.At(t, p.dispatch)
+	p.yield()
+}
+
+// Delay blocks the process for d cycles.
+func (p *Proc) Delay(d int64) { p.WaitUntil(p.eng.now + d) }
+
+// Park blocks the process until another process or event calls Wake.
+func (p *Proc) Park() {
+	p.parked = true
+	p.yield()
+}
+
+// Wake schedules parked process p to resume at absolute time t. It is safe
+// to call from any simulation context (the event loop or another process).
+func (p *Proc) Wake(t int64) {
+	p.eng.At(t, p.dispatch)
+}
+
+// Kill marks the process as killed and, if it is parked, wakes it so that
+// it unwinds. The process's goroutine exits at its next blocking point.
+func (p *Proc) Kill() {
+	if p.done || p.killed {
+		return
+	}
+	p.killed = true
+	if p.parked {
+		p.eng.At(p.eng.now, p.dispatch)
+	}
+}

@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestProcBasicTiming(t *testing.T) {
+	e := NewEngine()
+	var trace []int64
+	e.Go("p", func(p *Proc) {
+		trace = append(trace, e.Now())
+		p.Delay(10)
+		trace = append(trace, e.Now())
+		p.WaitUntil(100)
+		trace = append(trace, e.Now())
+		p.WaitUntil(50) // in the past: no-op
+		trace = append(trace, e.Now())
+	})
+	e.Run()
+	want := []int64{0, 10, 100, 100}
+	if len(trace) != len(want) {
+		t.Fatalf("trace = %v, want %v", trace, want)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", trace, want)
+		}
+	}
+}
+
+func TestTwoProcsInterleaveDeterministically(t *testing.T) {
+	run := func() []string {
+		e := NewEngine()
+		var trace []string
+		e.Go("a", func(p *Proc) {
+			for i := 0; i < 3; i++ {
+				trace = append(trace, "a")
+				p.Delay(10)
+			}
+		})
+		e.Go("b", func(p *Proc) {
+			for i := 0; i < 3; i++ {
+				trace = append(trace, "b")
+				p.Delay(10)
+			}
+		})
+		e.Run()
+		return trace
+	}
+	first := run()
+	for i := 0; i < 10; i++ {
+		again := run()
+		for j := range first {
+			if first[j] != again[j] {
+				t.Fatalf("nondeterministic interleaving: %v vs %v", first, again)
+			}
+		}
+	}
+	// Process a was started first and must win every same-time tie.
+	want := []string{"a", "b", "a", "b", "a", "b"}
+	for i := range want {
+		if first[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", first, want)
+		}
+	}
+}
+
+func TestParkWake(t *testing.T) {
+	e := NewEngine()
+	var wokenAt int64 = -1
+	p := e.Go("sleeper", func(p *Proc) {
+		p.Park()
+		wokenAt = e.Now()
+	})
+	e.Go("waker", func(q *Proc) {
+		q.Delay(42)
+		p.Wake(e.Now())
+	})
+	e.Run()
+	if wokenAt != 42 {
+		t.Fatalf("woken at %d, want 42", wokenAt)
+	}
+	if !p.Done() {
+		t.Fatal("sleeper not done")
+	}
+}
+
+func TestKillParked(t *testing.T) {
+	e := NewEngine()
+	reached := false
+	p := e.Go("victim", func(p *Proc) {
+		p.Park()
+		reached = true // must never run
+	})
+	e.Go("killer", func(q *Proc) {
+		q.Delay(5)
+		p.Kill()
+	})
+	e.Run()
+	if reached {
+		t.Fatal("killed process continued past Park")
+	}
+	if !p.Done() || !p.Killed() {
+		t.Fatalf("done=%v killed=%v, want true,true", p.Done(), p.Killed())
+	}
+}
+
+func TestKillWaiting(t *testing.T) {
+	e := NewEngine()
+	reached := false
+	p := e.Go("victim", func(p *Proc) {
+		p.Delay(1000)
+		reached = true
+	})
+	e.Go("killer", func(q *Proc) {
+		q.Delay(5)
+		p.Kill()
+	})
+	e.Run()
+	if reached {
+		t.Fatal("killed process continued past Delay")
+	}
+	if !p.Done() {
+		t.Fatal("victim not done")
+	}
+	// The engine still drained (the stale wake event is a no-op).
+	if e.Pending() != 0 {
+		t.Fatalf("pending = %d, want 0", e.Pending())
+	}
+}
+
+func TestBlockedDetectsDeadlock(t *testing.T) {
+	e := NewEngine()
+	e.Go("stuck", func(p *Proc) {
+		p.Park() // nobody wakes it
+	})
+	e.Run()
+	b := e.Blocked()
+	if len(b) != 1 || b[0].Name() != "stuck" {
+		t.Fatalf("Blocked = %v, want [stuck]", b)
+	}
+}
+
+func TestProcSpawnedMidRun(t *testing.T) {
+	e := NewEngine()
+	var trace []int64
+	e.Go("parent", func(p *Proc) {
+		p.Delay(10)
+		e.Go("child", func(c *Proc) {
+			c.Delay(5)
+			trace = append(trace, e.Now())
+		})
+		p.Delay(20)
+		trace = append(trace, e.Now())
+	})
+	e.Run()
+	if len(trace) != 2 || trace[0] != 15 || trace[1] != 30 {
+		t.Fatalf("trace = %v, want [15 30]", trace)
+	}
+}

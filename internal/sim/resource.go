@@ -1,0 +1,40 @@
+package sim
+
+// Resource models a FIFO-served unit-capacity resource (a memory-controller
+// pipeline, a network-interface port, a cache port). Requests are served in
+// arrival order; a request arriving while the resource is busy queues and
+// experiences waiting time. The zero value is an idle resource.
+type Resource struct {
+	free int64 // time at which the resource next becomes free
+	busy int64 // cumulative busy cycles, for utilization reporting
+	uses int64
+}
+
+// Acquire reserves the resource at the earliest time >= now for busy cycles
+// and returns the time service starts. The caller's queuing delay is
+// start - now.
+func (r *Resource) Acquire(now, busy int64) (start int64) {
+	start = now
+	if r.free > start {
+		start = r.free
+	}
+	r.free = start + busy
+	r.busy += busy
+	r.uses++
+	return start
+}
+
+// Wait is shorthand for the queuing delay a request arriving at now with
+// the given service time would experience, applying the acquisition.
+func (r *Resource) Wait(now, busy int64) int64 {
+	return r.Acquire(now, busy) - now
+}
+
+// FreeAt returns the time the resource next becomes free.
+func (r *Resource) FreeAt() int64 { return r.free }
+
+// BusyCycles returns cumulative busy time.
+func (r *Resource) BusyCycles() int64 { return r.busy }
+
+// Uses returns the number of acquisitions.
+func (r *Resource) Uses() int64 { return r.uses }

@@ -1,0 +1,241 @@
+// Package stats defines the measurement types reported by the simulator:
+// per-task execution time breakdowns (Figure 6), classification of shared
+// memory requests by stream and timeliness (Figure 7), and transparent
+// load accounting (Figure 9).
+package stats
+
+import "fmt"
+
+// Breakdown decomposes a task's execution time into the categories plotted
+// in Figure 6 of the paper. All values are in cycles and, for a finished
+// task, sum to its total execution time.
+type Breakdown struct {
+	Busy     int64 // computation plus cache-hit access time
+	MemStall int64 // stall beyond hit time waiting on the memory system
+	Barrier  int64 // waiting at barriers (and event waits)
+	Lock     int64 // waiting to acquire locks
+	ARSync   int64 // A-stream waiting for an A-R synchronization token
+}
+
+// Total returns the sum of all categories.
+func (b Breakdown) Total() int64 {
+	return b.Busy + b.MemStall + b.Barrier + b.Lock + b.ARSync
+}
+
+// Add accumulates other into b.
+func (b *Breakdown) Add(other Breakdown) {
+	b.Busy += other.Busy
+	b.MemStall += other.MemStall
+	b.Barrier += other.Barrier
+	b.Lock += other.Lock
+	b.ARSync += other.ARSync
+}
+
+// Scale returns b with every category multiplied by f.
+func (b Breakdown) Scale(f float64) Breakdown {
+	return Breakdown{
+		Busy:     int64(float64(b.Busy) * f),
+		MemStall: int64(float64(b.MemStall) * f),
+		Barrier:  int64(float64(b.Barrier) * f),
+		Lock:     int64(float64(b.Lock) * f),
+		ARSync:   int64(float64(b.ARSync) * f),
+	}
+}
+
+func (b Breakdown) String() string {
+	return fmt.Sprintf("busy=%d stall=%d barrier=%d lock=%d arsync=%d",
+		b.Busy, b.MemStall, b.Barrier, b.Lock, b.ARSync)
+}
+
+// ReqClass classifies a shared-data request to the directory, following
+// Figure 7 of the paper. A request is attributed to the stream that issued
+// it (A or R) and judged by whether the companion stream referenced the
+// fetched line during its cache residency:
+//
+//   - Timely: the companion referenced the line after the fill completed.
+//   - Late: the companion referenced the line while the fill was still
+//     outstanding (it had to wait on the in-flight request).
+//   - Only: the companion never referenced the line before it was evicted
+//     or invalidated.
+//
+// In non-slipstream modes every request is RTimely by convention (there is
+// no companion stream), and the classification is not reported.
+type ReqClass int
+
+// Request classes, in the order the paper's Figure 7 stacks them.
+const (
+	ATimely ReqClass = iota
+	ALate
+	AOnly
+	RTimely
+	RLate
+	ROnly
+	numReqClasses
+)
+
+func (c ReqClass) String() string {
+	switch c {
+	case ATimely:
+		return "A-Timely"
+	case ALate:
+		return "A-Late"
+	case AOnly:
+		return "A-Only"
+	case RTimely:
+		return "R-Timely"
+	case RLate:
+		return "R-Late"
+	case ROnly:
+		return "R-Only"
+	}
+	return fmt.Sprintf("ReqClass(%d)", int(c))
+}
+
+// ReqBreakdown counts classified shared-data requests, separately for read
+// requests and exclusive (ownership) requests, mirroring the two stacked
+// charts of Figure 7.
+type ReqBreakdown struct {
+	Reads      [numReqClasses]int64
+	Exclusives [numReqClasses]int64
+}
+
+// AddRead records one classified read request.
+func (r *ReqBreakdown) AddRead(c ReqClass) { r.Reads[c]++ }
+
+// AddExclusive records one classified exclusive request.
+func (r *ReqBreakdown) AddExclusive(c ReqClass) { r.Exclusives[c]++ }
+
+// Merge accumulates other into r.
+func (r *ReqBreakdown) Merge(other ReqBreakdown) {
+	for i := range r.Reads {
+		r.Reads[i] += other.Reads[i]
+		r.Exclusives[i] += other.Exclusives[i]
+	}
+}
+
+// TotalReads returns the total number of classified read requests.
+func (r *ReqBreakdown) TotalReads() int64 {
+	var t int64
+	for _, v := range r.Reads {
+		t += v
+	}
+	return t
+}
+
+// TotalExclusives returns the total number of classified exclusive requests.
+func (r *ReqBreakdown) TotalExclusives() int64 {
+	var t int64
+	for _, v := range r.Exclusives {
+		t += v
+	}
+	return t
+}
+
+// ReadPct returns the percentage of read requests in class c, or 0 if no
+// reads were recorded.
+func (r *ReqBreakdown) ReadPct(c ReqClass) float64 {
+	t := r.TotalReads()
+	if t == 0 {
+		return 0
+	}
+	return 100 * float64(r.Reads[c]) / float64(t)
+}
+
+// ExclusivePct returns the percentage of exclusive requests in class c.
+func (r *ReqBreakdown) ExclusivePct(c ReqClass) float64 {
+	t := r.TotalExclusives()
+	if t == 0 {
+		return 0
+	}
+	return 100 * float64(r.Exclusives[c]) / float64(t)
+}
+
+// TLStats counts transparent-load activity (Figure 9). AReadRequests is the
+// total number of A-stream read requests that reached the directory, the
+// denominator used by the paper's Figure 9.
+type TLStats struct {
+	AReadRequests     int64 // all A-stream read requests to directories
+	TransparentIssued int64 // of those, issued as transparent loads
+	TransparentReply  int64 // transparent loads answered with a stale copy
+	Upgraded          int64 // transparent loads upgraded to normal loads
+}
+
+// Merge accumulates other into s.
+func (s *TLStats) Merge(other TLStats) {
+	s.AReadRequests += other.AReadRequests
+	s.TransparentIssued += other.TransparentIssued
+	s.TransparentReply += other.TransparentReply
+	s.Upgraded += other.Upgraded
+}
+
+// IssuedPct returns transparent loads as a percentage of A-stream reads.
+func (s *TLStats) IssuedPct() float64 {
+	if s.AReadRequests == 0 {
+		return 0
+	}
+	return 100 * float64(s.TransparentIssued) / float64(s.AReadRequests)
+}
+
+// TransparentReplyPct returns the share of transparent loads that received
+// a transparent (stale) reply rather than an upgrade.
+func (s *TLStats) TransparentReplyPct() float64 {
+	if s.TransparentIssued == 0 {
+		return 0
+	}
+	return 100 * float64(s.TransparentReply) / float64(s.TransparentIssued)
+}
+
+// SIStats counts self-invalidation activity.
+type SIStats struct {
+	HintsSent       int64 // SI hints delivered to exclusive owners
+	Invalidated     int64 // lines self-invalidated (migratory heuristic)
+	WrittenBack     int64 // lines written back and downgraded to shared
+	FutureSharerHit int64 // directory decisions informed by future-sharer bits
+}
+
+// Merge accumulates other into s.
+func (s *SIStats) Merge(other SIStats) {
+	s.HintsSent += other.HintsSent
+	s.Invalidated += other.Invalidated
+	s.WrittenBack += other.WrittenBack
+	s.FutureSharerHit += other.FutureSharerHit
+}
+
+// MemStats aggregates memory-system event counts useful for analysis and
+// tests (not itself a paper figure).
+type MemStats struct {
+	L1Hits         int64
+	L1Misses       int64
+	L2Hits         int64
+	L2Misses       int64
+	LocalDirReqs   int64
+	RemoteDirReqs  int64
+	Invalidations  int64
+	Writebacks     int64
+	Interventions  int64 // three-hop forwards to exclusive owners
+	MergedFills    int64 // requests satisfied by an in-flight fill
+	Evictions      int64
+	L1Pushes       int64 // L2-to-L1 pushes from the A-R forwarding queue
+	PrefetchExcl   int64 // A-stream stores converted to exclusive prefetches
+	PrefetchInvals int64 // sharer invalidations caused by exclusive prefetches
+	PrefetchSteals int64 // exclusive-owner steals caused by exclusive prefetches
+}
+
+// Merge accumulates other into m.
+func (m *MemStats) Merge(other MemStats) {
+	m.L1Hits += other.L1Hits
+	m.L1Misses += other.L1Misses
+	m.L2Hits += other.L2Hits
+	m.L2Misses += other.L2Misses
+	m.LocalDirReqs += other.LocalDirReqs
+	m.RemoteDirReqs += other.RemoteDirReqs
+	m.Invalidations += other.Invalidations
+	m.Writebacks += other.Writebacks
+	m.Interventions += other.Interventions
+	m.MergedFills += other.MergedFills
+	m.Evictions += other.Evictions
+	m.L1Pushes += other.L1Pushes
+	m.PrefetchExcl += other.PrefetchExcl
+	m.PrefetchInvals += other.PrefetchInvals
+	m.PrefetchSteals += other.PrefetchSteals
+}

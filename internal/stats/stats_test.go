@@ -1,0 +1,126 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBreakdownTotalAndAdd(t *testing.T) {
+	a := Breakdown{Busy: 10, MemStall: 20, Barrier: 5, Lock: 3, ARSync: 2}
+	if a.Total() != 40 {
+		t.Fatalf("Total = %d, want 40", a.Total())
+	}
+	b := a
+	b.Add(a)
+	if b.Total() != 80 {
+		t.Fatalf("after Add, Total = %d, want 80", b.Total())
+	}
+}
+
+func TestBreakdownScale(t *testing.T) {
+	a := Breakdown{Busy: 100, MemStall: 200, Barrier: 50, Lock: 30, ARSync: 20}
+	h := a.Scale(0.5)
+	if h.Busy != 50 || h.MemStall != 100 || h.Barrier != 25 || h.Lock != 15 || h.ARSync != 10 {
+		t.Fatalf("Scale(0.5) = %+v", h)
+	}
+}
+
+// Property: Add is commutative and Total is additive.
+func TestBreakdownAddProperty(t *testing.T) {
+	f := func(a, b Breakdown) bool {
+		x, y := a, b
+		x.Add(b)
+		y.Add(a)
+		return x == y && x.Total() == a.Total()+b.Total()
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(func(a1, a2, a3, a4, a5, b1, b2, b3, b4, b5 int32) bool {
+		a := Breakdown{int64(a1), int64(a2), int64(a3), int64(a4), int64(a5)}
+		b := Breakdown{int64(b1), int64(b2), int64(b3), int64(b4), int64(b5)}
+		return f(a, b)
+	}, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReqClassStrings(t *testing.T) {
+	want := map[ReqClass]string{
+		ATimely: "A-Timely", ALate: "A-Late", AOnly: "A-Only",
+		RTimely: "R-Timely", RLate: "R-Late", ROnly: "R-Only",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(c), c.String(), s)
+		}
+	}
+	if ReqClass(99).String() == "" {
+		t.Error("unknown class produced empty string")
+	}
+}
+
+func TestReqBreakdownPercentages(t *testing.T) {
+	var r ReqBreakdown
+	if r.ReadPct(ATimely) != 0 || r.ExclusivePct(ATimely) != 0 {
+		t.Fatal("empty breakdown must report 0%")
+	}
+	for i := 0; i < 3; i++ {
+		r.AddRead(ATimely)
+	}
+	r.AddRead(ALate)
+	r.AddExclusive(ROnly)
+	if got := r.ReadPct(ATimely); got != 75 {
+		t.Errorf("ReadPct(ATimely) = %v, want 75", got)
+	}
+	if got := r.ExclusivePct(ROnly); got != 100 {
+		t.Errorf("ExclusivePct(ROnly) = %v, want 100", got)
+	}
+	if r.TotalReads() != 4 || r.TotalExclusives() != 1 {
+		t.Errorf("totals = %d, %d", r.TotalReads(), r.TotalExclusives())
+	}
+}
+
+func TestReqBreakdownMerge(t *testing.T) {
+	var a, b ReqBreakdown
+	a.AddRead(ATimely)
+	b.AddRead(ALate)
+	b.AddExclusive(ATimely)
+	a.Merge(b)
+	if a.Reads[ATimely] != 1 || a.Reads[ALate] != 1 || a.Exclusives[ATimely] != 1 {
+		t.Fatalf("merge result: %+v", a)
+	}
+}
+
+func TestTLStats(t *testing.T) {
+	s := TLStats{AReadRequests: 200, TransparentIssued: 50, TransparentReply: 30, Upgraded: 20}
+	if got := s.IssuedPct(); got != 25 {
+		t.Errorf("IssuedPct = %v, want 25", got)
+	}
+	if got := s.TransparentReplyPct(); got != 60 {
+		t.Errorf("TransparentReplyPct = %v, want 60", got)
+	}
+	var zero TLStats
+	if zero.IssuedPct() != 0 || zero.TransparentReplyPct() != 0 {
+		t.Error("zero stats must report 0%")
+	}
+	zero.Merge(s)
+	if zero != s {
+		t.Error("merge into zero differs from source")
+	}
+}
+
+func TestSIAndMemStatsMerge(t *testing.T) {
+	a := SIStats{HintsSent: 1, Invalidated: 2, WrittenBack: 3, FutureSharerHit: 4}
+	var b SIStats
+	b.Merge(a)
+	b.Merge(a)
+	if b.HintsSent != 2 || b.Invalidated != 4 || b.WrittenBack != 6 || b.FutureSharerHit != 8 {
+		t.Fatalf("SIStats merge: %+v", b)
+	}
+	m := MemStats{L1Hits: 1, L2Misses: 2, PrefetchExcl: 3, PrefetchInvals: 4}
+	var n MemStats
+	n.Merge(m)
+	n.Merge(m)
+	if n.L1Hits != 2 || n.L2Misses != 4 || n.PrefetchExcl != 6 || n.PrefetchInvals != 8 {
+		t.Fatalf("MemStats merge: %+v", n)
+	}
+}

@@ -1,0 +1,220 @@
+// Package trace provides structured event tracing for simulation runs:
+// session transitions, synchronization waits, slow memory accesses,
+// A-stream recoveries, and adaptive policy switches. Traces support
+// post-run analysis — most usefully the A-stream's lead over its R-stream
+// per session, the quantity that determines prefetch timeliness — and can
+// be dumped as TSV for external tools.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Kind tags a trace event.
+type Kind uint8
+
+// Event kinds.
+const (
+	// EvSession marks a task entering a new session (after a barrier or
+	// event wait; for A-streams, after consuming a token).
+	EvSession Kind = iota
+	// EvBarrier records a completed barrier wait (Dur = wait cycles).
+	EvBarrier
+	// EvLock records a completed lock acquisition (Dur = wait cycles).
+	EvLock
+	// EvToken records a completed A-R token wait (Dur = wait cycles).
+	EvToken
+	// EvSlowAccess records a memory access slower than the collector's
+	// threshold (Addr = line address, Dur = total latency).
+	EvSlowAccess
+	// EvRecovery records an A-stream kill-and-refork.
+	EvRecovery
+	// EvPolicySwitch records an adaptive A-R policy change (Note = new
+	// policy).
+	EvPolicySwitch
+)
+
+func (k Kind) String() string {
+	switch k {
+	case EvSession:
+		return "session"
+	case EvBarrier:
+		return "barrier"
+	case EvLock:
+		return "lock"
+	case EvToken:
+		return "token"
+	case EvSlowAccess:
+		return "slow-access"
+	case EvRecovery:
+		return "recovery"
+	case EvPolicySwitch:
+		return "policy-switch"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Event is one trace record.
+type Event struct {
+	Time    int64 // simulated cycle the event completed
+	Task    int   // logical task id
+	AStream bool  // true if emitted by an A-stream
+	Kind    Kind
+	Session int    // task's session counter at the event
+	Addr    uint64 // line address for EvSlowAccess
+	Dur     int64  // wait or latency, where applicable
+	Note    string
+}
+
+// Collector accumulates events. The zero value is ready to use; a nil
+// *Collector is a valid no-op sink.
+type Collector struct {
+	// SlowThreshold is the minimum latency for EvSlowAccess records; zero
+	// disables access tracing entirely.
+	SlowThreshold int64
+
+	events []Event
+}
+
+// Add appends an event. Safe on a nil collector (drops the event).
+func (c *Collector) Add(e Event) {
+	if c == nil {
+		return
+	}
+	c.events = append(c.events, e)
+}
+
+// Events returns the recorded events in insertion order (which is
+// simulation order for same-time events).
+func (c *Collector) Events() []Event {
+	if c == nil {
+		return nil
+	}
+	return c.events
+}
+
+// Len returns the number of recorded events.
+func (c *Collector) Len() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.events)
+}
+
+// WriteTSV dumps the trace as tab-separated values with a header row.
+func (c *Collector) WriteTSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "time\ttask\tstream\tkind\tsession\taddr\tdur\tnote"); err != nil {
+		return err
+	}
+	for _, e := range c.Events() {
+		stream := "R"
+		if e.AStream {
+			stream = "A"
+		}
+		if _, err := fmt.Fprintf(w, "%d\t%d\t%s\t%s\t%d\t%#x\t%d\t%s\n",
+			e.Time, e.Task, stream, e.Kind, e.Session, e.Addr, e.Dur, e.Note); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Lead is the A-stream's arrival lead over its R-stream for one session of
+// one task pair: positive means the A-stream reached the session boundary
+// first (it is running ahead).
+type Lead struct {
+	Task    int
+	Session int
+	Cycles  int64
+}
+
+// LeadSeries computes, per task and session, how far ahead of its R-stream
+// the A-stream reached each session boundary. Sessions where either stream
+// left no record (e.g. after recovery fast-forwards) are skipped.
+func (c *Collector) LeadSeries() []Lead {
+	type key struct{ task, session int }
+	rAt := map[key]int64{}
+	aAt := map[key]int64{}
+	for _, e := range c.Events() {
+		if e.Kind != EvSession {
+			continue
+		}
+		k := key{e.Task, e.Session}
+		if e.AStream {
+			if _, ok := aAt[k]; !ok {
+				aAt[k] = e.Time
+			}
+		} else {
+			if _, ok := rAt[k]; !ok {
+				rAt[k] = e.Time
+			}
+		}
+	}
+	var out []Lead
+	for k, ra := range rAt {
+		if aa, ok := aAt[k]; ok {
+			out = append(out, Lead{Task: k.task, Session: k.session, Cycles: ra - aa})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Task != out[j].Task {
+			return out[i].Task < out[j].Task
+		}
+		return out[i].Session < out[j].Session
+	})
+	return out
+}
+
+// Summary aggregates a trace into per-kind counts and key averages.
+type Summary struct {
+	Counts        map[Kind]int
+	MeanLead      float64 // average A-over-R session lead, cycles
+	MeanBarrier   float64 // average barrier wait, cycles
+	MeanLock      float64 // average lock wait, cycles
+	MeanToken     float64 // average A-R token wait, cycles
+	SlowAccessMax int64
+}
+
+// Summarize computes the trace summary.
+func (c *Collector) Summarize() Summary {
+	s := Summary{Counts: map[Kind]int{}}
+	var barSum, barN, lockSum, lockN, tokSum, tokN int64
+	for _, e := range c.Events() {
+		s.Counts[e.Kind]++
+		switch e.Kind {
+		case EvBarrier:
+			barSum += e.Dur
+			barN++
+		case EvLock:
+			lockSum += e.Dur
+			lockN++
+		case EvToken:
+			tokSum += e.Dur
+			tokN++
+		case EvSlowAccess:
+			if e.Dur > s.SlowAccessMax {
+				s.SlowAccessMax = e.Dur
+			}
+		}
+	}
+	if barN > 0 {
+		s.MeanBarrier = float64(barSum) / float64(barN)
+	}
+	if lockN > 0 {
+		s.MeanLock = float64(lockSum) / float64(lockN)
+	}
+	if tokN > 0 {
+		s.MeanToken = float64(tokSum) / float64(tokN)
+	}
+	leads := c.LeadSeries()
+	if len(leads) > 0 {
+		var sum int64
+		for _, l := range leads {
+			sum += l.Cycles
+		}
+		s.MeanLead = float64(sum) / float64(len(leads))
+	}
+	return s
+}

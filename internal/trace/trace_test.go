@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNilCollectorIsSafe(t *testing.T) {
+	var c *Collector
+	c.Add(Event{Kind: EvBarrier})
+	if c.Len() != 0 || c.Events() != nil {
+		t.Fatal("nil collector retained events")
+	}
+	s := c.Summarize()
+	if len(s.Counts) != 0 {
+		t.Fatal("nil collector produced counts")
+	}
+}
+
+func TestLeadSeries(t *testing.T) {
+	c := &Collector{}
+	// Task 0: A reaches session boundaries 0 and 1 ahead of R by 100 and 250.
+	c.Add(Event{Time: 900, Task: 0, AStream: true, Kind: EvSession, Session: 0})
+	c.Add(Event{Time: 1000, Task: 0, Kind: EvSession, Session: 0})
+	c.Add(Event{Time: 1750, Task: 0, AStream: true, Kind: EvSession, Session: 1})
+	c.Add(Event{Time: 2000, Task: 0, Kind: EvSession, Session: 1})
+	// Task 1: A behind by 50 in session 0; session 1 has no A record.
+	c.Add(Event{Time: 1050, Task: 1, AStream: true, Kind: EvSession, Session: 0})
+	c.Add(Event{Time: 1000, Task: 1, Kind: EvSession, Session: 0})
+	c.Add(Event{Time: 2000, Task: 1, Kind: EvSession, Session: 1})
+
+	leads := c.LeadSeries()
+	want := []Lead{
+		{Task: 0, Session: 0, Cycles: 100},
+		{Task: 0, Session: 1, Cycles: 250},
+		{Task: 1, Session: 0, Cycles: -50},
+	}
+	if len(leads) != len(want) {
+		t.Fatalf("leads = %v, want %v", leads, want)
+	}
+	for i := range want {
+		if leads[i] != want[i] {
+			t.Fatalf("leads[%d] = %v, want %v", i, leads[i], want[i])
+		}
+	}
+}
+
+func TestLeadSeriesUsesFirstArrival(t *testing.T) {
+	c := &Collector{}
+	// Duplicate session records (e.g. after a refork): the first wins.
+	c.Add(Event{Time: 500, Task: 0, AStream: true, Kind: EvSession, Session: 0})
+	c.Add(Event{Time: 800, Task: 0, AStream: true, Kind: EvSession, Session: 0})
+	c.Add(Event{Time: 1000, Task: 0, Kind: EvSession, Session: 0})
+	leads := c.LeadSeries()
+	if len(leads) != 1 || leads[0].Cycles != 500 {
+		t.Fatalf("leads = %v", leads)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	c := &Collector{}
+	c.Add(Event{Kind: EvBarrier, Dur: 100})
+	c.Add(Event{Kind: EvBarrier, Dur: 300})
+	c.Add(Event{Kind: EvLock, Dur: 50})
+	c.Add(Event{Kind: EvToken, Dur: 40})
+	c.Add(Event{Kind: EvSlowAccess, Dur: 1234})
+	c.Add(Event{Kind: EvSlowAccess, Dur: 999})
+	c.Add(Event{Kind: EvRecovery})
+	s := c.Summarize()
+	if s.Counts[EvBarrier] != 2 || s.Counts[EvSlowAccess] != 2 || s.Counts[EvRecovery] != 1 {
+		t.Fatalf("counts = %v", s.Counts)
+	}
+	if s.MeanBarrier != 200 || s.MeanLock != 50 || s.MeanToken != 40 {
+		t.Fatalf("means = %v %v %v", s.MeanBarrier, s.MeanLock, s.MeanToken)
+	}
+	if s.SlowAccessMax != 1234 {
+		t.Fatalf("SlowAccessMax = %d", s.SlowAccessMax)
+	}
+}
+
+func TestWriteTSV(t *testing.T) {
+	c := &Collector{}
+	c.Add(Event{Time: 10, Task: 2, AStream: true, Kind: EvToken, Session: 3, Dur: 7})
+	c.Add(Event{Time: 20, Task: 0, Kind: EvSlowAccess, Addr: 0x1c0, Dur: 900, Note: "read"})
+	var sb strings.Builder
+	if err := c.WriteTSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "time\ttask") {
+		t.Fatalf("missing header: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "\tA\ttoken\t") {
+		t.Fatalf("bad row: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "0x1c0") {
+		t.Fatalf("bad addr formatting: %q", lines[2])
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := EvSession; k <= EvPolicySwitch; k++ {
+		if strings.HasPrefix(k.String(), "Kind(") {
+			t.Errorf("kind %d lacks a name", int(k))
+		}
+	}
+	if !strings.HasPrefix(Kind(200).String(), "Kind(") {
+		t.Error("unknown kind not flagged")
+	}
+}

@@ -1,0 +1,133 @@
+// Package slipstream is a simulator for slipstream execution mode on
+// CMP-based multiprocessors, reproducing Ibrahim, Byrd & Rotenberg,
+// "Slipstream Execution Mode for CMP-Based Multiprocessors" (HPCA 2003).
+//
+// The simulated machine is a distributed-shared-memory multiprocessor
+// built from dual-processor CMP nodes with a shared L2 cache per node and
+// an invalidate-based fully-mapped directory protocol (Table 1 of the
+// paper). Workloads are SPMD kernels written against the Ctx API; they
+// run under four execution modes:
+//
+//   - Sequential: one task on a single node (the speedup baseline).
+//   - Single: one task per CMP, second processor idle.
+//   - Double: two independent parallel tasks per CMP.
+//   - Slipstream: per CMP, a reduced A-stream runs ahead of the full
+//     R-stream, prefetching shared data and driving coherence hints
+//     (transparent loads, self-invalidation).
+//
+// The paper's nine benchmarks are available through Kernels and NewKernel;
+// custom workloads implement the Kernel interface. See the examples
+// directory for runnable walkthroughs and cmd/experiments for the harness
+// that regenerates every table and figure of the paper.
+package slipstream
+
+import (
+	"slipstream/internal/core"
+	"slipstream/internal/kernels"
+	"slipstream/internal/memsys"
+	"slipstream/internal/stats"
+	"slipstream/internal/trace"
+)
+
+// Re-exported configuration and result types. These are aliases, so values
+// flow freely between the public API and internal packages.
+type (
+	// Options configures a simulation run.
+	Options = core.Options
+	// Mode selects the execution mode (Figure 2 of the paper).
+	Mode = core.Mode
+	// ARSync selects the A-R synchronization policy (Section 3.2).
+	ARSync = core.ARSync
+	// Result reports a run's timing and memory-system measurements.
+	Result = core.Result
+	// Ctx is the task context kernels issue simulated work through.
+	Ctx = core.Ctx
+	// Program is the shared-memory image kernels allocate into.
+	Program = core.Program
+	// Kernel is an SPMD workload.
+	Kernel = core.Kernel
+	// F64 is a shared float64 array handle.
+	F64 = core.F64
+	// I64 is a shared int64 array handle.
+	I64 = core.I64
+	// Machine holds the memory-system parameters (Table 1).
+	Machine = memsys.Params
+	// Breakdown is a task execution-time decomposition (Figure 6).
+	Breakdown = stats.Breakdown
+	// ReqBreakdown classifies shared-data requests (Figure 7).
+	ReqBreakdown = stats.ReqBreakdown
+	// KernelSize is a benchmark size preset.
+	KernelSize = kernels.Size
+	// Trace collects structured run events when assigned to
+	// Options.Trace; see TraceSummary and TraceEvent.
+	Trace = trace.Collector
+	// TraceEvent is one structured trace record.
+	TraceEvent = trace.Event
+	// TraceSummary aggregates a trace.
+	TraceSummary = trace.Summary
+)
+
+// Execution modes.
+const (
+	Sequential = core.ModeSequential
+	Single     = core.ModeSingle
+	Double     = core.ModeDouble
+	Slipstream = core.ModeSlipstream
+)
+
+// A-R synchronization policies, in the paper's notation.
+const (
+	L1 = core.OneTokenLocal   // one-token local (loosest)
+	L0 = core.ZeroTokenLocal  // zero-token local
+	G1 = core.OneTokenGlobal  // one-token global
+	G0 = core.ZeroTokenGlobal // zero-token global (tightest)
+)
+
+// ARSyncs lists all four A-R policies in the paper's order.
+var ARSyncs = core.ARSyncs
+
+// Benchmark size presets.
+const (
+	SizeTiny  = kernels.Tiny
+	SizeSmall = kernels.Small
+	SizePaper = kernels.Paper
+)
+
+// Trace event kinds (see TraceEvent.Kind).
+const (
+	TraceSession      = trace.EvSession
+	TraceBarrier      = trace.EvBarrier
+	TraceLock         = trace.EvLock
+	TraceToken        = trace.EvToken
+	TraceSlowAccess   = trace.EvSlowAccess
+	TraceRecovery     = trace.EvRecovery
+	TracePolicySwitch = trace.EvPolicySwitch
+)
+
+// Run simulates kernel under the given options. The returned Result is
+// valid whenever err is nil; numeric verification failures are reported in
+// Result.VerifyErr.
+func Run(opts Options, k Kernel) (*Result, error) {
+	return core.Run(opts, k)
+}
+
+// DefaultMachine returns the Table 1 machine configuration for n CMP
+// nodes.
+func DefaultMachine(n int) Machine {
+	return memsys.DefaultParams(n)
+}
+
+// Kernels lists the paper's nine benchmarks in Table 2 order.
+func Kernels() []string {
+	return kernels.Names()
+}
+
+// NewKernel builds one of the paper's benchmarks at a size preset.
+func NewKernel(name string, size KernelSize) (Kernel, error) {
+	return kernels.New(name, size)
+}
+
+// ParseKernelSize converts "tiny", "small", or "paper".
+func ParseKernelSize(s string) (KernelSize, error) {
+	return kernels.ParseSize(s)
+}

@@ -1,0 +1,134 @@
+package slipstream_test
+
+import (
+	"fmt"
+	"testing"
+
+	"slipstream"
+)
+
+func TestPublicAPIRunsBenchmark(t *testing.T) {
+	k, err := slipstream.NewKernel("SOR", slipstream.SizeTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := slipstream.Run(slipstream.Options{
+		CMPs:   4,
+		Mode:   slipstream.Slipstream,
+		ARSync: slipstream.G0,
+	}, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VerifyErr != nil {
+		t.Fatal(res.VerifyErr)
+	}
+	if res.Cycles <= 0 || len(res.Tasks) != 4 || len(res.ATasks) != 4 {
+		t.Fatalf("unexpected result shape: %+v", res)
+	}
+}
+
+func TestPublicAPIKernelRegistry(t *testing.T) {
+	names := slipstream.Kernels()
+	if len(names) != 9 {
+		t.Fatalf("Kernels() = %v, want the paper's 9", names)
+	}
+	for _, n := range names {
+		if _, err := slipstream.NewKernel(n, slipstream.SizeTiny); err != nil {
+			t.Errorf("NewKernel(%q): %v", n, err)
+		}
+	}
+	if _, err := slipstream.NewKernel("bogus", slipstream.SizeTiny); err == nil {
+		t.Error("bogus kernel accepted")
+	}
+}
+
+func TestPublicAPIDefaultMachine(t *testing.T) {
+	m := slipstream.DefaultMachine(16)
+	if m.Nodes != 16 {
+		t.Fatalf("Nodes = %d", m.Nodes)
+	}
+	if got := m.LocalMissLatency(); got != 170 {
+		t.Errorf("local miss = %d, want 170 (Table 1)", got)
+	}
+	if got := m.RemoteMissLatency(); got != 290 {
+		t.Errorf("remote miss = %d, want 290 (Table 1)", got)
+	}
+}
+
+// customKernel demonstrates the user-facing kernel surface without
+// touching internal packages.
+type customKernel struct {
+	data slipstream.F64
+	out  slipstream.F64
+}
+
+func (k *customKernel) Name() string { return "custom" }
+
+func (k *customKernel) Setup(p *slipstream.Program) {
+	k.data = p.AllocF64(512)
+	k.out = p.AllocF64(p.NumTasks() * 8)
+	for i := 0; i < 512; i++ {
+		k.data.Set(p, i, float64(i))
+	}
+}
+
+func (k *customKernel) Task(c *slipstream.Ctx) {
+	lo, hi := 512*c.ID()/c.NumTasks(), 512*(c.ID()+1)/c.NumTasks()
+	sum := 0.0
+	for i := lo; i < hi; i++ {
+		sum += k.data.Load(c, i)
+		c.Compute(3)
+	}
+	k.out.Store(c, c.ID()*8, sum)
+	c.Barrier()
+}
+
+func (k *customKernel) Verify(p *slipstream.Program) error {
+	total := 0.0
+	for i := 0; i < p.NumTasks(); i++ {
+		total += k.out.Get(p, i*8)
+	}
+	if total != 512*511/2 {
+		return fmt.Errorf("total = %v, want %v", total, 512*511/2)
+	}
+	return nil
+}
+
+func TestPublicAPICustomKernel(t *testing.T) {
+	for _, mode := range []slipstream.Mode{slipstream.Sequential, slipstream.Single, slipstream.Double, slipstream.Slipstream} {
+		res, err := slipstream.Run(slipstream.Options{CMPs: 2, Mode: mode, ARSync: slipstream.L1}, &customKernel{})
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if res.VerifyErr != nil {
+			t.Fatalf("%v: %v", mode, res.VerifyErr)
+		}
+	}
+}
+
+func TestPublicAPIARSyncNames(t *testing.T) {
+	want := map[slipstream.ARSync]string{
+		slipstream.L1: "L1", slipstream.L0: "L0",
+		slipstream.G1: "G1", slipstream.G0: "G0",
+	}
+	for ar, name := range want {
+		if ar.String() != name {
+			t.Errorf("%v.String() = %q, want %q", int(ar), ar.String(), name)
+		}
+	}
+	if len(slipstream.ARSyncs) != 4 {
+		t.Errorf("ARSyncs has %d entries", len(slipstream.ARSyncs))
+	}
+}
+
+func TestParseKernelSize(t *testing.T) {
+	for _, s := range []string{"tiny", "small", "paper"} {
+		if _, err := slipstream.ParseKernelSize(s); err != nil {
+			t.Errorf("ParseKernelSize(%q): %v", s, err)
+		}
+	}
+	if _, err := slipstream.ParseKernelSize("huge"); err == nil {
+		t.Error("bad size accepted")
+	}
+}
