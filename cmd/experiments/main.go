@@ -5,20 +5,32 @@
 //	experiments -all -size paper          # everything (several minutes)
 //	experiments -fig5 -size small         # one figure, quick
 //	experiments -fig1 -fig10 -cmps 2,4,8  # custom machine sweep
+//	experiments -all -j 8                 # bound the worker pool
+//	experiments -all -no-cache            # force fresh simulations
+//
+// The harness first collects every run the selected figures need, then
+// simulates the deduplicated set on a worker pool of -j simulations at a
+// time. Completed runs persist in an on-disk cache (see -cache), so
+// re-running a figure — or another figure sharing its configurations —
+// costs no simulation. Each simulation is single-threaded and
+// deterministic: output is byte-identical at any -j.
 //
 // Each run verifies kernel numerics; a figure is never rendered from an
-// incorrect simulation.
+// incorrect simulation, and unverified runs are never cached.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
+	"slipstream/internal/core"
 	"slipstream/internal/harness"
 	"slipstream/internal/kernels"
+	"slipstream/internal/runcache"
 )
 
 func main() {
@@ -40,6 +52,9 @@ func main() {
 		banks   = flag.Bool("banks", false, "extension: directory-controller banking sensitivity")
 		size    = flag.String("size", "small", "problem size preset: tiny, small, paper")
 		cmps    = flag.String("cmps", "2,4,8,16", "comma-separated CMP counts to sweep")
+		workers = flag.Int("j", runtime.NumCPU(), "max concurrent simulations")
+		cacheAt = flag.String("cache", runcache.DefaultDir(), "persistent run cache directory")
+		noCache = flag.Bool("no-cache", false, "disable the persistent run cache")
 		csvDir  = flag.String("csv", "", "also write per-figure CSV data files into this directory")
 		quiet   = flag.Bool("q", false, "suppress per-run progress lines")
 	)
@@ -58,40 +73,41 @@ func main() {
 		counts = append(counts, n)
 	}
 
-	cfg := harness.Config{Size: ksize, CMPCounts: counts, Out: os.Stdout}
+	cfg := harness.Config{
+		Size: ksize, CMPCounts: counts, Out: os.Stdout, Workers: *workers,
+	}
 	if !*quiet {
 		cfg.Progress = os.Stderr
 	}
+	if !*noCache {
+		cache, err := runcache.Open(*cacheAt, core.SimVersion)
+		if err != nil {
+			// A broken cache directory degrades to fresh simulation.
+			fmt.Fprintf(os.Stderr, "experiments: run cache unavailable (%v); continuing without it\n", err)
+		} else {
+			cfg.Cache = cache
+		}
+	}
 	s := harness.NewSession(cfg)
 
-	steps := []struct {
-		on  bool
-		fn  func() error
-		tag string
-	}{
-		{*all || *table1, s.Table1, "table1"},
-		{*all || *table2, s.Table2, "table2"},
-		{*all || *fig1, s.Fig1, "fig1"},
-		{*all || *fig4, s.Fig4, "fig4"},
-		{*all || *fig5, s.Fig5, "fig5"},
-		{*all || *fig6, s.Fig6, "fig6"},
-		{*all || *fig7, s.Fig7, "fig7"},
-		{*all || *fig9, s.Fig9, "fig9"},
-		{*all || *fig10, s.Fig10, "fig10"},
-		{*all || *adapt, s.ExtAdaptive, "adaptive"},
-		{*all || *forward, s.ExtForward, "forward"},
-		{*all || *sens, s.ExtSensitivity, "sensitivity"},
-		{*all || *leads, s.ExtLeads, "leads"},
-		{*all || *banks, s.ExtBanks, "banks"},
+	selected := map[string]bool{
+		"table1": *table1, "table2": *table2,
+		"fig1": *fig1, "fig4": *fig4, "fig5": *fig5, "fig6": *fig6,
+		"fig7": *fig7, "fig9": *fig9, "fig10": *fig10,
+		"adaptive": *adapt, "forward": *forward, "sensitivity": *sens,
+		"leads": *leads, "banks": *banks,
 	}
-	any := false
-	for _, st := range steps {
-		if !st.on {
-			continue
+	var tags []string
+	for _, tag := range harness.Tags() {
+		if *all || selected[tag] {
+			tags = append(tags, tag)
 		}
-		any = true
-		if err := st.fn(); err != nil {
-			fatalf("%s: %v", st.tag, err)
+	}
+
+	any := len(tags) > 0
+	if any {
+		if err := s.RunFigures(tags...); err != nil {
+			fatalf("%v", err)
 		}
 	}
 	if *csvDir != "" {
@@ -105,6 +121,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "experiments: nothing selected; pass -all or one of the -table/-fig flags")
 		flag.Usage()
 		os.Exit(2)
+	}
+	if !*quiet {
+		simulated, cacheHits := s.Stats()
+		fmt.Fprintf(os.Stderr, "experiments: %d runs simulated, %d served from cache\n",
+			simulated, cacheHits)
 	}
 }
 

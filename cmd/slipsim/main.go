@@ -33,31 +33,19 @@ func main() {
 	flag.Parse()
 
 	opts := slipstream.Options{CMPs: *cmps}
-	switch strings.ToLower(*mode) {
-	case "sequential":
-		opts.Mode = slipstream.Sequential
-	case "single":
-		opts.Mode = slipstream.Single
-	case "double":
-		opts.Mode = slipstream.Double
-	case "slipstream":
-		opts.Mode = slipstream.Slipstream
-	default:
-		fatalf("unknown mode %q", *mode)
+	parsedMode, err := slipstream.ParseMode(*mode)
+	if err != nil {
+		fatalf("%v", err)
 	}
-	switch strings.ToUpper(*arsync) {
-	case "L1":
-		opts.ARSync = slipstream.L1
-	case "L0":
-		opts.ARSync = slipstream.L0
-	case "G1":
-		opts.ARSync = slipstream.G1
-	case "G0":
-		opts.ARSync = slipstream.G0
-	default:
-		fatalf("unknown A-R sync %q", *arsync)
-	}
+	opts.Mode = parsedMode
+	// The A-R policy and the coherence extensions only exist in slipstream
+	// mode; Options.Validate rejects them elsewhere.
 	if opts.Mode == slipstream.Slipstream {
+		ar, err := slipstream.ParseARSync(*arsync)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		opts.ARSync = ar
 		opts.TransparentLoads = *tl || *si
 		opts.SelfInvalidate = *si
 		opts.AdaptiveARSync = *adapt

@@ -179,7 +179,10 @@ func (k *lockKernel) Verify(p *Program) error {
 func TestLockMutualExclusion(t *testing.T) {
 	for _, mode := range []Mode{ModeSingle, ModeDouble, ModeSlipstream} {
 		k := &lockKernel{m: 25}
-		opts := Options{Mode: mode, CMPs: 4, ARSync: OneTokenGlobal}
+		opts := Options{Mode: mode, CMPs: 4}
+		if mode == ModeSlipstream {
+			opts.ARSync = OneTokenGlobal
+		}
 		tasks := 4
 		if mode == ModeDouble {
 			tasks = 8
@@ -233,7 +236,11 @@ func (k *eventKernel) Verify(p *Program) error { return nil }
 
 func TestEventSignalWait(t *testing.T) {
 	for _, mode := range []Mode{ModeSingle, ModeSlipstream} {
-		res, err := Run(Options{Mode: mode, CMPs: 4, ARSync: ZeroTokenGlobal}, &eventKernel{})
+		opts := Options{Mode: mode, CMPs: 4}
+		if mode == ModeSlipstream {
+			opts.ARSync = ZeroTokenGlobal
+		}
+		res, err := Run(opts, &eventKernel{})
 		if err != nil {
 			t.Fatalf("%v: %v", mode, err)
 		}

@@ -8,7 +8,9 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"strings"
 
 	"slipstream/internal/memsys"
 	"slipstream/internal/trace"
@@ -44,6 +46,44 @@ func (m Mode) String() string {
 		return "slipstream"
 	}
 	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// ParseMode is the exact inverse of Mode.String for the four valid modes.
+// Matching is case-insensitive; unknown names return ErrUnknownMode.
+func ParseMode(s string) (Mode, error) {
+	switch strings.ToLower(s) {
+	case "sequential":
+		return ModeSequential, nil
+	case "single":
+		return ModeSingle, nil
+	case "double":
+		return ModeDouble, nil
+	case "slipstream":
+		return ModeSlipstream, nil
+	}
+	return 0, fmt.Errorf("%w: %q (want sequential, single, double, or slipstream)", ErrUnknownMode, s)
+}
+
+// MarshalJSON encodes the mode as its String form.
+func (m Mode) MarshalJSON() ([]byte, error) {
+	if m < ModeSequential || m > ModeSlipstream {
+		return nil, fmt.Errorf("%w: Mode(%d)", ErrUnknownMode, int(m))
+	}
+	return []byte(`"` + m.String() + `"`), nil
+}
+
+// UnmarshalJSON decodes a mode from its String form via ParseMode.
+func (m *Mode) UnmarshalJSON(b []byte) error {
+	s, err := unquote(b)
+	if err != nil {
+		return err
+	}
+	v, err := ParseMode(s)
+	if err != nil {
+		return err
+	}
+	*m = v
+	return nil
 }
 
 // ARSync selects the A-R synchronization policy: the initial token pool and
@@ -85,6 +125,53 @@ func (a ARSync) String() string {
 		return "G0"
 	}
 	return fmt.Sprintf("ARSync(%d)", int(a))
+}
+
+// ParseARSync is the exact inverse of ARSync.String for the four policies.
+// Matching is case-insensitive; unknown names return ErrUnknownARSync.
+func ParseARSync(s string) (ARSync, error) {
+	switch strings.ToUpper(s) {
+	case "L1":
+		return OneTokenLocal, nil
+	case "L0":
+		return ZeroTokenLocal, nil
+	case "G1":
+		return OneTokenGlobal, nil
+	case "G0":
+		return ZeroTokenGlobal, nil
+	}
+	return 0, fmt.Errorf("%w: %q (want L1, L0, G1, or G0)", ErrUnknownARSync, s)
+}
+
+// MarshalJSON encodes the policy as its String form.
+func (a ARSync) MarshalJSON() ([]byte, error) {
+	if a < OneTokenLocal || a > ZeroTokenGlobal {
+		return nil, fmt.Errorf("%w: ARSync(%d)", ErrUnknownARSync, int(a))
+	}
+	return []byte(`"` + a.String() + `"`), nil
+}
+
+// UnmarshalJSON decodes a policy from its String form via ParseARSync.
+func (a *ARSync) UnmarshalJSON(b []byte) error {
+	s, err := unquote(b)
+	if err != nil {
+		return err
+	}
+	v, err := ParseARSync(s)
+	if err != nil {
+		return err
+	}
+	*a = v
+	return nil
+}
+
+// unquote strips the quotes of a JSON string literal without pulling in
+// encoding/json (which would recurse through the Unmarshaler).
+func unquote(b []byte) (string, error) {
+	if len(b) < 2 || b[0] != '"' || b[len(b)-1] != '"' {
+		return "", fmt.Errorf("core: not a JSON string: %s", b)
+	}
+	return string(b[1 : len(b)-1]), nil
 }
 
 // ARSyncs lists all four policies in the paper's Figure 5 order.
@@ -180,16 +267,56 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Validate reports option errors.
+// Typed option errors. Validate (and therefore Run) wraps these, so
+// callers can test for a class of failure with errors.Is.
+var (
+	// ErrUnknownMode reports a Mode outside the four defined modes, or an
+	// unparseable mode name.
+	ErrUnknownMode = errors.New("unknown execution mode")
+	// ErrUnknownARSync reports an ARSync outside the four defined
+	// policies, or an unparseable policy name.
+	ErrUnknownARSync = errors.New("unknown A-R synchronization policy")
+	// ErrCMPCount reports a CMP count below 1.
+	ErrCMPCount = errors.New("CMPs must be >= 1")
+	// ErrSelfInvalidateNeedsTL reports SelfInvalidate set without
+	// TransparentLoads, whose future-sharer hints it depends on.
+	ErrSelfInvalidateNeedsTL = errors.New("SelfInvalidate requires TransparentLoads")
+	// ErrSlipstreamOnly reports a slipstream-only option (ARSync,
+	// AdaptiveARSync, TransparentLoads, SelfInvalidate, ForwardQueue) set
+	// under another execution mode.
+	ErrSlipstreamOnly = errors.New("option applies only to slipstream mode")
+)
+
+// Validate reports option errors. Run calls it after defaulting, so a
+// zero CMPs passed to Run is filled in before this check; calling
+// Validate directly on raw Options applies the stricter documented
+// contract (CMPs >= 1).
 func (o Options) Validate() error {
 	if o.Mode < ModeSequential || o.Mode > ModeSlipstream {
-		return fmt.Errorf("core: unknown mode %d", int(o.Mode))
+		return fmt.Errorf("core: %w: Mode(%d)", ErrUnknownMode, int(o.Mode))
+	}
+	if o.CMPs < 1 {
+		return fmt.Errorf("core: %w: got %d", ErrCMPCount, o.CMPs)
+	}
+	if o.ARSync < OneTokenLocal || o.ARSync > ZeroTokenGlobal {
+		return fmt.Errorf("core: %w: ARSync(%d)", ErrUnknownARSync, int(o.ARSync))
 	}
 	if o.SelfInvalidate && !o.TransparentLoads {
-		return fmt.Errorf("core: SelfInvalidate requires TransparentLoads")
+		return fmt.Errorf("core: %w", ErrSelfInvalidateNeedsTL)
 	}
-	if o.Mode != ModeSlipstream && (o.TransparentLoads || o.SelfInvalidate || o.ForwardQueue) {
-		return fmt.Errorf("core: transparent loads, self-invalidation, and the forwarding queue apply only to slipstream mode")
+	if o.Mode != ModeSlipstream {
+		switch {
+		case o.ARSync != 0:
+			return fmt.Errorf("core: %w: ARSync=%v under %v", ErrSlipstreamOnly, o.ARSync, o.Mode)
+		case o.AdaptiveARSync:
+			return fmt.Errorf("core: %w: AdaptiveARSync under %v", ErrSlipstreamOnly, o.Mode)
+		case o.TransparentLoads:
+			return fmt.Errorf("core: %w: TransparentLoads under %v", ErrSlipstreamOnly, o.Mode)
+		case o.SelfInvalidate:
+			return fmt.Errorf("core: %w: SelfInvalidate under %v", ErrSlipstreamOnly, o.Mode)
+		case o.ForwardQueue:
+			return fmt.Errorf("core: %w: ForwardQueue under %v", ErrSlipstreamOnly, o.Mode)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+
+	"slipstream/internal/stats"
+)
+
+// resultJSON is the serialized shape of Result. VerifyErr is flattened to
+// its message: a round trip preserves whether verification failed and why,
+// but not the concrete error type.
+type resultJSON struct {
+	Kernel string `json:"kernel"`
+	Mode   Mode   `json:"mode"`
+	ARSync ARSync `json:"arsync"`
+	CMPs   int    `json:"cmps"`
+
+	Cycles int64 `json:"cycles"`
+
+	Tasks  []stats.Breakdown `json:"tasks,omitempty"`
+	ATasks []stats.Breakdown `json:"a_tasks,omitempty"`
+
+	Mem stats.MemStats     `json:"mem"`
+	Req stats.ReqBreakdown `json:"req"`
+	TL  stats.TLStats      `json:"tl"`
+	SI  stats.SIStats      `json:"si"`
+
+	Recoveries     int      `json:"recoveries,omitempty"`
+	PolicySwitches int      `json:"policy_switches,omitempty"`
+	FinalPolicies  []ARSync `json:"final_policies,omitempty"`
+
+	VerifyErr string `json:"verify_err,omitempty"`
+}
+
+// MarshalJSON serializes the result, including every measurement the
+// figures consume, so a persisted run can stand in for a fresh one.
+func (r *Result) MarshalJSON() ([]byte, error) {
+	out := resultJSON{
+		Kernel:         r.Kernel,
+		Mode:           r.Mode,
+		ARSync:         r.ARSync,
+		CMPs:           r.CMPs,
+		Cycles:         r.Cycles,
+		Tasks:          r.Tasks,
+		ATasks:         r.ATasks,
+		Mem:            r.Mem,
+		Req:            r.Req,
+		TL:             r.TL,
+		SI:             r.SI,
+		Recoveries:     r.Recoveries,
+		PolicySwitches: r.PolicySwitches,
+		FinalPolicies:  r.FinalPolicies,
+	}
+	if r.VerifyErr != nil {
+		out.VerifyErr = r.VerifyErr.Error()
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON restores a result serialized by MarshalJSON.
+func (r *Result) UnmarshalJSON(b []byte) error {
+	var in resultJSON
+	if err := json.Unmarshal(b, &in); err != nil {
+		return err
+	}
+	*r = Result{
+		Kernel:         in.Kernel,
+		Mode:           in.Mode,
+		ARSync:         in.ARSync,
+		CMPs:           in.CMPs,
+		Cycles:         in.Cycles,
+		Tasks:          in.Tasks,
+		ATasks:         in.ATasks,
+		Mem:            in.Mem,
+		Req:            in.Req,
+		TL:             in.TL,
+		SI:             in.SI,
+		Recoveries:     in.Recoveries,
+		PolicySwitches: in.PolicySwitches,
+		FinalPolicies:  in.FinalPolicies,
+	}
+	if in.VerifyErr != "" {
+		r.VerifyErr = errors.New(in.VerifyErr)
+	}
+	return nil
+}

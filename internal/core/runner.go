@@ -10,6 +10,12 @@ import (
 	"slipstream/internal/trace"
 )
 
+// SimVersion identifies the simulation semantics. Persistent result
+// caches fold it into their keys and discard entries written by other
+// versions; bump it whenever a change alters simulated timing or the
+// reported statistics.
+const SimVersion = "1"
+
 // Runner owns one simulated run of a kernel under a mode.
 type Runner struct {
 	opts   Options

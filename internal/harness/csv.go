@@ -8,12 +8,28 @@ import (
 	"strconv"
 
 	"slipstream/internal/kernels"
+	"slipstream/internal/runspec"
 	"slipstream/internal/stats"
 )
 
 // WriteCSV regenerates every figure's data and writes one CSV file per
 // figure into dir (creating it if needed), for external plotting tools.
+// The figures' plans are executed first so the shared runs are simulated
+// on the worker pool rather than serially during data generation.
 func (s *Session) WriteCSV(dir string) error {
+	var specs []runspec.RunSpec
+	csvTags := map[string]bool{
+		"fig1": true, "fig4": true, "fig5": true, "fig6": true,
+		"fig7": true, "fig9": true, "fig10": true,
+	}
+	for _, f := range Figures() {
+		if csvTags[f.Tag] && f.Plan != nil {
+			specs = append(specs, f.Plan(s)...)
+		}
+	}
+	if err := s.Execute(specs); err != nil {
+		return err
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}

@@ -5,7 +5,6 @@ import (
 
 	"slipstream/internal/core"
 	"slipstream/internal/kernels"
-	"slipstream/internal/memsys"
 	"slipstream/internal/trace"
 )
 
@@ -37,21 +36,9 @@ func (s *Session) ExtAdaptiveData() ([]AdaptiveRow, error) {
 			}
 			row.Fixed[ar] = res.Cycles
 		}
-		k, err := kernels.New(name, s.cfg.Size)
+		res, err := s.result(s.adaptiveSpec(name, cmps))
 		if err != nil {
 			return nil, err
-		}
-		res, err := core.Run(core.Options{
-			CMPs:           cmps,
-			Mode:           core.ModeSlipstream,
-			ARSync:         core.OneTokenLocal,
-			AdaptiveARSync: true,
-		}, k)
-		if err != nil {
-			return nil, err
-		}
-		if res.VerifyErr != nil {
-			return nil, fmt.Errorf("harness: adaptive %s: %w", name, res.VerifyErr)
 		}
 		row.Adaptive = res.Cycles
 		row.Switches = res.PolicySwitches
@@ -124,21 +111,9 @@ func (s *Session) ExtForwardData() ([]ForwardRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		k, err := kernels.New(name, s.cfg.Size)
+		on, err := s.result(s.forwardSpec(name, cmps))
 		if err != nil {
 			return nil, err
-		}
-		on, err := core.Run(core.Options{
-			CMPs:         cmps,
-			Mode:         core.ModeSlipstream,
-			ARSync:       core.ZeroTokenLocal,
-			ForwardQueue: true,
-		}, k)
-		if err != nil {
-			return nil, err
-		}
-		if on.VerifyErr != nil {
-			return nil, fmt.Errorf("harness: forward %s: %w", name, on.VerifyErr)
 		}
 		out = append(out, ForwardRow{
 			Kernel: name, CMPs: cmps,
@@ -183,31 +158,13 @@ func (s *Session) ExtSensitivityData(kernelNames []string, netTimes []int64) ([]
 	var out []SensitivityRow
 	for _, name := range kernelNames {
 		for _, nt := range netTimes {
-			m := memsys.DefaultParams(s.MaxCMPs())
-			m.NetTime = nt
-			run := func(mode core.Mode, ar core.ARSync) (*core.Result, error) {
-				k, err := kernels.New(name, s.cfg.Size)
-				if err != nil {
-					return nil, err
-				}
-				res, err := core.Run(core.Options{
-					CMPs: s.MaxCMPs(), Mode: mode, ARSync: ar, Machine: m,
-				}, k)
-				if err != nil {
-					return nil, err
-				}
-				if res.VerifyErr != nil {
-					return nil, res.VerifyErr
-				}
-				return res, nil
-			}
-			single, err := run(core.ModeSingle, 0)
+			single, err := s.result(s.sensitivitySpec(name, core.ModeSingle, 0, nt))
 			if err != nil {
 				return nil, err
 			}
 			best := int64(1) << 62
 			for _, ar := range core.ARSyncs {
-				slip, err := run(core.ModeSlipstream, ar)
+				slip, err := s.result(s.sensitivitySpec(name, core.ModeSlipstream, ar, nt))
 				if err != nil {
 					return nil, err
 				}
@@ -223,9 +180,7 @@ func (s *Session) ExtSensitivityData(kernelNames []string, netTimes []int64) ([]
 
 // ExtSensitivity renders the network-latency sensitivity study.
 func (s *Session) ExtSensitivity() error {
-	names := []string{"SOR", "CG", "MG"}
-	nets := []int64{25, 50, 100, 200}
-	data, err := s.ExtSensitivityData(names, nets)
+	data, err := s.ExtSensitivityData(extSensitivityKernels(), extSensitivityNets())
 	if err != nil {
 		return err
 	}
@@ -330,37 +285,21 @@ func (s *Session) ExtBanksData(kernelNames []string, bankCounts []int) ([]BankRo
 			cmps = s.fftCMPs()
 		}
 		for _, banks := range bankCounts {
-			m := memsys.DefaultParams(cmps)
-			m.DCBanks = banks
-			run := func(mode core.Mode, ar core.ARSync) (int64, error) {
-				k, err := kernels.New(name, s.cfg.Size)
-				if err != nil {
-					return 0, err
-				}
-				res, err := core.Run(core.Options{CMPs: cmps, Mode: mode, ARSync: ar, Machine: m}, k)
-				if err != nil {
-					return 0, err
-				}
-				if res.VerifyErr != nil {
-					return 0, res.VerifyErr
-				}
-				return res.Cycles, nil
-			}
-			single, err := run(core.ModeSingle, 0)
+			single, err := s.result(s.bankSpec(name, core.ModeSingle, 0, cmps, banks))
 			if err != nil {
 				return nil, err
 			}
 			best := int64(1) << 62
 			for _, ar := range core.ARSyncs {
-				c, err := run(core.ModeSlipstream, ar)
+				res, err := s.result(s.bankSpec(name, core.ModeSlipstream, ar, cmps, banks))
 				if err != nil {
 					return nil, err
 				}
-				if c < best {
-					best = c
+				if res.Cycles < best {
+					best = res.Cycles
 				}
 			}
-			out = append(out, BankRow{Kernel: name, Banks: banks, Single: single, Slip: best})
+			out = append(out, BankRow{Kernel: name, Banks: banks, Single: single.Cycles, Slip: best})
 		}
 	}
 	return out, nil
@@ -368,7 +307,7 @@ func (s *Session) ExtBanksData(kernelNames []string, bankCounts []int) ([]BankRo
 
 // ExtBanks renders the directory-controller banking study.
 func (s *Session) ExtBanks() error {
-	data, err := s.ExtBanksData([]string{"SOR", "OCEAN", "CG", "MG", "SP", "WATER-NS"}, []int{1, 2, 4})
+	data, err := s.ExtBanksData(extBanksKernels(), extBanksCounts())
 	if err != nil {
 		return err
 	}

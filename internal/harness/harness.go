@@ -1,16 +1,26 @@
 // Package harness runs the paper's experiments: it sweeps kernels, modes,
 // A-R synchronization policies, and machine sizes, and renders each table
-// and figure of the evaluation as text. Results are memoized within a
-// Session so figures that share configurations (e.g. the single-mode
-// baselines) reuse runs.
+// and figure of the evaluation as text.
+//
+// The harness is split into a plan phase and an execute phase. Every
+// figure declares the runspec.RunSpec set its data requires (see Figures);
+// a session collects the union across all requested figures, deduplicates
+// it, and executes it on a bounded worker pool, satisfying specs from its
+// in-process memo and, when configured, a persistent runcache first. Each
+// simulation stays single-threaded and deterministic, so figure output is
+// bit-identical at any worker count. Rendering then happens serially in
+// paper order against the warm memo.
 package harness
 
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"slipstream/internal/core"
 	"slipstream/internal/kernels"
+	"slipstream/internal/runcache"
+	"slipstream/internal/runspec"
 )
 
 // Config controls a harness session.
@@ -21,23 +31,27 @@ type Config struct {
 	CMPCounts []int
 	// Out receives the rendered tables and plots.
 	Out io.Writer
-	// Progress, when set, receives one line per completed run.
+	// Progress, when set, receives one line per completed run. Lines are
+	// emitted in deterministic plan order regardless of worker
+	// interleaving, and writes are serialized, so any io.Writer is safe.
 	Progress io.Writer
+	// Workers bounds concurrent simulations. Zero selects
+	// runtime.NumCPU().
+	Workers int
+	// Cache, when set, persists completed runs across sessions.
+	Cache *runcache.Cache
 }
 
-// Session memoizes simulation runs across figures.
+// Session plans, executes, and renders figures, memoizing runs so figures
+// that share configurations (e.g. the single-mode baselines) reuse them.
 type Session struct {
-	cfg  Config
-	memo map[runKey]*core.Result
-}
+	cfg      Config
+	progress *lockedWriter // nil when Config.Progress is nil
 
-type runKey struct {
-	kernel string
-	mode   core.Mode
-	ar     core.ARSync
-	cmps   int
-	tl     bool
-	si     bool
+	mu        sync.Mutex
+	memo      map[runspec.RunSpec]*core.Result
+	simulated int
+	cacheHits int
 }
 
 // NewSession returns a session with the given configuration, applying
@@ -49,7 +63,31 @@ func NewSession(cfg Config) *Session {
 	if cfg.Out == nil {
 		cfg.Out = io.Discard
 	}
-	return &Session{cfg: cfg, memo: make(map[runKey]*core.Result)}
+	s := &Session{cfg: cfg, memo: make(map[runspec.RunSpec]*core.Result)}
+	if cfg.Progress != nil {
+		s.progress = &lockedWriter{w: cfg.Progress}
+	}
+	return s
+}
+
+// lockedWriter serializes writes from concurrent workers.
+type lockedWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (lw *lockedWriter) Write(p []byte) (int, error) {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	return lw.w.Write(p)
+}
+
+// Stats reports how many simulations the session executed and how many
+// completed runs it served from the persistent cache.
+func (s *Session) Stats() (simulated, cacheHits int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.simulated, s.cacheHits
 }
 
 // MaxCMPs returns the largest machine size in the sweep.
@@ -73,56 +111,129 @@ func (s *Session) fftCMPs() int {
 	return s.MaxCMPs()
 }
 
-// run simulates one configuration, memoized. Verification failures are
-// returned as errors: a figure must never be built from wrong numerics.
-func (s *Session) run(kernel string, mode core.Mode, ar core.ARSync, cmps int, tl, si bool) (*core.Result, error) {
-	key := runKey{kernel, mode, ar, cmps, tl, si}
-	if res, ok := s.memo[key]; ok {
+// spec builds the session's RunSpec for one configuration.
+func (s *Session) spec(kernel string, mode core.Mode, ar core.ARSync, cmps int, tl, si bool) runspec.RunSpec {
+	return runspec.RunSpec{
+		Kernel: kernel, Size: s.cfg.Size,
+		Mode: mode, ARSync: ar, CMPs: cmps,
+		TransparentLoads: tl, SelfInvalidate: si,
+	}.Normalize()
+}
+
+// lookup satisfies a spec from the memo or the persistent cache.
+func (s *Session) lookup(sp runspec.RunSpec) (*core.Result, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if res, ok := s.memo[sp]; ok {
+		return res, true
+	}
+	if s.cfg.Cache != nil {
+		if res, ok := s.cfg.Cache.Load(sp); ok {
+			s.memo[sp] = res
+			s.cacheHits++
+			return res, true
+		}
+	}
+	return nil, false
+}
+
+// store records a freshly simulated, verified run in the memo and the
+// persistent cache.
+func (s *Session) store(sp runspec.RunSpec, res *core.Result) {
+	s.mu.Lock()
+	s.memo[sp] = res
+	s.simulated++
+	cache := s.cfg.Cache
+	s.mu.Unlock()
+	if cache != nil {
+		// A full cache disk is not a reason to lose a finished figure; the
+		// run still lives in the memo.
+		_ = cache.Store(sp, res)
+	}
+}
+
+// Execute simulates every planned spec not already memoized or cached on
+// the worker pool. It is idempotent: re-executing a covered plan costs
+// only map lookups.
+func (s *Session) Execute(specs []runspec.RunSpec) error {
+	ex := &runspec.Executor{
+		Workers: s.cfg.Workers,
+		Lookup:  s.lookup,
+		Store:   s.store,
+		OnDone: func(sp runspec.RunSpec, res *core.Result, cached bool) {
+			verb := "ran"
+			if cached {
+				verb = "hit"
+			}
+			s.progressLine(verb, sp, res)
+		},
+	}
+	_, err := ex.Execute(specs)
+	if err != nil {
+		return fmt.Errorf("harness: %w", err)
+	}
+	return nil
+}
+
+// progressLine emits one completed-run line. The format is stable and
+// content-deterministic: it depends only on the spec and its (single-
+// threaded, deterministic) result, never on timing.
+func (s *Session) progressLine(verb string, sp runspec.RunSpec, res *core.Result) {
+	if s.progress == nil {
+		return
+	}
+	extra := ""
+	if sp.AdaptiveARSync {
+		extra += " adaptive"
+	}
+	if sp.ForwardQueue {
+		extra += " fq"
+	}
+	fmt.Fprintf(s.progress, "%s %-9s %-10v %v @%2d CMPs tl=%v si=%v%s: %d cycles\n",
+		verb, sp.Kernel, sp.Mode, sp.ARSync, sp.CMPs,
+		sp.TransparentLoads, sp.SelfInvalidate, extra, res.Cycles)
+}
+
+// result returns the completed run for a spec. Specs a figure's plan
+// declared are already memoized by Execute; a plan miss is simulated
+// inline (serially) so rendering never fails on coverage drift.
+// Verification failures are returned as errors: a figure must never be
+// built from wrong numerics.
+func (s *Session) result(sp runspec.RunSpec) (*core.Result, error) {
+	sp = sp.Normalize()
+	if res, ok := s.lookup(sp); ok {
 		return res, nil
 	}
-	k, err := kernels.New(kernel, s.cfg.Size)
+	res, err := sp.Run()
 	if err != nil {
-		return nil, err
-	}
-	res, err := core.Run(core.Options{
-		CMPs:             cmps,
-		Mode:             mode,
-		ARSync:           ar,
-		TransparentLoads: tl,
-		SelfInvalidate:   si,
-	}, k)
-	if err != nil {
-		return nil, fmt.Errorf("harness: %s %v/%v @%d: %w", kernel, mode, ar, cmps, err)
+		return nil, fmt.Errorf("harness: %w", err)
 	}
 	if res.VerifyErr != nil {
-		return nil, fmt.Errorf("harness: %s %v/%v @%d: verification: %w", kernel, mode, ar, cmps, res.VerifyErr)
+		return nil, fmt.Errorf("harness: %v: verification: %w", sp, res.VerifyErr)
 	}
-	if s.cfg.Progress != nil {
-		fmt.Fprintf(s.cfg.Progress, "ran %-9s %-10v %v @%2d CMPs tl=%v si=%v: %d cycles\n",
-			kernel, mode, ar, cmps, tl, si, res.Cycles)
-	}
-	s.memo[key] = res
+	s.store(sp, res)
+	s.progressLine("ran", sp, res)
 	return res, nil
 }
 
 // sequential returns the one-task baseline run for a kernel.
 func (s *Session) sequential(kernel string) (*core.Result, error) {
-	return s.run(kernel, core.ModeSequential, 0, 1, false, false)
+	return s.result(s.spec(kernel, core.ModeSequential, 0, 1, false, false))
 }
 
 // single returns the single-mode run at the given machine size.
 func (s *Session) single(kernel string, cmps int) (*core.Result, error) {
-	return s.run(kernel, core.ModeSingle, 0, cmps, false, false)
+	return s.result(s.spec(kernel, core.ModeSingle, 0, cmps, false, false))
 }
 
 // double returns the double-mode run at the given machine size.
 func (s *Session) double(kernel string, cmps int) (*core.Result, error) {
-	return s.run(kernel, core.ModeDouble, 0, cmps, false, false)
+	return s.result(s.spec(kernel, core.ModeDouble, 0, cmps, false, false))
 }
 
 // slip returns a slipstream run.
 func (s *Session) slip(kernel string, ar core.ARSync, cmps int, tl, si bool) (*core.Result, error) {
-	return s.run(kernel, core.ModeSlipstream, ar, cmps, tl, si)
+	return s.result(s.spec(kernel, core.ModeSlipstream, ar, cmps, tl, si))
 }
 
 // bestARSync returns the A-R policy with the best prefetch-only slipstream
@@ -144,17 +255,47 @@ func (s *Session) bestARSync(kernel string, cmps int) (core.ARSync, error) {
 	return best, nil
 }
 
-// All renders every table and figure in paper order, followed by the
-// Section 6 extension studies.
-func (s *Session) All() error {
-	steps := []func() error{
-		s.Table1, s.Table2, s.Fig1, s.Fig4, s.Fig5, s.Fig6, s.Fig7, s.Fig9, s.Fig10,
-		s.ExtAdaptive, s.ExtForward, s.ExtSensitivity, s.ExtLeads, s.ExtBanks,
+// RunFigures plans, executes, and renders the figures with the given
+// tags, in registry (paper) order regardless of argument order.
+func (s *Session) RunFigures(tags ...string) error {
+	reg := Figures()
+	known := make(map[string]bool, len(reg))
+	for _, f := range reg {
+		known[f.Tag] = true
 	}
-	for _, step := range steps {
-		if err := step(); err != nil {
-			return err
+	want := make(map[string]bool, len(tags))
+	for _, tag := range tags {
+		if !known[tag] {
+			return fmt.Errorf("harness: unknown figure tag %q", tag)
+		}
+		want[tag] = true
+	}
+	var selected []Figure
+	for _, f := range reg {
+		if want[f.Tag] {
+			selected = append(selected, f)
+		}
+	}
+
+	var specs []runspec.RunSpec
+	for _, f := range selected {
+		if f.Plan != nil {
+			specs = append(specs, f.Plan(s)...)
+		}
+	}
+	if err := s.Execute(specs); err != nil {
+		return err
+	}
+	for _, f := range selected {
+		if err := f.Render(s); err != nil {
+			return fmt.Errorf("harness: %s: %w", f.Tag, err)
 		}
 	}
 	return nil
+}
+
+// All renders every table and figure in paper order, followed by the
+// Section 6 extension studies.
+func (s *Session) All() error {
+	return s.RunFigures(Tags()...)
 }

@@ -55,7 +55,11 @@ func TestReferenceIndependentOfTaskCount(t *testing.T) {
 func TestSimulatedFFTVerifies(t *testing.T) {
 	for _, mode := range []core.Mode{core.ModeSingle, core.ModeSlipstream} {
 		k := New(Config{LogN: 8})
-		res, err := core.Run(core.Options{Mode: mode, CMPs: 4, ARSync: core.ZeroTokenLocal}, k)
+		opts := core.Options{Mode: mode, CMPs: 4}
+		if mode == core.ModeSlipstream {
+			opts.ARSync = core.ZeroTokenLocal
+		}
+		res, err := core.Run(opts, k)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -55,6 +55,27 @@ func ParseSize(s string) (Size, error) {
 	return 0, fmt.Errorf("kernels: unknown size %q (want tiny, small, or paper)", s)
 }
 
+// MarshalJSON encodes the preset as its String form.
+func (s Size) MarshalJSON() ([]byte, error) {
+	if s < Tiny || s > Paper {
+		return nil, fmt.Errorf("kernels: unknown size Size(%d)", int(s))
+	}
+	return []byte(`"` + s.String() + `"`), nil
+}
+
+// UnmarshalJSON decodes a preset from its String form via ParseSize.
+func (s *Size) UnmarshalJSON(b []byte) error {
+	if len(b) < 2 || b[0] != '"' || b[len(b)-1] != '"' {
+		return fmt.Errorf("kernels: not a JSON string: %s", b)
+	}
+	v, err := ParseSize(string(b[1 : len(b)-1]))
+	if err != nil {
+		return err
+	}
+	*s = v
+	return nil
+}
+
 // Names lists the benchmarks in the paper's Table 2 order.
 func Names() []string {
 	return []string{"FFT", "OCEAN", "WATER-NS", "WATER-SP", "SOR", "LU", "CG", "MG", "SP"}

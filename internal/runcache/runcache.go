@@ -1,0 +1,195 @@
+// Package runcache persists completed simulation results on disk so
+// repeated harness invocations are near-instant. Entries are keyed by a
+// content hash of the normalized RunSpec — which folds in the benchmark,
+// size preset, execution mode, feature flags, and the full machine
+// parameter set — together with the simulator semantics version, so a
+// cache never serves results the current simulator would not reproduce.
+//
+// Entries are JSON files written atomically (temp file + rename), safe
+// for concurrent writers within and across processes. Opening a cache
+// prunes entries left by other simulator versions.
+package runcache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"slipstream/internal/core"
+	"slipstream/internal/runspec"
+)
+
+// Cache is a directory of persisted run results for one simulator
+// version. Methods are safe for concurrent use.
+type Cache struct {
+	dir     string
+	version string
+}
+
+// DefaultDir returns the conventional cache location: the slipstream
+// subdirectory of the user cache directory, or a temp-dir fallback when
+// the platform reports none.
+func DefaultDir() string {
+	if d, err := os.UserCacheDir(); err == nil {
+		return filepath.Join(d, "slipstream", "runs")
+	}
+	return filepath.Join(os.TempDir(), "slipstream-runs")
+}
+
+// Open creates (if needed) and opens the cache directory for the given
+// simulator version (normally core.SimVersion), evicting entries that
+// were written by any other version.
+func Open(dir, version string) (*Cache, error) {
+	if dir == "" {
+		dir = DefaultDir()
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("runcache: %w", err)
+	}
+	c := &Cache{dir: dir, version: version}
+	if err := c.prune(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Dir returns the cache directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// entry is the on-disk format. Version and Spec are stored alongside the
+// result so entries are self-describing and verifiable independent of
+// their filename.
+type entry struct {
+	Version string          `json:"version"`
+	Spec    runspec.RunSpec `json:"spec"`
+	Result  *core.Result    `json:"result"`
+}
+
+// Key returns the content hash naming sp's cache entry: SHA-256 over the
+// simulator version and the canonical JSON of the normalized spec.
+func (c *Cache) Key(sp runspec.RunSpec) (string, error) {
+	b, err := json.Marshal(struct {
+		Version string          `json:"version"`
+		Spec    runspec.RunSpec `json:"spec"`
+	}{c.version, sp.Normalize()})
+	if err != nil {
+		return "", fmt.Errorf("runcache: hashing spec: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:16]), nil
+}
+
+// path returns the entry filename: the version (sanitized) is a prefix so
+// stale entries are recognizable without reading them.
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, "v"+sanitize(c.version)+"-"+key+".json")
+}
+
+// Load returns the stored result for sp, if present and valid. Corrupt
+// or mismatched entries are evicted and reported as misses.
+func (c *Cache) Load(sp runspec.RunSpec) (*core.Result, bool) {
+	key, err := c.Key(sp)
+	if err != nil {
+		return nil, false
+	}
+	path := c.path(key)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false
+	}
+	var e entry
+	if json.Unmarshal(b, &e) != nil ||
+		e.Version != c.version ||
+		e.Spec != sp.Normalize() ||
+		e.Result == nil ||
+		e.Result.VerifyErr != nil {
+		os.Remove(path)
+		return nil, false
+	}
+	return e.Result, true
+}
+
+// Store persists a completed run atomically. Unverified results are
+// rejected: a cache must never replay wrong numerics into a figure.
+func (c *Cache) Store(sp runspec.RunSpec, res *core.Result) error {
+	if res == nil || res.VerifyErr != nil {
+		return fmt.Errorf("runcache: refusing to store unverified result for %v", sp)
+	}
+	sp = sp.Normalize()
+	key, err := c.Key(sp)
+	if err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(entry{Version: c.version, Spec: sp, Result: res}, "", "\t")
+	if err != nil {
+		return fmt.Errorf("runcache: encoding %v: %w", sp, err)
+	}
+	tmp, err := os.CreateTemp(c.dir, "tmp-*")
+	if err != nil {
+		return fmt.Errorf("runcache: %w", err)
+	}
+	_, werr := tmp.Write(b)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runcache: writing %v: %w", sp, firstErr(werr, cerr))
+	}
+	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runcache: %w", err)
+	}
+	return nil
+}
+
+// Len returns the number of entries currently stored for this version.
+func (c *Cache) Len() int {
+	names, err := filepath.Glob(filepath.Join(c.dir, "v"+sanitize(c.version)+"-*.json"))
+	if err != nil {
+		return 0
+	}
+	return len(names)
+}
+
+// prune evicts entries written by other simulator versions (and orphaned
+// temp files). The version prefix in the filename makes this a pure
+// directory scan.
+func (c *Cache) prune() error {
+	entries, err := os.ReadDir(c.dir)
+	if err != nil {
+		return fmt.Errorf("runcache: %w", err)
+	}
+	keep := "v" + sanitize(c.version) + "-"
+	for _, de := range entries {
+		name := de.Name()
+		stale := strings.HasPrefix(name, "v") && strings.HasSuffix(name, ".json") &&
+			!strings.HasPrefix(name, keep)
+		if stale || strings.HasPrefix(name, "tmp-") {
+			os.Remove(filepath.Join(c.dir, name))
+		}
+	}
+	return nil
+}
+
+// sanitize keeps version strings filename- and prefix-safe.
+func sanitize(v string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '.':
+			return r
+		}
+		return '_'
+	}, v)
+}
+
+func firstErr(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

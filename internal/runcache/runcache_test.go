@@ -1,0 +1,141 @@
+package runcache
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"slipstream/internal/core"
+	"slipstream/internal/kernels"
+	"slipstream/internal/runspec"
+)
+
+func tinySpec() runspec.RunSpec {
+	return runspec.RunSpec{
+		Kernel: "SOR", Size: kernels.Tiny,
+		Mode: core.ModeSlipstream, ARSync: core.ZeroTokenLocal, CMPs: 2,
+	}
+}
+
+func TestRoundTripDeepEqual(t *testing.T) {
+	c, err := Open(t.TempDir(), core.SimVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := tinySpec()
+	res, err := sp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Load(sp); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	if err := c.Store(sp, res); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Load(sp)
+	if !ok {
+		t.Fatal("stored entry not found")
+	}
+	if !reflect.DeepEqual(got, res) {
+		t.Fatalf("round trip changed result:\n got %+v\nwant %+v", got, res)
+	}
+	// A normalized-equal spec (explicit default machine) hits the same entry.
+	if _, ok := c.Load(sp.Normalize()); !ok {
+		t.Error("normalized spec missed the cache")
+	}
+}
+
+func TestDistinctSpecsDistinctEntries(t *testing.T) {
+	c, err := Open(t.TempDir(), core.SimVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := tinySpec()
+	b := tinySpec()
+	b.TransparentLoads = true
+	ra, err := a.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Store(a, ra); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Load(b); ok {
+		t.Error("spec with different feature flags hit the wrong entry")
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestStaleVersionEvictedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	old, err := Open(dir, "0-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := tinySpec()
+	res, err := sp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := old.Store(sp, res); err != nil {
+		t.Fatal(err)
+	}
+	if old.Len() != 1 {
+		t.Fatalf("seed entry not written")
+	}
+
+	// A new simulator version prunes the old entry and misses.
+	cur, err := Open(dir, "1-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cur.Load(sp); ok {
+		t.Error("stale-version entry served")
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 0 {
+		t.Errorf("stale entries not evicted: %v", files)
+	}
+}
+
+func TestCorruptEntryEvictedOnLoad(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir, core.SimVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := tinySpec()
+	key, err := c.Key(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := c.path(key)
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Load(sp); ok {
+		t.Fatal("corrupt entry served")
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Error("corrupt entry not evicted")
+	}
+}
+
+func TestStoreRejectsUnverified(t *testing.T) {
+	c, err := Open(t.TempDir(), core.SimVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := &core.Result{Kernel: "SOR", VerifyErr: errors.New("wrong numerics")}
+	if err := c.Store(tinySpec(), res); err == nil {
+		t.Fatal("unverified result stored")
+	}
+}

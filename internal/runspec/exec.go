@@ -1,0 +1,153 @@
+package runspec
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"slipstream/internal/core"
+)
+
+// Executor runs sets of RunSpecs on a bounded worker pool. Specs are
+// normalized and deduplicated, so an executor is handed the union of
+// every figure's plan and simulates each distinct configuration exactly
+// once. Each simulation remains single-threaded and deterministic;
+// parallelism is only across independent runs, so results are
+// bit-identical to serial execution.
+type Executor struct {
+	// Workers bounds concurrent simulations. Zero or negative selects
+	// runtime.NumCPU().
+	Workers int
+
+	// Lookup, when set, is probed before scheduling a spec; returning
+	// ok=true satisfies the spec without simulating (memo or persistent
+	// cache hit). It may be called from Execute's caller goroutine only.
+	Lookup func(RunSpec) (*core.Result, bool)
+
+	// Store, when set, receives each freshly simulated, verified result.
+	// Calls are serialized by the executor.
+	Store func(RunSpec, *core.Result)
+
+	// OnDone, when set, observes every distinct spec exactly once, in
+	// deterministic plan order regardless of worker interleaving; cached
+	// reports whether Lookup satisfied it. Calls are serialized.
+	OnDone func(spec RunSpec, res *core.Result, cached bool)
+}
+
+const (
+	statePending = iota
+	stateDone
+	stateFailed
+)
+
+// Execute runs every spec and returns results in input order (duplicates
+// share one result). A simulation error or numeric verification failure
+// aborts scheduling of not-yet-started specs and is returned — always the
+// error of the earliest failing spec in plan order, so failures are
+// deterministic too. On error the result slice is nil.
+func (e *Executor) Execute(specs []RunSpec) ([]*core.Result, error) {
+	norm := make([]RunSpec, len(specs))
+	index := make(map[RunSpec]int)
+	var unique []RunSpec
+	for i, sp := range specs {
+		sp = sp.Normalize()
+		norm[i] = sp
+		if _, ok := index[sp]; !ok {
+			index[sp] = len(unique)
+			unique = append(unique, sp)
+		}
+	}
+
+	results := make([]*core.Result, len(unique))
+	errs := make([]error, len(unique))
+	state := make([]uint8, len(unique))
+	cached := make([]bool, len(unique))
+
+	var mu sync.Mutex
+	next := 0
+	// flush reports completions in plan order; callers hold mu.
+	flush := func() {
+		for next < len(unique) && state[next] == stateDone {
+			if e.OnDone != nil {
+				e.OnDone(unique[next], results[next], cached[next])
+			}
+			next++
+		}
+	}
+
+	var todo []int
+	for i, sp := range unique {
+		if e.Lookup != nil {
+			if res, ok := e.Lookup(sp); ok {
+				results[i] = res
+				cached[i] = true
+				state[i] = stateDone
+				continue
+			}
+		}
+		todo = append(todo, i)
+	}
+	mu.Lock()
+	flush()
+	mu.Unlock()
+
+	if len(todo) > 0 {
+		workers := e.Workers
+		if workers <= 0 {
+			workers = runtime.NumCPU()
+		}
+		if workers > len(todo) {
+			workers = len(todo)
+		}
+		jobs := make(chan int)
+		var aborted atomic.Bool
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					if aborted.Load() {
+						continue
+					}
+					sp := unique[i]
+					res, err := sp.Run()
+					if err == nil && res.VerifyErr != nil {
+						err = fmt.Errorf("%v: verification: %w", sp, res.VerifyErr)
+					}
+					mu.Lock()
+					if err != nil {
+						errs[i] = err
+						state[i] = stateFailed
+						aborted.Store(true)
+					} else {
+						if e.Store != nil {
+							e.Store(sp, res)
+						}
+						results[i] = res
+						state[i] = stateDone
+						flush()
+					}
+					mu.Unlock()
+				}
+			}()
+		}
+		for _, i := range todo {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+	}
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := make([]*core.Result, len(specs))
+	for i, sp := range norm {
+		out[i] = results[index[sp]]
+	}
+	return out, nil
+}

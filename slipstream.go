@@ -86,6 +86,30 @@ const (
 // ARSyncs lists all four A-R policies in the paper's order.
 var ARSyncs = core.ARSyncs
 
+// SimVersion identifies the simulation semantics. It participates in
+// persistent run-cache keys: results cached under a different version are
+// never served.
+const SimVersion = core.SimVersion
+
+// Validation errors returned by Options.Validate (and thus Run). Match
+// with errors.Is.
+var (
+	// ErrUnknownMode reports a Mode outside the four execution modes.
+	ErrUnknownMode = core.ErrUnknownMode
+	// ErrUnknownARSync reports an ARSync outside the four policies.
+	ErrUnknownARSync = core.ErrUnknownARSync
+	// ErrCMPCount reports a CMP count below 1.
+	ErrCMPCount = core.ErrCMPCount
+	// ErrSelfInvalidateNeedsTransparentLoads reports SelfInvalidate
+	// without TransparentLoads (Section 5.2: the self-invalidation hints
+	// ride on the transparent-load mechanism).
+	ErrSelfInvalidateNeedsTransparentLoads = core.ErrSelfInvalidateNeedsTL
+	// ErrSlipstreamOnly reports a slipstream-only option (ARSync,
+	// AdaptiveARSync, TransparentLoads, SelfInvalidate, ForwardQueue) set
+	// under another execution mode.
+	ErrSlipstreamOnly = core.ErrSlipstreamOnly
+)
+
 // Benchmark size presets.
 const (
 	SizeTiny  = kernels.Tiny
@@ -130,4 +154,18 @@ func NewKernel(name string, size KernelSize) (Kernel, error) {
 // ParseKernelSize converts "tiny", "small", or "paper".
 func ParseKernelSize(s string) (KernelSize, error) {
 	return kernels.ParseSize(s)
+}
+
+// ParseMode converts an execution-mode name ("sequential", "single",
+// "double", "slipstream"; case-insensitive). It is the exact inverse of
+// Mode.String.
+func ParseMode(s string) (Mode, error) {
+	return core.ParseMode(s)
+}
+
+// ParseARSync converts an A-R synchronization policy name ("L1", "L0",
+// "G1", "G0"; case-insensitive). It is the exact inverse of
+// ARSync.String.
+func ParseARSync(s string) (ARSync, error) {
+	return core.ParseARSync(s)
 }

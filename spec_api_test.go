@@ -1,0 +1,84 @@
+package slipstream_test
+
+import (
+	"errors"
+	"testing"
+
+	"slipstream"
+)
+
+func TestPublicAPIParseModeAndARSync(t *testing.T) {
+	for _, m := range []slipstream.Mode{slipstream.Sequential, slipstream.Single, slipstream.Double, slipstream.Slipstream} {
+		got, err := slipstream.ParseMode(m.String())
+		if err != nil || got != m {
+			t.Errorf("ParseMode(%q) = %v, %v", m.String(), got, err)
+		}
+	}
+	for _, ar := range slipstream.ARSyncs {
+		got, err := slipstream.ParseARSync(ar.String())
+		if err != nil || got != ar {
+			t.Errorf("ParseARSync(%q) = %v, %v", ar.String(), got, err)
+		}
+	}
+	if _, err := slipstream.ParseMode("warp"); !errors.Is(err, slipstream.ErrUnknownMode) {
+		t.Errorf("ParseMode(warp) = %v, want ErrUnknownMode", err)
+	}
+	if _, err := slipstream.ParseARSync("Z3"); !errors.Is(err, slipstream.ErrUnknownARSync) {
+		t.Errorf("ParseARSync(Z3) = %v, want ErrUnknownARSync", err)
+	}
+}
+
+func TestPublicAPIValidateErrors(t *testing.T) {
+	err := slipstream.Options{
+		Mode: slipstream.Slipstream, CMPs: 2, SelfInvalidate: true,
+	}.Validate()
+	if !errors.Is(err, slipstream.ErrSelfInvalidateNeedsTransparentLoads) {
+		t.Errorf("Validate = %v, want ErrSelfInvalidateNeedsTransparentLoads", err)
+	}
+	err = slipstream.Options{Mode: slipstream.Single, CMPs: 2, ForwardQueue: true}.Validate()
+	if !errors.Is(err, slipstream.ErrSlipstreamOnly) {
+		t.Errorf("Validate = %v, want ErrSlipstreamOnly", err)
+	}
+}
+
+func TestPublicAPIRunSpecExecute(t *testing.T) {
+	specs := []slipstream.RunSpec{
+		{Kernel: "SOR", Size: slipstream.SizeTiny, Mode: slipstream.Single, CMPs: 2},
+		{Kernel: "SOR", Size: slipstream.SizeTiny, Mode: slipstream.Slipstream, ARSync: slipstream.G0, CMPs: 2},
+		{Kernel: "SOR", Size: slipstream.SizeTiny, Mode: slipstream.Single, CMPs: 2}, // duplicate of the first
+	}
+	results, err := slipstream.Execute(specs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results for 3 specs", len(results))
+	}
+	if results[0] != results[2] {
+		t.Error("duplicate specs did not share one simulation")
+	}
+	if results[0].Cycles <= 0 || results[1].Cycles <= 0 {
+		t.Errorf("non-positive cycle counts: %d, %d", results[0].Cycles, results[1].Cycles)
+	}
+	if results[1].Mode != slipstream.Slipstream {
+		t.Errorf("result mode = %v", results[1].Mode)
+	}
+}
+
+func TestPublicAPIRunSpecValidateAndRun(t *testing.T) {
+	sp := slipstream.RunSpec{Kernel: "CG", Size: slipstream.SizeTiny, Mode: slipstream.Double, CMPs: 2}
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VerifyErr != nil {
+		t.Fatal(res.VerifyErr)
+	}
+	bad := slipstream.RunSpec{Kernel: "nope", Size: slipstream.SizeTiny, Mode: slipstream.Single, CMPs: 2}
+	if err := bad.Validate(); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+}
