@@ -1,0 +1,140 @@
+// Command simlint runs the repository's determinism and API-invariant
+// analyzers (internal/analysis) over the module:
+//
+//	go run ./cmd/simlint ./...
+//
+// It prints one "file:line:col: [analyzer] message" line per finding
+// (or a JSON array with -json) and exits non-zero when anything is
+// flagged. Findings are suppressed in source with
+// "//simlint:ignore <analyzers> <reason>" on (or directly above) the
+// offending line, and order-dependent map ranges proven commutative or
+// pre-sorted with "//simlint:ordered <reason>". See DESIGN.md section
+// "Determinism invariants" for the rules and why the run cache depends
+// on them.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"slipstream/internal/analysis"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: simlint [-json] [packages]\n\npackages are directory patterns (default ./...)\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	diags, err := run(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		os.Exit(2)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []analysis.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(os.Stderr, "simlint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Printf("%s:%d:%d: [%s] %s\n", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "simlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func run(patterns []string) ([]analysis.Diagnostic, error) {
+	moduleDir, err := findModuleRoot()
+	if err != nil {
+		return nil, err
+	}
+	loader, err := analysis.NewLoader(moduleDir)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := analysis.ExpandPatterns(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*analysis.Package
+	for _, dir := range dirs {
+		path, err := importPathFor(loader, dir)
+		if err != nil {
+			return nil, err
+		}
+		pkg, err := loader.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	prog := &analysis.Program{Pkgs: pkgs, All: loader.Loaded()}
+	return prog.Run(analysis.Analyzers()), nil
+}
+
+// findModuleRoot walks up from the working directory to the nearest
+// go.mod, returning a path relative to the working directory when
+// possible so findings print as repo-relative file paths.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	abs := dir
+	for {
+		if _, err := os.Stat(filepath.Join(abs, "go.mod")); err == nil {
+			if rel, err := filepath.Rel(dir, abs); err == nil {
+				return rel, nil
+			}
+			return abs, nil
+		}
+		parent := filepath.Dir(abs)
+		if parent == abs {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		abs = parent
+	}
+}
+
+// importPathFor maps a source directory to its module import path.
+func importPathFor(l *analysis.Loader, dir string) (string, error) {
+	absDir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	absRoot, err := filepath.Abs(l.ModuleDir)
+	if err != nil {
+		return "", err
+	}
+	rel, err := filepath.Rel(absRoot, absDir)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return l.ModulePath, nil
+	}
+	if strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("%s is outside module %s", dir, l.ModulePath)
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel), nil
+}

@@ -1,0 +1,137 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatSum flags floating-point accumulation inside map iteration.
+// Floating-point addition is not associative, so even when every element
+// is visited exactly once, the randomized visit order changes the rounded
+// sum — a value that then flows into figures, CSV output, and the run
+// cache. Accumulate over sorted keys instead, or justify commutativity
+// (e.g. exactly-representable values) with //simlint:ordered.
+var FloatSum = &Analyzer{
+	Name: "floatsum",
+	Doc:  "flag float accumulation in map-iteration order",
+	Run:  runFloatSum,
+}
+
+func runFloatSum(p *Pass) {
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok || !rangesOverMap(info, rs) || rs.Key == nil {
+				return true
+			}
+			keyObj := rangeVarObj(info, rs.Key)
+			var accums []string
+			inspectBody(rs.Body, func(n ast.Node) {
+				if as, ok := n.(*ast.AssignStmt); ok {
+					if name, bad := floatAccumHazard(info, rs, keyObj, as); bad {
+						accums = append(accums, name)
+					}
+				}
+			})
+			for _, name := range accums {
+				p.Report(rs.Pos(), fmt.Sprintf(
+					"floating-point accumulation into %q in map-iteration order: float addition is not associative, so the randomized order changes the rounded result (iterate sorted keys or annotate //simlint:ordered <reason>)",
+					name))
+			}
+			return true
+		})
+	}
+}
+
+// inspectBody walks a statement, skipping function literals.
+func inspectBody(n ast.Node, fn func(ast.Node)) {
+	ast.Inspect(n, func(c ast.Node) bool {
+		if _, ok := c.(*ast.FuncLit); ok {
+			return false
+		}
+		if c != nil {
+			fn(c)
+		}
+		return true
+	})
+}
+
+// floatAccumHazard reports whether the assignment accumulates a float into
+// storage declared outside the range statement (x += v, x = x + v, or an
+// indexed element not keyed by the loop key).
+func floatAccumHazard(info *types.Info, rs *ast.RangeStmt, keyObj types.Object, as *ast.AssignStmt) (string, bool) {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return "", false
+	}
+	lhs := as.Lhs[0]
+	if !isFloat(info.Types[lhs].Type) {
+		return "", false
+	}
+	accumulates := false
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		accumulates = true
+	case token.ASSIGN:
+		accumulates = selfReferencing(info, lhs, as.Rhs[0])
+	}
+	if !accumulates {
+		return "", false
+	}
+	switch lhs := lhs.(type) {
+	case *ast.Ident:
+		obj := info.Uses[lhs]
+		if obj != nil && declaredOutside(obj, rs) {
+			return lhs.Name, true
+		}
+	case *ast.IndexExpr:
+		if keyObj != nil && usesOnlyObj(info, lhs.Index, keyObj) {
+			return "", false // one visit per distinct key
+		}
+		if obj, outer := baseObj(info, lhs.X, rs); outer {
+			return obj.Name(), true
+		}
+	case *ast.SelectorExpr, *ast.StarExpr:
+		var base ast.Expr
+		if sel, ok := lhs.(*ast.SelectorExpr); ok {
+			base = sel.X
+		} else {
+			base = lhs.(*ast.StarExpr).X
+		}
+		if obj, outer := baseObj(info, base, rs); outer {
+			return obj.Name(), true
+		}
+	}
+	return "", false
+}
+
+// isFloat reports whether t is (or is based on) a floating-point type.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// selfReferencing reports whether rhs mentions the lhs target (x = x + v).
+func selfReferencing(info *types.Info, lhs, rhs ast.Expr) bool {
+	id, ok := lhs.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(rhs, func(n ast.Node) bool {
+		if rid, ok := n.(*ast.Ident); ok && info.Uses[rid] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

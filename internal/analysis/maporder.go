@@ -1,0 +1,403 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapOrder flags range statements over maps whose bodies are
+// order-dependent: they write accumulators declared outside the loop,
+// call impure functions (output, cycle charging), or exit early. Go
+// randomizes map iteration order per process, so any such loop makes
+// output or simulated timing vary run to run. The one blessed idiom —
+// collecting the keys into a slice that is sorted immediately after the
+// loop — is recognized and not flagged. Everything else needs sorted-key
+// iteration or a //simlint:ordered justification.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flag order-dependent iteration over maps",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			list := stmtList(n)
+			for i, stmt := range list {
+				rs, label := unwrapRange(stmt)
+				if rs == nil || !rangesOverMap(p.Pkg.Info, rs) {
+					continue
+				}
+				checkMapRange(p, rs, label, list[i+1:])
+			}
+			return true
+		})
+	}
+}
+
+// stmtList returns the statement list a node carries, if any.
+func stmtList(n ast.Node) []ast.Stmt {
+	switch n := n.(type) {
+	case *ast.BlockStmt:
+		return n.List
+	case *ast.CaseClause:
+		return n.Body
+	case *ast.CommClause:
+		return n.Body
+	}
+	return nil
+}
+
+// unwrapRange returns the range statement (and its label) behind stmt.
+func unwrapRange(stmt ast.Stmt) (*ast.RangeStmt, string) {
+	label := ""
+	if ls, ok := stmt.(*ast.LabeledStmt); ok {
+		label = ls.Label.Name
+		stmt = ls.Stmt
+	}
+	rs, _ := stmt.(*ast.RangeStmt)
+	return rs, label
+}
+
+func rangesOverMap(info *types.Info, rs *ast.RangeStmt) bool {
+	t := info.Types[rs.X].Type
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// hazard is one order-dependent effect found in a map-range body.
+type hazard struct {
+	detail string
+	// keyCollect marks the benign-if-sorted idiom: appending the loop key
+	// to this outer slice variable.
+	keyCollect types.Object
+}
+
+// checkMapRange analyzes one range-over-map statement; following holds the
+// statements after it in the same block (for the sorted-keys idiom).
+func checkMapRange(p *Pass, rs *ast.RangeStmt, label string, following []ast.Stmt) {
+	keyObj := rangeVarObj(p.Pkg.Info, rs.Key)
+	if rs.Key == nil {
+		// `for range m` observes nothing per-element; order cannot matter.
+		return
+	}
+	hazards := collectHazards(p.Pkg.Info, rs, label, keyObj)
+	if len(hazards) == 0 {
+		return
+	}
+	var details []string
+	sorted := true
+	for _, h := range hazards {
+		if h.keyCollect == nil || !sortedAfter(p.Pkg.Info, following, h.keyCollect) {
+			sorted = false
+			details = append(details, h.detail)
+		}
+	}
+	if sorted {
+		return // pure key collection, sorted right after the loop
+	}
+	if len(details) > 3 {
+		details = append(details[:3], fmt.Sprintf("and %d more", len(details)-3))
+	}
+	p.Report(rs.Pos(), fmt.Sprintf(
+		"order-dependent iteration over map %s: %s (map order is randomized; iterate sorted keys, or annotate //simlint:ordered <reason> if commutative)",
+		types.ExprString(rs.X), strings.Join(details, "; ")))
+}
+
+// rangeVarObj resolves a range clause variable to its object.
+func rangeVarObj(info *types.Info, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+// pureCallPkgs are packages whose exported functions neither mutate
+// non-argument state nor emit output.
+var pureCallPkgs = map[string]bool{
+	"math": true, "math/bits": true, "math/cmplx": true,
+	"strings": true, "strconv": true, "unicode": true, "unicode/utf8": true,
+	"sort": true, "slices": true, "maps": true, "cmp": true, "errors": true,
+}
+
+// collectHazards walks the range body recording order-dependent effects.
+func collectHazards(info *types.Info, rs *ast.RangeStmt, label string, keyObj types.Object) []hazard {
+	var out []hazard
+	add := func(format string, args ...any) {
+		out = append(out, hazard{detail: fmt.Sprintf(format, args...)})
+	}
+	// loopDepth tracks nesting of for/range/switch/select inside the body,
+	// to know which break/continue statements target this range.
+	var walk func(n ast.Node, loopDepth int)
+	walk = func(n ast.Node, loopDepth int) {
+		if n == nil {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return // a closure only matters when called; the call is flagged
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			loopDepth++
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE {
+				for _, lhs := range n.Lhs {
+					if h, bad := writeHazard(info, rs, keyObj, lhs, n); bad {
+						out = append(out, h)
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if h, bad := writeHazard(info, rs, keyObj, n.X, nil); bad {
+				out = append(out, h)
+			}
+		case *ast.CallExpr:
+			if detail, bad := callHazard(info, rs, keyObj, n); bad {
+				add("%s", detail)
+			}
+		case *ast.ReturnStmt:
+			add("returns from inside the iteration (an arbitrary element decides the result)")
+		case *ast.BranchStmt:
+			switch n.Tok {
+			case token.BREAK:
+				if (n.Label == nil && loopDepth == 0) || (n.Label != nil && n.Label.Name == label && label != "") {
+					add("breaks out of the iteration (an arbitrary element decides when)")
+				}
+			case token.GOTO:
+				add("goto inside the iteration")
+			}
+		}
+		children(n, func(c ast.Node) { walk(c, loopDepth) })
+	}
+	walk(rs.Body, 0)
+	return out
+}
+
+// children invokes fn for each direct child node of n.
+func children(n ast.Node, fn func(ast.Node)) {
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if c != nil {
+			fn(c)
+		}
+		return false
+	})
+}
+
+// writeHazard classifies a write through lhs inside the range body.
+// assign is the enclosing assignment (nil for ++/--).
+func writeHazard(info *types.Info, rs *ast.RangeStmt, keyObj types.Object, lhs ast.Expr, assign *ast.AssignStmt) (hazard, bool) {
+	switch lhs := lhs.(type) {
+	case *ast.Ident:
+		if lhs.Name == "_" {
+			return hazard{}, false
+		}
+		obj := info.Uses[lhs]
+		if obj == nil || !declaredOutside(obj, rs) {
+			return hazard{}, false
+		}
+		// keys = append(keys, k): key collection, benign if sorted after.
+		if assign != nil && len(assign.Lhs) == 1 && len(assign.Rhs) == 1 &&
+			isKeyAppend(info, assign.Rhs[0], obj, keyObj) {
+			return hazard{
+				detail:     fmt.Sprintf("collects keys into %q without sorting them afterwards", lhs.Name),
+				keyCollect: obj,
+			}, true
+		}
+		return hazard{detail: fmt.Sprintf("writes accumulator %q declared outside the loop", lhs.Name)}, true
+	case *ast.IndexExpr:
+		// m2[k] = ...: distinct keys touch distinct elements; commutative.
+		if keyObj != nil && usesOnlyObj(info, lhs.Index, keyObj) {
+			return hazard{}, false
+		}
+		if obj, outer := baseObj(info, lhs.X, rs); outer {
+			return hazard{detail: fmt.Sprintf("writes element of %q indexed independently of the loop key", obj.Name())}, true
+		}
+		return hazard{}, false
+	case *ast.SelectorExpr:
+		if obj, outer := baseObj(info, lhs.X, rs); outer {
+			return hazard{detail: fmt.Sprintf("writes field of %q declared outside the loop", obj.Name())}, true
+		}
+		return hazard{}, false
+	case *ast.StarExpr:
+		if obj, outer := baseObj(info, lhs.X, rs); outer {
+			return hazard{detail: fmt.Sprintf("writes through pointer %q declared outside the loop", obj.Name())}, true
+		}
+		return hazard{detail: "writes through a pointer inside the iteration"}, true
+	}
+	return hazard{}, false
+}
+
+// isKeyAppend reports whether rhs is exactly append(sliceObj, keyObj).
+func isKeyAppend(info *types.Info, rhs ast.Expr, sliceObj, keyObj types.Object) bool {
+	call, ok := rhs.(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 || call.Ellipsis != token.NoPos {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if b, ok := info.Uses[fn].(*types.Builtin); !ok || b.Name() != "append" {
+		return false
+	}
+	dst, ok := call.Args[0].(*ast.Ident)
+	if !ok || info.Uses[dst] != sliceObj {
+		return false
+	}
+	src, ok := call.Args[1].(*ast.Ident)
+	return ok && keyObj != nil && info.Uses[src] == keyObj
+}
+
+// callHazard classifies a call expression inside the range body.
+func callHazard(info *types.Info, rs *ast.RangeStmt, keyObj types.Object, call *ast.CallExpr) (string, bool) {
+	// Type conversions are pure.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return "", false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if b, ok := info.Uses[fun].(*types.Builtin); ok {
+			switch b.Name() {
+			case "append", "len", "cap", "min", "max", "new", "make", "panic", "real", "imag", "complex", "abs":
+				return "", false
+			case "delete":
+				// delete(m, k) on the ranged map, or keyed by the loop key
+				// on another map, touches each key once.
+				if len(call.Args) == 2 && keyObj != nil && usesOnlyObj(info, call.Args[1], keyObj) {
+					return "", false
+				}
+				return "deletes map entries independently of the loop key", true
+			case "print", "println":
+				return "emits output inside the iteration", true
+			default:
+				return "", false
+			}
+		}
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return namedCallHazard(fn)
+		}
+		return fmt.Sprintf("calls function value %q (side effects unknown)", fun.Name), true
+	case *ast.SelectorExpr:
+		fn, ok := info.Uses[fun.Sel].(*types.Func)
+		if !ok {
+			return fmt.Sprintf("calls %q (side effects unknown)", fun.Sel.Name), true
+		}
+		sig := fn.Type().(*types.Signature)
+		if sig.Recv() != nil {
+			// Methods on state declared inside the loop body are local.
+			if _, outer := baseObj(info, fun.X, rs); !outer {
+				return "", false
+			}
+			return fmt.Sprintf("calls method %s on state declared outside the loop", fn.Name()), true
+		}
+		return namedCallHazard(fn)
+	}
+	return "calls a computed function (side effects unknown)", true
+}
+
+// namedCallHazard decides whether a package-level function call is safe.
+func namedCallHazard(fn *types.Func) (string, bool) {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return "", false
+	}
+	if pureCallPkgs[pkg.Path()] {
+		return "", false
+	}
+	if pkg.Path() == "fmt" && (strings.HasPrefix(fn.Name(), "S") || fn.Name() == "Errorf") {
+		return "", false // Sprint* and Errorf only build values
+	}
+	return fmt.Sprintf("calls %s.%s (may emit output or charge state in iteration order)", pkg.Name(), fn.Name()), true
+}
+
+// baseObj chases an expression to its base identifier and reports whether
+// that identifier is declared outside the range statement.
+func baseObj(info *types.Info, e ast.Expr, rs *ast.RangeStmt) (types.Object, bool) {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			obj := info.Uses[x]
+			if obj == nil {
+				obj = info.Defs[x]
+			}
+			if obj == nil {
+				return nil, false
+			}
+			return obj, declaredOutside(obj, rs)
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil, false
+		}
+	}
+}
+
+// declaredOutside reports whether obj's declaration lies outside the range
+// statement.
+func declaredOutside(obj types.Object, rs *ast.RangeStmt) bool {
+	return obj.Pos() < rs.Pos() || obj.Pos() >= rs.End()
+}
+
+// usesOnlyObj reports whether e is exactly an identifier for obj.
+func usesOnlyObj(info *types.Info, e ast.Expr, obj types.Object) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && info.Uses[id] == obj
+}
+
+// sortedAfter reports whether one of the statements following the range
+// loop sorts the collected-keys slice held in obj (sort.* or slices.* call
+// mentioning it).
+func sortedAfter(info *types.Info, following []ast.Stmt, obj types.Object) bool {
+	for _, stmt := range following {
+		found := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "sort", "slices":
+			default:
+				return true
+			}
+			for _, arg := range call.Args {
+				if usesOnlyObj(info, arg, obj) {
+					found = true
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

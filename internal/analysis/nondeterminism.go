@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Nondeterminism forbids sources of run-to-run variation inside the
+// simulation packages (internal/sim, internal/memsys, internal/core,
+// internal/kernels): wall-clock reads, the global math/rand source,
+// goroutines, select, and channel operations. A simulated run must be a
+// pure function of its RunSpec or the persistent run cache is unsound.
+var Nondeterminism = &Analyzer{
+	Name:      "nondeterminism",
+	Doc:       "forbid wall-clock, unseeded rand, and concurrency in simulation packages",
+	AppliesTo: simulationPackage,
+	Run:       runNondeterminism,
+}
+
+// simulationPackage reports whether an import path names deterministic
+// simulation code: internal/{sim,memsys,core,kernels} or a subpackage.
+func simulationPackage(path string) bool {
+	segs := strings.Split(path, "/")
+	for i := 0; i+1 < len(segs); i++ {
+		if segs[i] != "internal" {
+			continue
+		}
+		switch segs[i+1] {
+		case "sim", "memsys", "core", "kernels":
+			return true
+		}
+	}
+	return false
+}
+
+// wallClockFuncs are time-package functions that read or depend on the
+// wall clock.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// seededRandCtors are math/rand constructors that take or wrap an explicit
+// seed; everything else at package level uses the shared global source.
+var seededRandCtors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runNondeterminism(p *Pass) {
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				p.Report(n.Pos(), "go statement in simulation code: concurrency makes timing a function of the scheduler, not the RunSpec")
+			case *ast.SelectStmt:
+				p.Report(n.Pos(), "select statement in simulation code: case choice is nondeterministic")
+			case *ast.SendStmt:
+				p.Report(n.Pos(), "channel send in simulation code: goroutine communication breaks determinism")
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					p.Report(n.Pos(), "channel receive in simulation code: goroutine communication breaks determinism")
+				}
+			case *ast.CallExpr:
+				checkNondetCall(p, info, n)
+			}
+			return true
+		})
+	}
+}
+
+func checkNondetCall(p *Pass, info *types.Info, call *ast.CallExpr) {
+	// make(chan ...) and close(ch): channel lifecycle inside sim code.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if obj, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			switch obj.Name() {
+			case "make":
+				if len(call.Args) > 0 {
+					if _, isChan := info.Types[call.Args[0]].Type.Underlying().(*types.Chan); isChan {
+						p.Report(call.Pos(), "channel creation in simulation code: goroutine communication breaks determinism")
+					}
+				}
+			case "close":
+				if len(call.Args) == 1 {
+					if _, isChan := info.Types[call.Args[0]].Type.Underlying().(*types.Chan); isChan {
+						p.Report(call.Pos(), "channel close in simulation code: goroutine communication breaks determinism")
+					}
+				}
+			}
+		}
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return // methods (e.g. on a seeded *rand.Rand) are fine
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if wallClockFuncs[fn.Name()] {
+			p.Report(call.Pos(), "time."+fn.Name()+" in simulation code: wall-clock reads vary run to run; simulated time comes from the engine clock")
+		}
+	case "math/rand", "math/rand/v2":
+		if !seededRandCtors[fn.Name()] {
+			p.Report(call.Pos(), "rand."+fn.Name()+" uses the global math/rand source: seed it explicitly via rand.New(rand.NewSource(...)) or use kutil.NewRand")
+		}
+	}
+}

@@ -1,0 +1,294 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// OptValidate enforces the Options-validation invariant: a core.Options
+// value must have Validate() on every path that reaches a Run/Execute
+// sink. Concretely:
+//
+//   - every function or method named Run or Execute that accepts a
+//     core.Options parameter must validate it — either by calling
+//     Validate on the parameter directly or by passing it on to a callee
+//     that provably does (computed as a cross-package fixpoint, so
+//     slipstream.Run, which delegates to core.Run, is validating);
+//   - a call that hands a core.Options to a Run/Execute callee whose body
+//     is not part of the analyzed module (a function value, interface
+//     method, or external function) must be preceded by a Validate call
+//     on that value in the same function.
+var OptValidate = &Analyzer{
+	Name: "optvalidate",
+	Doc:  "core.Options must be validated on the path to Run/Execute",
+	Run:  runOptValidate,
+}
+
+// isOptionsType reports whether t is the named type core.Options (any
+// package named "core", so fixtures can model it), possibly behind a
+// pointer.
+func isOptionsType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Options" && obj.Pkg() != nil && obj.Pkg().Name() == "core"
+}
+
+// optionsParams returns the parameter objects of fn's signature whose type
+// is core.Options.
+func optionsParams(sig *types.Signature) []*types.Var {
+	var out []*types.Var
+	for i := 0; i < sig.Params().Len(); i++ {
+		if v := sig.Params().At(i); isOptionsType(v.Type()) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// funcKey identifies a function across packages.
+func funcKey(fn *types.Func) string { return fn.Pkg().Path() + "." + fn.FullName() }
+
+// validatingFuncs computes, over every loaded package, the set of
+// functions with a core.Options parameter that guarantee a Validate call
+// on it: directly, or transitively by passing the parameter to another
+// validating function. Options.Validate itself seeds the fixpoint.
+func (prog *Program) validatingFuncs() map[string]bool {
+	if prog.validating != nil {
+		return prog.validating
+	}
+	type candidate struct {
+		fn     *types.Func
+		params []*types.Var
+		body   *ast.BlockStmt
+		info   *types.Info
+	}
+	var cands []candidate
+	validating := make(map[string]bool)
+	for _, pkg := range prog.allPkgs() {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				sig := fn.Type().(*types.Signature)
+				if fn.Name() == "Validate" && sig.Recv() != nil && isOptionsType(sig.Recv().Type()) {
+					validating[funcKey(fn)] = true
+					continue
+				}
+				params := optionsParams(sig)
+				if len(params) == 0 {
+					continue
+				}
+				cands = append(cands, candidate{fn: fn, params: params, body: fd.Body, info: pkg.Info})
+			}
+		}
+	}
+	// Fixpoint: validating if any Options parameter receives a direct
+	// .Validate() call or is passed whole to a known validating function.
+	for changed := true; changed; {
+		changed = false
+		for _, c := range cands {
+			key := funcKey(c.fn)
+			if validating[key] {
+				continue
+			}
+			for _, param := range c.params {
+				if validatesObj(c.info, c.body, param, validating) {
+					validating[key] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	prog.validating = validating
+	return validating
+}
+
+// validatesObj reports whether body contains obj.Validate() or passes obj
+// to a function already known to validate its Options parameter.
+func validatesObj(info *types.Info, body ast.Node, obj types.Object, validating map[string]bool) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Validate" {
+			if usesOnlyObj(info, sel.X, obj) {
+				found = true
+				return false
+			}
+		}
+		if callee := calleeFunc(info, call); callee != nil && validating[funcKey(callee)] {
+			for _, arg := range call.Args {
+				if usesOnlyObj(info, arg, obj) {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// calleeFunc resolves a call's static callee, if it has one.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	if fn == nil || fn.Pkg() == nil {
+		return nil
+	}
+	return fn
+}
+
+func runOptValidate(p *Pass) {
+	validating := p.Prog.validatingFuncs()
+	inModule := make(map[string]bool)
+	for _, pkg := range p.Prog.allPkgs() {
+		inModule[pkg.Types.Path()] = true
+	}
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			// Definition rule: Run/Execute sinks must validate their
+			// Options parameter.
+			if (fn.Name() == "Run" || fn.Name() == "Execute") &&
+				len(optionsParams(fn.Type().(*types.Signature))) > 0 &&
+				!validating[funcKey(fn)] {
+				p.Report(fd.Name.Pos(), fmt.Sprintf(
+					"%s accepts core.Options but never calls Validate on it (directly or via a validating callee): invalid configurations reach the simulator",
+					fn.Name()))
+			}
+			checkCallSites(p, info, fd.Body, validating, inModule)
+		}
+	}
+}
+
+// checkCallSites flags Options values handed to Run/Execute callees whose
+// definitions the module does not own, without a preceding Validate call
+// in the same function body.
+func checkCallSites(p *Pass, info *types.Info, body *ast.BlockStmt, validating, inModule map[string]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := calleeName(call)
+		if name != "Run" && name != "Execute" {
+			return true
+		}
+		var optArgs []ast.Expr
+		for _, arg := range call.Args {
+			if isOptionsType(info.Types[arg].Type) {
+				optArgs = append(optArgs, arg)
+			}
+		}
+		if len(optArgs) == 0 {
+			return true
+		}
+		if callee := calleeFunc(info, call); callee != nil {
+			if validating[funcKey(callee)] {
+				return true
+			}
+			if inModule[callee.Pkg().Path()] && !isInterfaceMethod(callee) {
+				// The definition rule reports the callee itself; flagging
+				// every call site would be noise. Interface methods have
+				// no body for the definition rule to inspect, so they
+				// stay subject to the call-site rule below.
+				return true
+			}
+		}
+		for _, arg := range optArgs {
+			if id, ok := arg.(*ast.Ident); ok {
+				if obj := info.Uses[id]; obj != nil && validatedBefore(info, body, obj, call.Pos()) {
+					continue
+				}
+				p.Report(call.Pos(), fmt.Sprintf(
+					"core.Options value %q reaches %s without a Validate() call on the path",
+					id.Name, name))
+				continue
+			}
+			p.Report(call.Pos(), fmt.Sprintf(
+				"core.Options value reaches %s without a Validate() call on the path", name))
+		}
+		return true
+	})
+}
+
+// isInterfaceMethod reports whether fn is declared on an interface type,
+// so its concrete body cannot be found by the definition rule.
+func isInterfaceMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return types.IsInterface(sig.Recv().Type())
+}
+
+// calleeName returns the bare name a call invokes, if syntactically
+// evident.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// validatedBefore reports whether obj receives a .Validate() call at a
+// position before pos within body.
+func validatedBefore(info *types.Info, body ast.Node, obj types.Object, pos token.Pos) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		if call.Pos() >= pos {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Validate" &&
+			usesOnlyObj(info, sel.X, obj) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,163 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// directive is one parsed //simlint: comment.
+type directive struct {
+	kind      string          // "ignore" or "ordered"
+	analyzers map[string]bool // ignore only; nil means all
+	file      string
+	line      int // line the directive suppresses findings on
+	pos       token.Position
+	bad       string // non-empty if malformed (the reason it is)
+}
+
+const (
+	ignorePrefix  = "//simlint:ignore"
+	orderedPrefix = "//simlint:ordered"
+	prefixAny     = "//simlint:"
+)
+
+// parseDirectives extracts every simlint directive from a package's
+// comments. A directive that stands alone on its line applies to the next
+// line; a trailing directive applies to its own line.
+func parseDirectives(pkg *Package, known map[string]bool) []directive {
+	var out []directive
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, prefixAny) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				d := parseDirective(c.Text, pos, known)
+				d.file = pos.Filename
+				d.line = pos.Line
+				if standsAlone(pkg.Src[pos.Filename], pos) {
+					d.line = pos.Line + 1
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// parseDirective parses one //simlint: comment body.
+func parseDirective(text string, pos token.Position, known map[string]bool) directive {
+	d := directive{pos: pos}
+	var rest string
+	switch {
+	case strings.HasPrefix(text, ignorePrefix):
+		d.kind = "ignore"
+		rest = strings.TrimPrefix(text, ignorePrefix)
+	case strings.HasPrefix(text, orderedPrefix):
+		d.kind = "ordered"
+		rest = strings.TrimPrefix(text, orderedPrefix)
+	default:
+		d.bad = "unknown directive (want //simlint:ignore or //simlint:ordered)"
+		return d
+	}
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		d.bad = "unknown directive (want //simlint:ignore or //simlint:ordered)"
+		return d
+	}
+	fields := strings.Fields(rest)
+	if d.kind == "ordered" {
+		if len(fields) == 0 {
+			d.bad = "//simlint:ordered needs a justification: //simlint:ordered <reason>"
+		}
+		return d
+	}
+	// ignore: first field names the analyzers (or "all"), the rest is the
+	// required justification.
+	if len(fields) == 0 {
+		d.bad = "//simlint:ignore needs an analyzer list and justification: //simlint:ignore <analyzer[,analyzer]|all> <reason>"
+		return d
+	}
+	if fields[0] != "all" {
+		d.analyzers = make(map[string]bool)
+		for _, name := range strings.Split(fields[0], ",") {
+			if !known[name] {
+				d.bad = `//simlint:ignore names unknown analyzer "` + name + `"`
+				return d
+			}
+			d.analyzers[name] = true
+		}
+	}
+	if len(fields) < 2 {
+		d.bad = "//simlint:ignore needs a justification after the analyzer list"
+	}
+	return d
+}
+
+// standsAlone reports whether only whitespace precedes the comment on its
+// source line.
+func standsAlone(src []byte, pos token.Position) bool {
+	if src == nil {
+		return true
+	}
+	start := pos.Offset - (pos.Column - 1)
+	if start < 0 || pos.Offset > len(src) {
+		return true
+	}
+	for _, b := range src[start:pos.Offset] {
+		if b != ' ' && b != '\t' {
+			return false
+		}
+	}
+	return true
+}
+
+// filterSuppressed drops diagnostics covered by a well-formed directive
+// and appends a "simlint" finding for every malformed directive.
+func filterSuppressed(pkg *Package, diags []Diagnostic, analyzers []*Analyzer) []Diagnostic {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	dirs := parseDirectives(pkg, known)
+	var out []Diagnostic
+	for _, diag := range diags {
+		if !suppressed(diag, dirs) {
+			out = append(out, diag)
+		}
+	}
+	for _, d := range dirs {
+		if d.bad == "" {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Pos:      d.pos,
+			File:     d.pos.Filename,
+			Line:     d.pos.Line,
+			Col:      d.pos.Column,
+			Analyzer: "simlint",
+			Message:  "malformed directive: " + d.bad,
+		})
+	}
+	return out
+}
+
+// suppressed reports whether a well-formed directive covers the finding.
+func suppressed(diag Diagnostic, dirs []directive) bool {
+	for _, d := range dirs {
+		if d.bad != "" || d.file != diag.File || d.line != diag.Line {
+			continue
+		}
+		switch d.kind {
+		case "ignore":
+			if d.analyzers == nil || d.analyzers[diag.Analyzer] {
+				return true
+			}
+		case "ordered":
+			if diag.Analyzer == MapOrder.Name || diag.Analyzer == FloatSum.Name {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,52 @@
+// Package fs exercises the floatsum analyzer: floating-point
+// accumulation in map-iteration order changes the rounded result, so it
+// is flagged even where integer accumulation would only trip maporder.
+package fs
+
+func sum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want `floating-point accumulation into "total"` `writes accumulator "total"`
+		total += v
+	}
+	return total
+}
+
+func sumExplicit(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want `floating-point accumulation into "total"` `writes accumulator "total"`
+		total = total + v
+	}
+	return total
+}
+
+// intSum accumulates integers: maporder fires, floatsum stays silent.
+func intSum(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `writes accumulator "total"`
+		total += v
+	}
+	return total
+}
+
+// keyIndexed accumulates into the element named by the loop key: each
+// iteration touches a distinct slot, so order cannot change any value.
+func keyIndexed(m map[string]float64, out map[string]float64) {
+	for k, v := range m {
+		out[k] += v
+	}
+}
+
+func sharedSlot(m map[string]float64, sums []float64, i int) {
+	for _, v := range m { // want `floating-point accumulation into "sums"` `writes element of "sums"`
+		sums[i] += v
+	}
+}
+
+func sumOrdered(m map[string]float64) float64 {
+	total := 0.0
+	//simlint:ordered tolerance-checked statistic, callers compare within 1e-9
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,115 @@
+// Package mo exercises the maporder analyzer: order-dependent map
+// iteration is flagged, the sorted-keys idiom and key-indexed writes
+// pass, and //simlint:ordered suppresses with justification.
+package mo
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+func accumulate(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `writes accumulator "total"`
+		total += v
+	}
+	return total
+}
+
+func accumulateOrdered(m map[string]int) int {
+	total := 0
+	//simlint:ordered integer addition is exact, so the sum is identical in any order
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// sortedKeys is the blessed idiom: collect, then sort immediately after.
+func sortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func unsortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `collects keys into "keys" without sorting`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// double writes through the loop key: each iteration touches a distinct
+// element, so the loop is commutative and passes.
+func double(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = 2 * v
+	}
+	return out
+}
+
+// invert indexes by the loop value: colliding values make the winner
+// order-dependent.
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m { // want `writes element of "out" indexed independently of the loop key`
+		out[v] = k
+	}
+	return out
+}
+
+func emit(w io.Writer, m map[string]int) {
+	for k, v := range m { // want `calls fmt.Fprintf`
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+func anyKey(m map[string]int) string {
+	for k := range m { // want `returns from inside the iteration`
+		return k
+	}
+	return ""
+}
+
+func firstMatch(m map[string]bool) bool {
+	found := false
+	for _, v := range m { // want `breaks out of the iteration` `writes accumulator "found"`
+		if v {
+			found = true
+			break
+		}
+	}
+	return found
+}
+
+func methodOnOuter(m map[string]int, b *strings.Builder) {
+	for k := range m { // want `calls method WriteString on state declared outside the loop`
+		b.WriteString(k)
+	}
+}
+
+// countOnly never binds an iteration variable: nothing per-element is
+// observable, so order cannot matter.
+func countOnly(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// localOnly mutates only state declared inside the body.
+func localOnly(m map[string]int) {
+	for k := range m {
+		var b strings.Builder
+		b.WriteString(k)
+		_ = b.String()
+	}
+}

@@ -1,0 +1,59 @@
+// Package nd exercises the nondeterminism analyzer: wall-clock reads,
+// the global math/rand source, and concurrency are forbidden in
+// simulation packages; seeded sources and annotated exceptions pass.
+package nd
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() int64 {
+	t := time.Now()    // want `time.Now in simulation code`
+	d := time.Since(t) // want `time.Since in simulation code`
+	return int64(d)
+}
+
+func globalRand() int {
+	return rand.Intn(8) // want `rand.Intn uses the global math/rand source`
+}
+
+func seededRand() float64 {
+	r := rand.New(rand.NewSource(42)) // seeded source: allowed
+	return r.Float64()                // method on *rand.Rand: allowed
+}
+
+func concurrency() int {
+	ch := make(chan int)    // want `channel creation in simulation code`
+	go func() { ch <- 1 }() // want `go statement in simulation code` `channel send in simulation code`
+	select {                // want `select statement in simulation code`
+	case v := <-ch: // want `channel receive in simulation code`
+		return v
+	}
+}
+
+func closer(ch chan int) {
+	close(ch) // want `channel close in simulation code`
+}
+
+func suppressedTrailing() {
+	_ = time.Now() //simlint:ignore nondeterminism replay tooling timestamps log filenames only, never simulated state
+}
+
+func suppressedAbove() int64 {
+	//simlint:ignore nondeterminism wall clock feeds the progress logger, not the simulation
+	return time.Now().UnixNano()
+}
+
+func missingJustification() {
+	// A directive without a justification is malformed: it suppresses
+	// nothing and is itself reported.
+	//simlint:ignore nondeterminism
+	// want-above `malformed directive`
+	_ = time.Now() // want `time.Now in simulation code`
+}
+
+func wrongAnalyzerScope() {
+	//simlint:ignore maporder scoped to a different analyzer, so this does not suppress
+	_ = time.Now() // want `time.Now in simulation code`
+}

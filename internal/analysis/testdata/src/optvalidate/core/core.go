@@ -1,0 +1,28 @@
+// Package core models the real core package for the optvalidate
+// fixtures: an Options type with a Validate method and a Run sink that
+// validates before simulating.
+package core
+
+import "errors"
+
+// Options is the model configuration type the analyzer tracks.
+type Options struct {
+	Procs int
+}
+
+// Validate rejects unusable configurations.
+func (o Options) Validate() error {
+	if o.Procs <= 0 {
+		return errors.New("core: Procs must be positive")
+	}
+	return nil
+}
+
+// Run validates its options before doing anything, so the fixpoint marks
+// it validating and delegating to it satisfies the invariant.
+func Run(o Options) error {
+	if err := o.Validate(); err != nil {
+		return err
+	}
+	return nil
+}

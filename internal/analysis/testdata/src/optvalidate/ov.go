@@ -1,0 +1,84 @@
+// Package ov exercises the optvalidate analyzer: every Run/Execute sink
+// that accepts a core.Options must validate it, and options handed to
+// callees the module cannot inspect need a Validate call first.
+package ov
+
+import "optvalidate/core"
+
+type badSim struct{}
+
+// Run never validates: the definition rule flags the sink itself.
+func (badSim) Run(o core.Options) error { // want `Run accepts core.Options but never calls Validate`
+	_ = o.Procs
+	return nil
+}
+
+type goodSim struct{}
+
+// Run validates directly.
+func (goodSim) Run(o core.Options) error {
+	if err := o.Validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+type delegating struct{}
+
+// Execute hands the options to core.Run, which validates; the fixpoint
+// marks this sink validating transitively.
+func (delegating) Execute(o core.Options) error {
+	return core.Run(o)
+}
+
+type forwarding struct{}
+
+// Execute forwards to a helper that ignores the options, so nothing on
+// the path validates.
+func (forwarding) Execute(o core.Options) error { // want `Execute accepts core.Options but never calls Validate`
+	return stash(o)
+}
+
+func stash(o core.Options) error {
+	_ = o
+	return nil
+}
+
+// passThrough is not a sink itself, and its callee validates: clean.
+func passThrough(o core.Options) error {
+	return core.Run(o)
+}
+
+// runner carries a function-valued Run whose body the analyzer cannot
+// see, so call sites must validate first.
+type runner struct {
+	Run func(core.Options) error
+}
+
+func launchUnchecked(r runner, o core.Options) error {
+	return r.Run(o) // want `core.Options value "o" reaches Run without a Validate`
+}
+
+func launchChecked(r runner, o core.Options) error {
+	if err := o.Validate(); err != nil {
+		return err
+	}
+	return r.Run(o)
+}
+
+// Simulator's Run is an interface method: no body to inspect, so the
+// call-site rule applies even though the interface lives in this module.
+type Simulator interface {
+	Run(core.Options) error
+}
+
+func dispatchUnchecked(s Simulator, o core.Options) error {
+	return s.Run(o) // want `core.Options value "o" reaches Run without a Validate`
+}
+
+func dispatchChecked(s Simulator, o core.Options) error {
+	if err := o.Validate(); err != nil {
+		return err
+	}
+	return s.Run(o)
+}

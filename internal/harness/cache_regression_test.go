@@ -1,0 +1,46 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"slipstream/internal/core"
+	"slipstream/internal/kernels"
+	"slipstream/internal/runcache"
+)
+
+// TestWarmCacheRerunSimulatesNothing pins the run-cache determinism
+// contract at figure granularity: a second session over a fully
+// cacheable figure subset is served entirely from the persistent cache
+// — zero simulations — and renders byte-identical output. Unlike the
+// full-session golden test, this subset is small enough to run under
+// -short, so the contract is checked on every test invocation.
+func TestWarmCacheRerunSimulatesNothing(t *testing.T) {
+	cache, err := runcache.Open(t.TempDir(), core.SimVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() (string, int, int) {
+		var out strings.Builder
+		s := NewSession(Config{Size: kernels.Tiny, CMPCounts: []int{2}, Out: &out, Workers: 2, Cache: cache})
+		if err := s.RunFigures("fig1", "fig5"); err != nil {
+			t.Fatal(err)
+		}
+		sim, hits := s.Stats()
+		return out.String(), sim, hits
+	}
+	cold, sim1, hits1 := run()
+	if sim1 == 0 || hits1 != 0 {
+		t.Fatalf("cold run: simulated %d, cache hits %d", sim1, hits1)
+	}
+	warm, sim2, hits2 := run()
+	if sim2 != 0 {
+		t.Errorf("warm rerun re-simulated %d runs despite a complete cache", sim2)
+	}
+	if hits2 == 0 {
+		t.Error("warm rerun took no cache hits")
+	}
+	if cold != warm {
+		t.Error("warm rerun changed rendered output")
+	}
+}

@@ -60,9 +60,15 @@ func (s *Session) ExtAdaptive() error {
 	fmt.Fprintln(s.cfg.Out, "cycles relative to the best fixed policy (lower is better; 1.00 = matched best)")
 	t := &table{header: []string{"benchmark", "CMPs", "best fixed", "worst fixed", "adaptive", "switches", "final policies"}}
 	for _, row := range data {
+		// Iterate policies in their fixed declaration order, not map order:
+		// ties on cycle counts must always crown the same "best" policy.
 		best, worst := int64(1<<62), int64(0)
 		var bestAR core.ARSync
-		for ar, c := range row.Fixed {
+		for _, ar := range core.ARSyncs {
+			c, ok := row.Fixed[ar]
+			if !ok {
+				continue
+			}
 			if c < best {
 				best, bestAR = c, ar
 			}

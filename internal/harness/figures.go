@@ -137,8 +137,8 @@ func (s *Session) Fig4() error {
 	s.section("Figure 4: speedup of single mode over sequential execution")
 	t := &table{header: append([]string{"benchmark"}, cmpHeaders(s.cfg.CMPCounts)...)}
 	maxV := 0.0
-	for _, vs := range data {
-		for _, v := range vs {
+	for _, name := range kernels.Names() {
+		for _, v := range data[name] {
 			if v > maxV {
 				maxV = v
 			}

@@ -1,5 +1,7 @@
 package memsys
 
+import "sort"
+
 // DirState is the coherence state of a line at its home directory.
 type DirState uint8
 
@@ -84,10 +86,15 @@ func (d *Directory) Entry(line Addr) *DirEntry {
 // Peek returns the entry if present, without creating one.
 func (d *Directory) Peek(line Addr) *DirEntry { return d.entries[line] }
 
-// ForEach calls fn for every entry (iteration order is unspecified; callers
-// must not let it influence simulation outcomes).
+// ForEach calls fn for every entry in ascending address order, so callers
+// observe a deterministic traversal regardless of map layout.
 func (d *Directory) ForEach(fn func(Addr, *DirEntry)) {
-	for a, e := range d.entries {
-		fn(a, e)
+	addrs := make([]Addr, 0, len(d.entries))
+	for a := range d.entries {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, a := range addrs {
+		fn(a, d.entries[a])
 	}
 }

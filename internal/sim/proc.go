@@ -19,10 +19,16 @@ type Proc struct {
 
 // Go starts a new simulated process running fn. The process begins at the
 // current simulated time, after already-queued events at this time.
+// The goroutine-and-channel machinery below is the one sanctioned use of
+// concurrency in simulation code: resume/yield implement strict handoff,
+// so exactly one goroutine — the event loop or a single process — runs at
+// any moment and the interleaving is fully determined by the event queue.
 func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
+	//simlint:ignore nondeterminism strict handoff: resume carries control to exactly one parked goroutine
 	p := &Proc{eng: e, resume: make(chan struct{}), name: name}
 	e.procs = append(e.procs, p)
 	e.After(0, func() {
+		//simlint:ignore nondeterminism strict handoff: the new goroutine blocks on resume before running
 		go func() {
 			defer func() {
 				p.done = true
@@ -31,12 +37,15 @@ func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
 					if _, ok := r.(killedError); !ok {
 						// Re-panicking in a goroutine would crash without
 						// context; surface the original value.
+						//simlint:ignore nondeterminism strict handoff: hands control back to the event loop
 						e.yield <- struct{}{}
 						panic(r)
 					}
 				}
+				//simlint:ignore nondeterminism strict handoff: hands control back to the event loop
 				e.yield <- struct{}{}
 			}()
+			//simlint:ignore nondeterminism strict handoff: blocks until the event loop dispatches this process
 			<-p.resume
 			p.checkKilled()
 			fn(p)
@@ -62,13 +71,17 @@ func (p *Proc) dispatch() {
 		return
 	}
 	p.parked = false
+	//simlint:ignore nondeterminism strict handoff: control moves to p, then blocks here until p yields
 	p.resume <- struct{}{}
+	//simlint:ignore nondeterminism strict handoff: control moves to p, then blocks here until p yields
 	<-p.eng.yield
 }
 
 // yield returns control to the event loop and blocks until dispatched again.
 func (p *Proc) yield() {
+	//simlint:ignore nondeterminism strict handoff: returns control to the event loop, then blocks until redispatched
 	p.eng.yield <- struct{}{}
+	//simlint:ignore nondeterminism strict handoff: returns control to the event loop, then blocks until redispatched
 	<-p.resume
 	p.checkKilled()
 }

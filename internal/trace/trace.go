@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 )
 
 // Kind tags a trace event.
@@ -152,18 +153,22 @@ func (c *Collector) LeadSeries() []Lead {
 			}
 		}
 	}
+	var keys []key
+	for k := range rAt {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].task != keys[j].task {
+			return keys[i].task < keys[j].task
+		}
+		return keys[i].session < keys[j].session
+	})
 	var out []Lead
-	for k, ra := range rAt {
+	for _, k := range keys {
 		if aa, ok := aAt[k]; ok {
-			out = append(out, Lead{Task: k.task, Session: k.session, Cycles: ra - aa})
+			out = append(out, Lead{Task: k.task, Session: k.session, Cycles: rAt[k] - aa})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Task != out[j].Task {
-			return out[i].Task < out[j].Task
-		}
-		return out[i].Session < out[j].Session
-	})
 	return out
 }
 
@@ -175,6 +180,26 @@ type Summary struct {
 	MeanLock      float64 // average lock wait, cycles
 	MeanToken     float64 // average A-R token wait, cycles
 	SlowAccessMax int64
+}
+
+// Kinds lists every event kind in declaration order, for deterministic
+// iteration over per-kind data (Summary.Counts is a map; ranging it
+// directly would make output depend on randomized map order).
+var Kinds = []Kind{EvSession, EvBarrier, EvLock, EvToken, EvSlowAccess, EvRecovery, EvPolicySwitch}
+
+// String renders the summary with per-kind counts in declaration order,
+// so the output is byte-stable across runs.
+func (s Summary) String() string {
+	var b strings.Builder
+	b.WriteString("counts:")
+	for _, k := range Kinds {
+		if s.Counts[k] > 0 {
+			fmt.Fprintf(&b, " %s=%d", k, s.Counts[k])
+		}
+	}
+	fmt.Fprintf(&b, "; mean lead %.1f, barrier %.1f, lock %.1f, token %.1f; slowest access %d",
+		s.MeanLead, s.MeanBarrier, s.MeanLock, s.MeanToken, s.SlowAccessMax)
+	return b.String()
 }
 
 // Summarize computes the trace summary.
