@@ -56,6 +56,7 @@ func main() {
 		cacheAt = flag.String("cache", runcache.DefaultDir(), "persistent run cache directory")
 		noCache = flag.Bool("no-cache", false, "disable the persistent run cache")
 		csvDir  = flag.String("csv", "", "also write per-figure CSV data files into this directory")
+		audit   = flag.Bool("audit", false, "cross-check every simulated run against conservation and coherence invariants")
 		quiet   = flag.Bool("q", false, "suppress per-run progress lines")
 	)
 	flag.Parse()
@@ -75,6 +76,7 @@ func main() {
 
 	cfg := harness.Config{
 		Size: ksize, CMPCounts: counts, Out: os.Stdout, Workers: *workers,
+		Audit: *audit,
 	}
 	if !*quiet {
 		cfg.Progress = os.Stderr

@@ -27,12 +27,13 @@ func main() {
 		tl       = flag.Bool("tl", false, "enable transparent loads (slipstream only)")
 		si       = flag.Bool("si", false, "enable self-invalidation (implies -tl)")
 		adapt    = flag.Bool("adaptive", false, "vary the A-R policy dynamically (slipstream only)")
+		auditRun = flag.Bool("audit", false, "cross-check the run against conservation and coherence invariants")
 		traceOut = flag.String("trace", "", "write a TSV event trace to this file")
 		verbose  = flag.Bool("v", false, "print per-task breakdowns")
 	)
 	flag.Parse()
 
-	opts := slipstream.Options{CMPs: *cmps}
+	opts := slipstream.Options{CMPs: *cmps, Audit: *auditRun}
 	parsedMode, err := slipstream.ParseMode(*mode)
 	if err != nil {
 		fatalf("%v", err)

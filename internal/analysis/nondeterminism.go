@@ -20,7 +20,9 @@ var Nondeterminism = &Analyzer{
 }
 
 // simulationPackage reports whether an import path names deterministic
-// simulation code: internal/{sim,memsys,core,kernels} or a subpackage.
+// simulation code: internal/{sim,memsys,core,kernels,audit} or a
+// subpackage. The auditor observes simulation state mid-run, so it is held
+// to the same determinism rules as the code it checks.
 func simulationPackage(path string) bool {
 	segs := strings.Split(path, "/")
 	for i := 0; i+1 < len(segs); i++ {
@@ -28,7 +30,7 @@ func simulationPackage(path string) bool {
 			continue
 		}
 		switch segs[i+1] {
-		case "sim", "memsys", "core", "kernels":
+		case "sim", "memsys", "core", "kernels", "audit":
 			return true
 		}
 	}

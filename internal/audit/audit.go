@@ -1,0 +1,410 @@
+// Package audit implements the runtime invariant auditor: an opt-in
+// observer (core.Options.Audit, the -audit command flag, or the
+// SLIPSIM_AUDIT=1 environment variable) that cross-checks a simulated run
+// against invariants the paper's figures silently rely on, and reports
+// structured Violations when they do not hold.
+//
+// Four rule families are checked:
+//
+//   - time conservation (RuleTime): every finished task's Breakdown
+//     categories sum exactly to its measured execution time, access
+//     completion times never precede issue times, and the engine clock
+//     never runs backwards;
+//   - coherence (RuleCoherence): after every directory transaction,
+//     eviction, self-invalidation, transparent-copy discard, and L2-to-L1
+//     push, the touched line has at most one Exclusive owner, the sharer
+//     bitmask matches actual L2 residency, L1 contents are included in L2,
+//     and transparent (non-coherent) copies are visible only to A-stream
+//     processors;
+//   - counter identities (RuleCounters): L1Hits+L1Misses equals issued
+//     accesses, L2Hits+L2Misses equals L1Misses, directory requests equal
+//     L2Misses, TransparentReply+Upgraded equals TransparentIssued, and the
+//     classified requests of ReqBreakdown sum to the directory request
+//     count (slipstream runs) or are absent entirely (other modes);
+//   - IsL1Hit fidelity (RuleL1Hit): whenever memsys.IsL1Hit predicts a
+//     private hit, Access charges exactly Params.L1Hit cycles and leaves
+//     the directory, the L2 line, and every counter except L1Hits
+//     untouched. This is the contract that makes the clock-skew batching
+//     optimization sound.
+//
+// The auditor is wired in through nil-checkable hooks (memsys.AuditHook,
+// sim.Monitor), so production runs pay one branch per access and per
+// coherence event. It only observes: an audited run produces bit-identical
+// results to an unaudited one.
+package audit
+
+import (
+	"fmt"
+	"sort"
+
+	"slipstream/internal/memsys"
+	"slipstream/internal/sim"
+	"slipstream/internal/stats"
+)
+
+// Rule names, one per invariant family.
+const (
+	RuleTime      = "time-conservation"
+	RuleCoherence = "coherence"
+	RuleCounters  = "counter-identity"
+	RuleL1Hit     = "isl1hit-fidelity"
+)
+
+// Violation is one detected invariant breach. Line is the line-aligned
+// address involved, or zero for rules not tied to a line.
+type Violation struct {
+	Rule   string
+	Time   int64
+	Line   memsys.Addr
+	Detail string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s @%d line=%#x: %s", v.Rule, v.Time, uint64(v.Line), v.Detail)
+}
+
+// MaxViolations bounds how many violations an auditor records; further
+// breaches only increment the dropped count. A broken invariant usually
+// fires on every subsequent event, so an unbounded list would drown the
+// first (diagnostic) entries and the run's memory.
+const MaxViolations = 64
+
+// Auditor checks one run. Create it with New, install it as the system's
+// AuditHook and the engine's Monitor, feed it task completions via
+// TaskDone, and call FinishRun after memsys.System.Finalize; then read
+// Violations.
+type Auditor struct {
+	sys *memsys.System
+
+	violations []Violation
+	dropped    int
+
+	accesses int64        // System.Access calls observed
+	aCPU     map[int]bool // global processor ids running A-streams
+
+	pre preAccess
+}
+
+// preAccess is the state snapshot taken before an access predicted as a
+// private L1 hit, compared after it completes (RuleL1Hit).
+type preAccess struct {
+	predicted bool
+	line      memsys.Addr
+	dir       memsys.DirEntry
+	dirOK     bool
+	l2        lineMeta
+	l2OK      bool
+	ms        stats.MemStats
+	tl        stats.TLStats
+	si        stats.SIStats
+	req       stats.ReqBreakdown
+}
+
+// lineMeta is the globally visible metadata of a cache line.
+type lineMeta struct {
+	state       memsys.LineState
+	transparent bool
+	siMark      bool
+	writtenInCS bool
+	fillDone    int64
+}
+
+func meta(l *memsys.Line) lineMeta {
+	return lineMeta{
+		state:       l.State,
+		transparent: l.Transparent,
+		siMark:      l.SIMark,
+		writtenInCS: l.WrittenInCS,
+		fillDone:    l.FillDone,
+	}
+}
+
+// New returns an auditor for the given system.
+func New(sys *memsys.System) *Auditor {
+	return &Auditor{sys: sys, aCPU: make(map[int]bool)}
+}
+
+// Violations returns the recorded violations, in detection order.
+func (a *Auditor) Violations() []Violation { return a.violations }
+
+// Dropped returns how many violations were discarded beyond MaxViolations.
+func (a *Auditor) Dropped() int { return a.dropped }
+
+// NoteACPU marks a processor as running an A-stream; transparent lines may
+// be visible only to such processors.
+func (a *Auditor) NoteACPU(cpu int) { a.aCPU[cpu] = true }
+
+func (a *Auditor) violate(rule string, line memsys.Addr, format string, args ...any) {
+	if len(a.violations) >= MaxViolations {
+		a.dropped++
+		return
+	}
+	a.violations = append(a.violations, Violation{
+		Rule:   rule,
+		Time:   a.sys.Eng.Now(),
+		Line:   line,
+		Detail: fmt.Sprintf(format, args...),
+	})
+}
+
+// Interface assertions: the auditor is installed through these hooks.
+var (
+	_ memsys.AuditHook = (*Auditor)(nil)
+	_ sim.Monitor      = (*Auditor)(nil)
+)
+
+// Step implements sim.Monitor: the engine clock must never run backwards.
+func (a *Auditor) Step(prev, now int64) {
+	if now < prev {
+		a.violate(RuleTime, 0, "engine clock moved backwards: %d -> %d", prev, now)
+	}
+}
+
+// BeforeAccess implements memsys.AuditHook. For accesses predicted as
+// private L1 hits it snapshots every piece of globally visible state the
+// hit path must leave untouched.
+func (a *Auditor) BeforeAccess(r memsys.Req, now int64) {
+	a.accesses++
+	a.pre = preAccess{predicted: a.sys.IsL1Hit(r)}
+	if !a.pre.predicted {
+		return
+	}
+	sys := a.sys
+	a.pre.line = r.Addr.Line(sys.P.LineSize)
+	if e := sys.Home(a.pre.line).Dir.Peek(a.pre.line); e != nil {
+		a.pre.dir, a.pre.dirOK = *e, true
+	}
+	if l2 := r.CPU.Node.L2.Lookup(a.pre.line); l2 != nil {
+		a.pre.l2, a.pre.l2OK = meta(l2), true
+	}
+	a.pre.ms = sys.MS
+	a.pre.tl = sys.TL
+	a.pre.si = sys.SIst
+	a.pre.req = sys.Req
+}
+
+// AfterAccess implements memsys.AuditHook: completion must not precede
+// issue, and a predicted private hit must have charged exactly L1Hit
+// cycles and mutated nothing but the L1Hits counter and the private L1.
+func (a *Auditor) AfterAccess(r memsys.Req, now, done int64) {
+	if done < now {
+		a.violate(RuleTime, r.Addr.Line(a.sys.P.LineSize),
+			"%s completed at %d before its issue at %d", r.Kind, done, now)
+	}
+	if !a.pre.predicted {
+		return
+	}
+	pre := a.pre
+	a.pre = preAccess{}
+	sys := a.sys
+	if got := done - now; got != sys.P.L1Hit {
+		a.violate(RuleL1Hit, pre.line,
+			"predicted hit charged %d cycles, want L1Hit=%d", got, sys.P.L1Hit)
+	}
+	wantMS := pre.ms
+	wantMS.L1Hits++
+	if sys.MS != wantMS {
+		a.violate(RuleL1Hit, pre.line,
+			"predicted hit changed MemStats beyond L1Hits: before %+v after %+v", pre.ms, sys.MS)
+	}
+	if sys.TL != pre.tl || sys.SIst != pre.si || sys.Req != pre.req {
+		a.violate(RuleL1Hit, pre.line, "predicted hit changed TL/SI/request-class counters")
+	}
+	var dir memsys.DirEntry
+	dirOK := false
+	if e := sys.Home(pre.line).Dir.Peek(pre.line); e != nil {
+		dir, dirOK = *e, true
+	}
+	if dirOK != pre.dirOK || dir != pre.dir {
+		a.violate(RuleL1Hit, pre.line,
+			"predicted hit changed the directory entry: before %+v (present=%t) after %+v (present=%t)",
+			pre.dir, pre.dirOK, dir, dirOK)
+	}
+	var l2 lineMeta
+	l2OK := false
+	if l := r.CPU.Node.L2.Lookup(pre.line); l != nil {
+		l2, l2OK = meta(l), true
+	}
+	if l2OK != pre.l2OK || l2 != pre.l2 {
+		a.violate(RuleL1Hit, pre.line,
+			"predicted hit changed the L2 line: before %+v (present=%t) after %+v (present=%t)",
+			pre.l2, pre.l2OK, l2, l2OK)
+	}
+}
+
+// LineEvent implements memsys.AuditHook: every coherence-state change is
+// followed by a full consistency check of the touched line.
+func (a *Auditor) LineEvent(line memsys.Addr) { a.checkLine(line) }
+
+// checkLine validates the directory entry and all cached copies of one
+// line against each other (RuleCoherence).
+func (a *Auditor) checkLine(line memsys.Addr) {
+	sys := a.sys
+	var e memsys.DirEntry // zero value: DirIdle, no sharers
+	if p := sys.Home(line).Dir.Peek(line); p != nil {
+		e = *p
+	}
+	if e.State == memsys.DirShared && e.Sharers == 0 {
+		a.violate(RuleCoherence, line, "directory Shared with empty sharer mask")
+	}
+	exclusives := 0
+	for _, n := range sys.Nodes {
+		l2 := n.L2.Lookup(line)
+		if l2 != nil && l2.State == memsys.Exclusive {
+			exclusives++
+		}
+		a.checkNodeCopy(line, &e, n, l2)
+		for _, cpu := range n.CPUs {
+			a.checkL1(line, cpu, l2)
+		}
+	}
+	if exclusives > 1 {
+		a.violate(RuleCoherence, line, "%d nodes hold Exclusive copies", exclusives)
+	}
+}
+
+// checkNodeCopy cross-checks one node's L2 copy (or absence) against the
+// directory entry.
+func (a *Auditor) checkNodeCopy(line memsys.Addr, e *memsys.DirEntry, n *memsys.Node, l2 *memsys.Line) {
+	if l2 != nil && l2.Transparent {
+		// Non-coherent stale copy: invisible to the directory.
+		if l2.State == memsys.Exclusive {
+			a.violate(RuleCoherence, line, "node %d holds an Exclusive transparent copy", n.ID)
+		}
+		if e.HasSharer(n.ID) {
+			a.violate(RuleCoherence, line, "transparent copy at node %d is in the sharer mask", n.ID)
+		}
+		if !e.HasFuture(n.ID) {
+			a.violate(RuleCoherence, line, "transparent copy at node %d without its future-sharer bit", n.ID)
+		}
+		l2 = nil // below, the node counts as holding no coherent copy
+	}
+	switch e.State {
+	case memsys.DirIdle:
+		if l2 != nil {
+			a.violate(RuleCoherence, line, "node %d holds a %v copy while the directory is Idle", n.ID, l2.State)
+		}
+	case memsys.DirShared:
+		if l2 != nil && l2.State == memsys.Exclusive {
+			a.violate(RuleCoherence, line, "node %d holds an Exclusive copy while the directory is Shared", n.ID)
+		}
+		if (l2 != nil) != e.HasSharer(n.ID) {
+			a.violate(RuleCoherence, line,
+				"sharer mask disagrees with node %d residency: resident=%t sharer=%t",
+				n.ID, l2 != nil, e.HasSharer(n.ID))
+		}
+	case memsys.DirExclusive:
+		if n.ID == e.Owner {
+			if l2 == nil || l2.State != memsys.Exclusive {
+				a.violate(RuleCoherence, line, "directory owner node %d lacks an Exclusive copy", n.ID)
+			}
+		} else if l2 != nil {
+			a.violate(RuleCoherence, line,
+				"node %d holds a %v copy while node %d owns the line exclusively", n.ID, l2.State, e.Owner)
+		}
+	}
+}
+
+// checkL1 validates inclusion and transparency of one processor's L1 copy.
+func (a *Auditor) checkL1(line memsys.Addr, cpu *memsys.CPU, l2 *memsys.Line) {
+	l1 := cpu.L1.Lookup(line)
+	if l1 == nil {
+		return
+	}
+	if l2 == nil {
+		a.violate(RuleCoherence, line, "cpu %d holds an L1 copy with no L2 copy (inclusion)", cpu.ID)
+		return
+	}
+	if l1.State == memsys.Exclusive && l2.State != memsys.Exclusive {
+		a.violate(RuleCoherence, line, "cpu %d holds L1 Exclusive above L2 %v", cpu.ID, l2.State)
+	}
+	if l1.Transparent != l2.Transparent {
+		a.violate(RuleCoherence, line,
+			"cpu %d L1 transparency (%t) disagrees with L2 (%t)", cpu.ID, l1.Transparent, l2.Transparent)
+	}
+	if l1.Transparent && !a.aCPU[cpu.ID] {
+		a.violate(RuleCoherence, line, "transparent line visible to non-A-stream cpu %d", cpu.ID)
+	}
+}
+
+// TaskDone checks time conservation for one finished task incarnation: its
+// breakdown categories must sum exactly to its measured execution time.
+func (a *Auditor) TaskDone(task int, role string, b stats.Breakdown, measured int64) {
+	if b.Total() != measured {
+		a.violate(RuleTime, 0,
+			"task %d (%s): breakdown [%v] totals %d but measured time is %d",
+			task, role, b, b.Total(), measured)
+	}
+}
+
+// FinishRun checks the end-of-run counter identities and sweeps every line
+// known to any directory or cache through the coherence checks. Call it
+// after memsys.System.Finalize, so classification records are closed.
+func (a *Auditor) FinishRun(slipstream bool) {
+	sys := a.sys
+	ms := sys.MS
+	if ms.L1Hits+ms.L1Misses != a.accesses {
+		a.violate(RuleCounters, 0,
+			"L1Hits(%d)+L1Misses(%d) != %d issued accesses", ms.L1Hits, ms.L1Misses, a.accesses)
+	}
+	if ms.L2Hits+ms.L2Misses != ms.L1Misses {
+		a.violate(RuleCounters, 0,
+			"L2Hits(%d)+L2Misses(%d) != L1Misses(%d)", ms.L2Hits, ms.L2Misses, ms.L1Misses)
+	}
+	dirReqs := ms.LocalDirReqs + ms.RemoteDirReqs
+	if dirReqs != ms.L2Misses {
+		a.violate(RuleCounters, 0,
+			"LocalDirReqs(%d)+RemoteDirReqs(%d) != L2Misses(%d)", ms.LocalDirReqs, ms.RemoteDirReqs, ms.L2Misses)
+	}
+	tl := sys.TL
+	if tl.TransparentReply+tl.Upgraded != tl.TransparentIssued {
+		a.violate(RuleCounters, 0,
+			"TransparentReply(%d)+Upgraded(%d) != TransparentIssued(%d)",
+			tl.TransparentReply, tl.Upgraded, tl.TransparentIssued)
+	}
+	if tl.TransparentIssued > tl.AReadRequests {
+		a.violate(RuleCounters, 0,
+			"TransparentIssued(%d) > AReadRequests(%d)", tl.TransparentIssued, tl.AReadRequests)
+	}
+	req := sys.Req
+	if slipstream {
+		if got := req.TotalReads() + req.TotalExclusives(); got != dirReqs {
+			a.violate(RuleCounters, 0,
+				"classified requests (%d reads + %d exclusives) != %d directory requests",
+				req.TotalReads(), req.TotalExclusives(), dirReqs)
+		}
+	} else {
+		for c := stats.ATimely; c <= stats.ROnly; c++ {
+			if c != stats.RTimely && (req.Reads[c] != 0 || req.Exclusives[c] != 0) {
+				a.violate(RuleCounters, 0,
+					"non-slipstream run reports %v requests (%d reads, %d exclusives)",
+					c, req.Reads[c], req.Exclusives[c])
+			}
+		}
+	}
+	for _, line := range a.allLines() {
+		a.checkLine(line)
+	}
+}
+
+// allLines returns every line-aligned address known to a directory or
+// resident in any cache, sorted.
+func (a *Auditor) allLines() []memsys.Addr {
+	var lines []memsys.Addr
+	seen := make(map[memsys.Addr]bool)
+	add := func(l memsys.Addr) {
+		if !seen[l] {
+			seen[l] = true
+			lines = append(lines, l)
+		}
+	}
+	for _, n := range a.sys.Nodes {
+		n.Dir.ForEach(func(l memsys.Addr, _ *memsys.DirEntry) { add(l) })
+		n.L2.ForEachValid(func(l *memsys.Line) { add(l.Addr) })
+		for _, cpu := range n.CPUs {
+			cpu.L1.ForEachValid(func(l *memsys.Line) { add(l.Addr) })
+		}
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	return lines
+}

@@ -1,0 +1,261 @@
+package audit
+
+import (
+	"strings"
+	"testing"
+
+	"slipstream/internal/memsys"
+	"slipstream/internal/sim"
+	"slipstream/internal/stats"
+)
+
+func newSys(t *testing.T, nodes int) *memsys.System {
+	t.Helper()
+	sys, err := memsys.NewSystem(sim.NewEngine(), memsys.DefaultParams(nodes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// requireViolation asserts that some recorded violation has the given rule
+// and mentions substr.
+func requireViolation(t *testing.T, a *Auditor, rule, substr string) {
+	t.Helper()
+	for _, v := range a.Violations() {
+		if v.Rule == rule && strings.Contains(v.Detail, substr) {
+			return
+		}
+	}
+	t.Fatalf("no %s violation containing %q; got %v", rule, substr, a.Violations())
+}
+
+func requireClean(t *testing.T, a *Auditor) {
+	t.Helper()
+	if vs := a.Violations(); len(vs) != 0 {
+		t.Fatalf("unexpected violations: %v", vs)
+	}
+}
+
+// install places a coherent copy of line at the node, updating the
+// directory, and optionally mirrors it into the processor's L1.
+func install(sys *memsys.System, node int, line memsys.Addr, state memsys.LineState, inL1 bool) {
+	n := sys.Nodes[node]
+	l2 := n.L2.Victim(line)
+	l2.Addr = line
+	l2.State = state
+	e := sys.Home(line).Dir.Entry(line)
+	if state == memsys.Exclusive {
+		e.State = memsys.DirExclusive
+		e.Owner = node
+		e.Sharers = 1 << uint(node)
+	} else {
+		e.State = memsys.DirShared
+		e.AddSharer(node)
+	}
+	if inL1 {
+		l1 := n.CPUs[0].L1.Victim(line)
+		l1.Addr = line
+		l1.State = state
+	}
+}
+
+func TestCleanAccessSequenceNoViolations(t *testing.T) {
+	sys := newSys(t, 2)
+	a := New(sys)
+	sys.Audit = a
+	cpu := sys.Nodes[0].CPUs[0]
+	now := int64(0)
+	for i := 0; i < 8; i++ {
+		addr := memsys.Addr(i * sys.P.LineSize)
+		now = sys.Access(memsys.Req{CPU: cpu, Kind: memsys.Read, Addr: addr}, now)
+		now = sys.Access(memsys.Req{CPU: cpu, Kind: memsys.Write, Addr: addr}, now)
+		now = sys.Access(memsys.Req{CPU: cpu, Kind: memsys.Read, Addr: addr}, now)
+	}
+	sys.Finalize()
+	a.FinishRun(false)
+	requireClean(t, a)
+	if a.Dropped() != 0 {
+		t.Fatalf("dropped = %d, want 0", a.Dropped())
+	}
+}
+
+func TestDetectsMultipleExclusiveOwners(t *testing.T) {
+	sys := newSys(t, 2)
+	a := New(sys)
+	line := memsys.Addr(0)
+	install(sys, 0, line, memsys.Exclusive, false)
+	// A second Exclusive copy behind the directory's back.
+	l2 := sys.Nodes[1].L2.Victim(line)
+	l2.Addr = line
+	l2.State = memsys.Exclusive
+	a.LineEvent(line)
+	requireViolation(t, a, RuleCoherence, "Exclusive copies")
+}
+
+func TestDetectsSharerMaskMismatch(t *testing.T) {
+	sys := newSys(t, 2)
+	a := New(sys)
+	line := memsys.Addr(0)
+	install(sys, 0, line, memsys.Shared, false)
+	// Mask claims node 1 also holds the line; it does not.
+	sys.Home(line).Dir.Entry(line).AddSharer(1)
+	a.LineEvent(line)
+	requireViolation(t, a, RuleCoherence, "sharer mask disagrees")
+}
+
+func TestDetectsInclusionViolation(t *testing.T) {
+	sys := newSys(t, 2)
+	a := New(sys)
+	line := memsys.Addr(0)
+	cpu := sys.Nodes[0].CPUs[0]
+	l1 := cpu.L1.Victim(line)
+	l1.Addr = line
+	l1.State = memsys.Shared
+	a.LineEvent(line)
+	requireViolation(t, a, RuleCoherence, "inclusion")
+}
+
+func TestDetectsOwnerWithoutExclusiveCopy(t *testing.T) {
+	sys := newSys(t, 2)
+	a := New(sys)
+	line := memsys.Addr(0)
+	install(sys, 0, line, memsys.Exclusive, false)
+	sys.Nodes[0].L2.Lookup(line).State = memsys.Shared
+	a.LineEvent(line)
+	requireViolation(t, a, RuleCoherence, "lacks an Exclusive copy")
+}
+
+func TestTransparentLineVisibleOnlyToAStream(t *testing.T) {
+	line := memsys.Addr(0)
+	setup := func(t *testing.T) (*memsys.System, *Auditor) {
+		sys := newSys(t, 2)
+		// Real owner at node 1; stale transparent copy (L2+L1) at node 0.
+		install(sys, 1, line, memsys.Exclusive, false)
+		e := sys.Home(line).Dir.Entry(line)
+		e.AddFuture(0)
+		l2 := sys.Nodes[0].L2.Victim(line)
+		l2.Addr = line
+		l2.State = memsys.Shared
+		l2.Transparent = true
+		l1 := sys.Nodes[0].CPUs[0].L1.Victim(line)
+		l1.Addr = line
+		l1.State = memsys.Shared
+		l1.Transparent = true
+		return sys, New(sys)
+	}
+
+	sys, a := setup(t)
+	a.LineEvent(line) // cpu 0 was never marked as an A-stream processor
+	requireViolation(t, a, RuleCoherence, "non-A-stream")
+
+	sys, a = setup(t)
+	a.NoteACPU(sys.Nodes[0].CPUs[0].ID)
+	a.LineEvent(line)
+	requireClean(t, a)
+}
+
+func TestDetectsBreakdownMismatch(t *testing.T) {
+	sys := newSys(t, 1)
+	a := New(sys)
+	a.TaskDone(3, "R", stats.Breakdown{Busy: 100, MemStall: 20}, 117)
+	requireViolation(t, a, RuleTime, "task 3")
+	a = New(sys)
+	a.TaskDone(3, "R", stats.Breakdown{Busy: 100, MemStall: 17}, 117)
+	requireClean(t, a)
+}
+
+func TestDetectsClockRegression(t *testing.T) {
+	a := New(newSys(t, 1))
+	a.Step(5, 5)
+	a.Step(5, 9)
+	requireClean(t, a)
+	a.Step(9, 3)
+	requireViolation(t, a, RuleTime, "backwards")
+}
+
+func TestDetectsCounterCorruption(t *testing.T) {
+	sys := newSys(t, 2)
+	a := New(sys)
+	sys.Audit = a
+	cpu := sys.Nodes[0].CPUs[0]
+	sys.Access(memsys.Req{CPU: cpu, Kind: memsys.Read, Addr: 0}, 0)
+	sys.MS.L1Hits++ // double-count
+	sys.Finalize()
+	a.FinishRun(false)
+	requireViolation(t, a, RuleCounters, "issued accesses")
+}
+
+func TestDetectsTransparentCounterImbalance(t *testing.T) {
+	sys := newSys(t, 2)
+	a := New(sys)
+	sys.TL.TransparentIssued = 5
+	sys.TL.TransparentReply = 3
+	sys.TL.Upgraded = 1
+	sys.TL.AReadRequests = 10
+	a.FinishRun(true)
+	requireViolation(t, a, RuleCounters, "TransparentIssued")
+}
+
+func TestDetectsClassifiedRequestsInNonSlipstreamRun(t *testing.T) {
+	sys := newSys(t, 2)
+	a := New(sys)
+	sys.Req.AddRead(stats.AOnly)
+	a.FinishRun(false)
+	requireViolation(t, a, RuleCounters, "non-slipstream")
+}
+
+func TestDetectsPredictedHitMutation(t *testing.T) {
+	sys := newSys(t, 2)
+	a := New(sys)
+	line := memsys.Addr(0)
+	install(sys, 0, line, memsys.Shared, true)
+	req := memsys.Req{CPU: sys.Nodes[0].CPUs[0], Kind: memsys.Read, Addr: line}
+	if !sys.IsL1Hit(req) {
+		t.Fatal("setup: expected a predicted L1 hit")
+	}
+
+	// Wrong latency.
+	a.BeforeAccess(req, 0)
+	a.AfterAccess(req, 0, sys.P.L1Hit+3)
+	requireViolation(t, a, RuleL1Hit, "charged")
+
+	// Counter mutation beyond L1Hits.
+	a = New(sys)
+	a.BeforeAccess(req, 0)
+	sys.MS.L1Hits++
+	sys.MS.L2Hits++
+	a.AfterAccess(req, 0, sys.P.L1Hit)
+	requireViolation(t, a, RuleL1Hit, "MemStats")
+
+	// Directory mutation.
+	a = New(sys)
+	a.BeforeAccess(req, 0)
+	sys.MS.L1Hits++
+	sys.Home(line).Dir.Entry(line).AddSharer(1)
+	a.AfterAccess(req, 0, sys.P.L1Hit)
+	requireViolation(t, a, RuleL1Hit, "directory")
+	sys.Home(line).Dir.Entry(line).RemoveSharer(1)
+
+	// L2 line mutation (the WrittenInCS hazard that motivated the rule).
+	a = New(sys)
+	a.BeforeAccess(req, 0)
+	sys.MS.L1Hits++
+	sys.Nodes[0].L2.Lookup(line).WrittenInCS = true
+	a.AfterAccess(req, 0, sys.P.L1Hit)
+	requireViolation(t, a, RuleL1Hit, "L2 line")
+}
+
+func TestViolationCap(t *testing.T) {
+	a := New(newSys(t, 1))
+	const extra = 40
+	for i := 0; i < MaxViolations+extra; i++ {
+		a.Step(9, 3)
+	}
+	if got := len(a.Violations()); got != MaxViolations {
+		t.Fatalf("recorded %d violations, want cap %d", got, MaxViolations)
+	}
+	if got := a.Dropped(); got != extra {
+		t.Fatalf("dropped = %d, want %d", got, extra)
+	}
+}

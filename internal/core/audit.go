@@ -1,0 +1,37 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"slipstream/internal/audit"
+)
+
+// auditForced force-enables the runtime auditor for every run in the
+// process, regardless of Options.Audit. It is read once at startup so all
+// runs in a process agree; the audited CI tier sets SLIPSIM_AUDIT=1 for
+// the whole test suite.
+var auditForced = os.Getenv("SLIPSIM_AUDIT") == "1"
+
+// AuditError reports invariant violations detected by the runtime auditor
+// (internal/audit). Run returns it when auditing is enabled and the run
+// broke an invariant; the violations describe what was inconsistent and
+// when.
+type AuditError struct {
+	Violations []audit.Violation
+	Dropped    int // violations discarded beyond audit.MaxViolations
+}
+
+func (e *AuditError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "core: audit found %d invariant violation(s)", len(e.Violations)+e.Dropped)
+	for _, v := range e.Violations {
+		b.WriteString("\n\t")
+		b.WriteString(v.String())
+	}
+	if e.Dropped > 0 {
+		fmt.Fprintf(&b, "\n\t... and %d more", e.Dropped)
+	}
+	return b.String()
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"slipstream/internal/stats"
+)
+
+// TestAuditedRunsCleanAcrossModes runs the communication-heavy stencil
+// under every execution mode with the invariant auditor enabled. A clean
+// run is the auditor's positive contract: Run must not return an
+// AuditError for a correct simulation.
+func TestAuditedRunsCleanAcrossModes(t *testing.T) {
+	opts := []Options{
+		{Mode: ModeSequential, CMPs: 1},
+		{Mode: ModeSingle, CMPs: 4},
+		{Mode: ModeDouble, CMPs: 4},
+		{Mode: ModeSlipstream, CMPs: 4, ARSync: OneTokenLocal},
+		{Mode: ModeSlipstream, CMPs: 4, ARSync: ZeroTokenGlobal},
+		{Mode: ModeSlipstream, CMPs: 4, ARSync: OneTokenLocal, TransparentLoads: true},
+		{Mode: ModeSlipstream, CMPs: 4, ARSync: OneTokenLocal, TransparentLoads: true, SelfInvalidate: true},
+		{Mode: ModeSlipstream, CMPs: 4, ARSync: OneTokenLocal, AdaptiveARSync: true},
+		{Mode: ModeSlipstream, CMPs: 4, ARSync: OneTokenLocal, TransparentLoads: true, ForwardQueue: true},
+	}
+	for _, o := range opts {
+		o.Audit = true
+		runStencil(t, o)
+	}
+}
+
+// corruptKernel deliberately falsifies its own time breakdown: it charges
+// seven Busy cycles that were never simulated. The auditor must refuse the
+// run with a time-conservation violation — this is the negative contract
+// proving the audited tests above are not vacuous.
+type corruptKernel struct{}
+
+func (corruptKernel) Name() string     { return "corrupt" }
+func (corruptKernel) Setup(p *Program) {}
+func (corruptKernel) Task(c *Ctx) {
+	c.Compute(50)
+	c.bd.Busy += 7
+}
+func (corruptKernel) Verify(p *Program) error { return nil }
+
+func TestAuditDetectsCorruptedBreakdown(t *testing.T) {
+	for _, mode := range []Mode{ModeSingle, ModeSlipstream} {
+		_, err := Run(Options{Mode: mode, CMPs: 2, Audit: true}, corruptKernel{})
+		var ae *AuditError
+		if !errors.As(err, &ae) {
+			t.Fatalf("mode %v: err = %v, want *AuditError", mode, err)
+		}
+		found := false
+		for _, v := range ae.Violations {
+			if v.Rule == "time-conservation" {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("mode %v: no time-conservation violation in %v", mode, ae.Violations)
+		}
+	}
+}
+
+// onceAuditKernel reproduces the A-stream accounting bug around Once: the
+// R-stream pays full store misses while the A-stream skips them and races
+// ahead on its skewed local clock, then both meet at a Once. Before the
+// fix, the A-stream parked with unflushed local cycles, charged the wait
+// from the stale global clock, and its breakdown overstated the measured
+// incarnation time.
+type onceAuditKernel struct {
+	n   int
+	dst F64
+	sum I64
+}
+
+func (k *onceAuditKernel) Name() string { return "once-accounting" }
+func (k *onceAuditKernel) Setup(p *Program) {
+	k.dst = p.AllocF64(k.n)
+	k.sum = p.AllocI64(1)
+}
+func (k *onceAuditKernel) Task(c *Ctx) {
+	nt := c.NumTasks()
+	lo, hi := k.n*c.ID()/nt, k.n*(c.ID()+1)/nt
+	for i := lo; i < hi; i++ {
+		c.Compute(2)
+		k.dst.Store(c, i, float64(i))
+	}
+	v := c.Once(func() int64 { return 1 })
+	k.sum.Store(c, 0, v)
+	c.Barrier()
+}
+func (k *onceAuditKernel) Verify(p *Program) error { return nil }
+
+func TestOnceAccountingConserved(t *testing.T) {
+	for _, ar := range ARSyncs {
+		k := &onceAuditKernel{n: 512}
+		if _, err := Run(Options{Mode: ModeSlipstream, CMPs: 4, ARSync: ar, Audit: true}, k); err != nil {
+			t.Fatalf("%v: %v", ar, err)
+		}
+	}
+}
+
+// TestResultCounterIdentities checks the published Result against the
+// counter identities the auditor enforces internally, from the outside of
+// the API boundary.
+func TestResultCounterIdentities(t *testing.T) {
+	slip := runStencil(t, Options{
+		Mode: ModeSlipstream, CMPs: 4, ARSync: OneTokenLocal,
+		TransparentLoads: true, SelfInvalidate: true, Audit: true,
+	})
+	if got := slip.TL.TransparentReply + slip.TL.Upgraded; got != slip.TL.TransparentIssued {
+		t.Errorf("TransparentReply+Upgraded = %d, want TransparentIssued = %d",
+			got, slip.TL.TransparentIssued)
+	}
+	classified := slip.Req.TotalReads() + slip.Req.TotalExclusives()
+	dirReqs := slip.Mem.LocalDirReqs + slip.Mem.RemoteDirReqs
+	if classified != dirReqs {
+		t.Errorf("classified requests = %d, want directory requests = %d", classified, dirReqs)
+	}
+
+	single := runStencil(t, Options{Mode: ModeSingle, CMPs: 4, Audit: true})
+	if single.Req != (stats.ReqBreakdown{}) {
+		t.Errorf("non-slipstream run classified requests: %+v", single.Req)
+	}
+	if single.TL != (stats.TLStats{}) {
+		t.Errorf("non-slipstream run has transparent-load stats: %+v", single.TL)
+	}
+}

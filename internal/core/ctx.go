@@ -47,6 +47,11 @@ type Ctx struct {
 	fastForward bool
 	ffTarget    int
 
+	// t0 is the local time this incarnation started accumulating its
+	// breakdown: zero for tasks spawned at the start of the run, the
+	// fast-forward completion time for a reforked A-stream.
+	t0 int64
+
 	done     int64
 	finished bool
 }
@@ -133,7 +138,7 @@ func (c *Ctx) access(kind memsys.AccessKind, addr memsys.Addr) {
 		}
 	}
 	hitCost := sys.P.L1Hit
-	if sys.IsL1Hit(c.cpu, kind, addr, c.role) {
+	if sys.IsL1Hit(req) {
 		// Private hit: advance the local clock only.
 		c.vnow = sys.Access(req, c.vnow)
 		c.bd.Busy += hitCost
@@ -236,7 +241,13 @@ func (c *Ctx) storeTiming(a memsys.Addr) bool {
 	// is full.
 	sys := c.run.sys
 	depth := c.run.opts.StoreBuffer
-	if depth == 0 || sys.IsL1Hit(c.cpu, memsys.Write, a, c.role) {
+	if depth == 0 || sys.IsL1Hit(memsys.Req{
+		CPU:  c.cpu,
+		Kind: memsys.Write,
+		Addr: a,
+		Role: c.role,
+		InCS: c.csDepth > 0,
+	}) {
 		c.access(memsys.Write, a)
 		return true
 	}
@@ -377,6 +388,7 @@ func (c *Ctx) ffSync() {
 		c.fastForward = false
 		c.bump()
 		c.vnow = c.engNow()
+		c.t0 = c.vnow
 	}
 }
 
@@ -535,6 +547,12 @@ func (c *Ctx) SignalEvent(id int) {
 func (c *Ctx) Once(f func() int64) int64 {
 	if c.role == memsys.RoleA || c.fastForward {
 		p := c.pr
+		if !c.fastForward {
+			// Wait from the local clock, not the possibly older global
+			// clock: without the flush, ARSync would absorb cycles already
+			// charged as Busy and vnow could move backwards.
+			c.flush()
+		}
 		for p.aConsumed >= len(p.onceVals) {
 			t0 := c.engNow()
 			p.onceWait = c.proc

@@ -238,6 +238,14 @@ type Options struct {
 	// synchronization waits, recoveries, policy switches, and — when its
 	// SlowThreshold is set — slow memory accesses).
 	Trace *trace.Collector
+
+	// Audit enables the runtime invariant auditor (internal/audit): the
+	// run is cross-checked for time conservation, coherence, counter
+	// identities, and IsL1Hit fidelity, and Run returns an *AuditError if
+	// any invariant is violated. Auditing observes only — it never changes
+	// simulated results — but slows the run down. The SLIPSIM_AUDIT=1
+	// environment variable force-enables it for every run in the process.
+	Audit bool
 }
 
 // withDefaults fills unset options.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"slipstream/internal/audit"
 	"slipstream/internal/memsys"
 	"slipstream/internal/sim"
 	"slipstream/internal/stats"
@@ -14,7 +15,7 @@ import (
 // caches fold it into their keys and discard entries written by other
 // versions; bump it whenever a change alters simulated timing or the
 // reported statistics.
-const SimVersion = "1"
+const SimVersion = "2"
 
 // Runner owns one simulated run of a kernel under a mode.
 type Runner struct {
@@ -26,6 +27,8 @@ type Runner struct {
 
 	ctxs  []*Ctx  // R-stream / conventional task contexts
 	pairs []*pair // slipstream pairs, indexed by logical task
+
+	aud *audit.Auditor // non-nil when the run is audited
 
 	barrier barrierState
 	locks   map[int]*lockState
@@ -51,6 +54,13 @@ func Run(opts Options, k Kernel) (*Result, error) {
 	}
 	sys.Classify = opts.Mode == ModeSlipstream
 
+	var aud *audit.Auditor
+	if opts.Audit || auditForced {
+		aud = audit.New(sys)
+		sys.Audit = aud
+		eng.SetMonitor(aud)
+	}
+
 	numTasks := opts.CMPs
 	switch opts.Mode {
 	case ModeSequential:
@@ -64,6 +74,7 @@ func Run(opts Options, k Kernel) (*Result, error) {
 		eng:    eng,
 		sys:    sys,
 		kernel: k,
+		aud:    aud,
 		locks:  make(map[int]*lockState),
 		events: make(map[int]*eventState),
 	}
@@ -91,7 +102,14 @@ func Run(opts Options, k Kernel) (*Result, error) {
 		}
 	}
 	sys.Finalize()
-	return r.collect(), nil
+	res := r.collect()
+	if aud != nil {
+		aud.FinishRun(opts.Mode == ModeSlipstream)
+		if vs := aud.Violations(); len(vs) > 0 {
+			return nil, &AuditError{Violations: vs, Dropped: aud.Dropped()}
+		}
+	}
+	return res, nil
 }
 
 // spawnTasks creates the task processes according to the execution mode.
@@ -133,6 +151,9 @@ func (r *Runner) spawnTask(id int, cpu *memsys.CPU, role memsys.Role, p *pair) *
 		c.flush()
 		c.done = r.eng.Now()
 		c.finished = true
+		if r.aud != nil {
+			r.aud.TaskDone(c.id, role.String(), c.bd, c.done)
+		}
 		// The A-stream has no further purpose once its R-stream is done.
 		if p != nil && p.a != nil && !p.a.finished {
 			p.a.proc.Kill()
@@ -151,6 +172,9 @@ func (r *Runner) spawnA(p *pair, cpu *memsys.CPU, refork bool, ffTarget int) *Ct
 		run: r, cpu: cpu, id: p.id, role: memsys.RoleA, pr: p,
 		fastForward: refork, ffTarget: ffTarget,
 	}
+	if r.aud != nil {
+		r.aud.NoteACPU(cpu.ID)
+	}
 	c.proc = r.eng.Go(fmt.Sprintf("task%d(A)", p.id), func(proc *sim.Proc) {
 		c.proc = proc
 		if refork {
@@ -158,6 +182,11 @@ func (r *Runner) spawnA(p *pair, cpu *memsys.CPU, refork bool, ffTarget int) *Ct
 		}
 		r.kernel.Task(c)
 		c.finished = true
+		if r.aud != nil && !c.fastForward {
+			// A reforked stream that never left fast-forward has no timed
+			// execution to conserve.
+			r.aud.TaskDone(c.id, memsys.RoleA.String(), c.bd, c.vnow-c.t0)
+		}
 	})
 	return c
 }

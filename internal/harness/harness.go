@@ -40,6 +40,11 @@ type Config struct {
 	Workers int
 	// Cache, when set, persists completed runs across sessions.
 	Cache *runcache.Cache
+	// Audit enables the runtime invariant auditor on every simulated run
+	// (cache and memo hits are not re-audited); an audit violation fails
+	// the session. Audited results are identical to unaudited ones, so
+	// they share the cache.
+	Audit bool
 }
 
 // Session plans, executes, and renders figures, memoizing runs so figures
@@ -158,6 +163,7 @@ func (s *Session) store(sp runspec.RunSpec, res *core.Result) {
 func (s *Session) Execute(specs []runspec.RunSpec) error {
 	ex := &runspec.Executor{
 		Workers: s.cfg.Workers,
+		Audit:   s.cfg.Audit,
 		Lookup:  s.lookup,
 		Store:   s.store,
 		OnDone: func(sp runspec.RunSpec, res *core.Result, cached bool) {
@@ -204,7 +210,7 @@ func (s *Session) result(sp runspec.RunSpec) (*core.Result, error) {
 	if res, ok := s.lookup(sp); ok {
 		return res, nil
 	}
-	res, err := sp.Run()
+	res, err := sp.RunAudited(s.cfg.Audit)
 	if err != nil {
 		return nil, fmt.Errorf("harness: %w", err)
 	}

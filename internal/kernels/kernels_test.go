@@ -147,3 +147,40 @@ func TestSizePresetsAreOrdered(t *testing.T) {
 		})
 	}
 }
+
+// Every kernel run must satisfy the counter identities the runtime auditor
+// enforces: transparent replies and upgrades partition the transparent
+// issues, and every directory request is classified exactly once.
+func TestKernelCounterIdentities(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			res := run(t, name, core.Options{
+				Mode: core.ModeSlipstream, CMPs: 4, ARSync: core.OneTokenLocal,
+				TransparentLoads: true, SelfInvalidate: true, Audit: true,
+			})
+			tl := res.TL
+			if tl.TransparentReply+tl.Upgraded != tl.TransparentIssued {
+				t.Errorf("TL identity broken: reply %d + upgraded %d != issued %d",
+					tl.TransparentReply, tl.Upgraded, tl.TransparentIssued)
+			}
+			if tl.TransparentIssued > tl.AReadRequests {
+				t.Errorf("more transparent issues (%d) than A-read requests (%d)",
+					tl.TransparentIssued, tl.AReadRequests)
+			}
+			classified := res.Req.TotalReads() + res.Req.TotalExclusives()
+			dirReqs := res.Mem.LocalDirReqs + res.Mem.RemoteDirReqs
+			if classified != dirReqs {
+				t.Errorf("classified %d requests, directory saw %d", classified, dirReqs)
+			}
+			if res.Mem.L1Hits+res.Mem.L1Misses == 0 {
+				t.Error("no memory accesses recorded")
+			}
+			if res.Mem.L2Hits+res.Mem.L2Misses != res.Mem.L1Misses {
+				t.Errorf("L2 lookups (%d hits + %d misses) != L1 misses (%d)",
+					res.Mem.L2Hits, res.Mem.L2Misses, res.Mem.L1Misses)
+			}
+		})
+	}
+}

@@ -42,23 +42,42 @@ type Req struct {
 }
 
 // IsL1Hit reports whether the access would be satisfied entirely by the
-// processor's private L1. Callers use it to batch private work under a
-// bounded clock skew: an L1 hit touches no globally visible state other
-// than the private L1 itself, so it may be simulated at a slightly skewed
-// local time.
-func (s *System) IsL1Hit(cpu *CPU, kind AccessKind, addr Addr, role Role) bool {
-	line := addr.Line(s.P.LineSize)
-	l1 := cpu.L1.Lookup(line)
-	if l1 == nil || (l1.Transparent && role != RoleA) {
+// processor's private L1 without touching globally visible state. Callers
+// use it to batch private work under a bounded clock skew: a predicted hit
+// touches nothing but the private L1 itself, so it may be simulated at a
+// slightly skewed local time. The prediction is deliberately conservative:
+// a store inside a critical section marks the node's shared L2 line as
+// written-in-CS (the migratory heuristic), so it is not predicted as a
+// private hit even though it completes in L1-hit time. The audit rule
+// guarding this contract: prediction true implies Access charges exactly
+// Params.L1Hit cycles and leaves directory, L2, and all non-L1Hits
+// counters unchanged.
+func (s *System) IsL1Hit(r Req) bool {
+	if r.Kind != Read && r.InCS {
+		return false // the hit path would mutate L2 (WrittenInCS)
+	}
+	line := r.Addr.Line(s.P.LineSize)
+	l1 := r.CPU.L1.Lookup(line)
+	if l1 == nil || (l1.Transparent && r.Role != RoleA) {
 		return false
 	}
-	return kind == Read || l1.State == Exclusive
+	return r.Kind == Read || l1.State == Exclusive
 }
 
 // Access simulates one data access beginning at time now and returns its
 // completion time. State (caches, directory) is updated at issue time;
 // per-line fill times provide request merging for later arrivals.
 func (s *System) Access(r Req, now int64) int64 {
+	if s.Audit != nil {
+		s.Audit.BeforeAccess(r, now)
+		done := s.access(r, now)
+		s.Audit.AfterAccess(r, now, done)
+		return done
+	}
+	return s.access(r, now)
+}
+
+func (s *System) access(r Req, now int64) int64 {
 	if DebugSlow == nil {
 		return s.accessInner(r, now)
 	}
@@ -119,6 +138,9 @@ func (s *System) accessInner(r Req, now int64) int64 {
 		s.Home(line).Dir.Entry(line).ClearFuture(node.ID)
 		s.invalidateL1s(node, line)
 		clearLine(l2)
+		if s.Audit != nil {
+			s.Audit.LineEvent(line)
+		}
 	}
 
 	if l2 != nil && l2.State != Invalid {
@@ -281,6 +303,9 @@ func (s *System) dirTransaction(node *Node, line Addr, r Req, t int64, frame *Li
 	if r.Kind == PrefetchExcl {
 		s.MS.PrefetchExcl++
 	}
+	if s.Audit != nil {
+		s.Audit.LineEvent(line)
+	}
 	return t
 }
 
@@ -398,6 +423,9 @@ func (s *System) PushL1(cpu *CPU, line Addr, now int64) bool {
 	}
 	s.fillL1(cpu, line, state, false)
 	s.MS.L1Pushes++
+	if s.Audit != nil {
+		s.Audit.LineEvent(line)
+	}
 	return true
 }
 
@@ -488,6 +516,9 @@ func (s *System) evictL2(node *Node, frame *Line, t int64) {
 	}
 	s.invalidateL1s(node, line)
 	clearLine(frame)
+	if s.Audit != nil {
+		s.Audit.LineEvent(line)
+	}
 }
 
 // markSI marks a resident exclusive line for self-invalidation at the
@@ -571,6 +602,9 @@ func (s *System) selfInvalidate(node *Node, addr Addr) {
 		}
 		e.State = DirShared
 		e.Sharers = 1 << uint(node.ID)
+	}
+	if s.Audit != nil {
+		s.Audit.LineEvent(addr)
 	}
 }
 

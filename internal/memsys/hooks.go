@@ -1,0 +1,19 @@
+package memsys
+
+// AuditHook receives memory-system events for runtime invariant checking
+// (internal/audit). The hook is an observer: implementations must not
+// mutate system state, or the audited run would diverge from the unaudited
+// one. System.Audit is nil in production runs, so the unaudited hot path
+// pays one branch per access and per coherence event.
+type AuditHook interface {
+	// BeforeAccess runs at the start of every System.Access call, before
+	// any state changes.
+	BeforeAccess(r Req, now int64)
+	// AfterAccess runs at the end of every System.Access call with the
+	// access's issue and completion times.
+	AfterAccess(r Req, now, done int64)
+	// LineEvent runs after any operation that changed the coherence state
+	// of the given line (directory transaction, eviction, transparent-copy
+	// discard, self-invalidation, L2-to-L1 push).
+	LineEvent(line Addr)
+}

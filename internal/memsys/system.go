@@ -86,6 +86,10 @@ type System struct {
 	// for slipstream-mode runs, where accesses carry stream roles.
 	Classify bool
 
+	// Audit, when non-nil, receives invariant-checking hooks (see
+	// AuditHook). It must only observe.
+	Audit AuditHook
+
 	MS   stats.MemStats
 	Req  stats.ReqBreakdown
 	TL   stats.TLStats

@@ -139,3 +139,25 @@ func TestStoreRejectsUnverified(t *testing.T) {
 		t.Fatal("unverified result stored")
 	}
 }
+
+// TestOpenPrunesPreviousSimVersion pins the version bump that accompanied
+// the invariant-auditor fixes: entries cached by the previous simulator
+// version ("1") must never be served again, because the Once accounting
+// and IsL1Hit critical-section fixes changed simulated timing.
+func TestOpenPrunesPreviousSimVersion(t *testing.T) {
+	if core.SimVersion == "1" {
+		t.Fatal("SimVersion was not bumped past the pre-audit semantics")
+	}
+	dir := t.TempDir()
+	stale := filepath.Join(dir, "v1-00c0ffee00c0ffee.json")
+	if err := os.WriteFile(stale, []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, core.SimVersion); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("v1 cache entry survived Open under SimVersion %q (stat err: %v)",
+			core.SimVersion, err)
+	}
+}

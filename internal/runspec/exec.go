@@ -20,6 +20,11 @@ type Executor struct {
 	// runtime.NumCPU().
 	Workers int
 
+	// Audit enables the runtime invariant auditor on every simulated run
+	// (results served by Lookup are not re-audited). An audit violation
+	// aborts the batch like any other simulation error.
+	Audit bool
+
 	// Lookup, when set, is probed before scheduling a spec; returning
 	// ok=true satisfies the spec without simulating (memo or persistent
 	// cache hit). It may be called from Execute's caller goroutine only.
@@ -112,7 +117,7 @@ func (e *Executor) Execute(specs []RunSpec) ([]*core.Result, error) {
 						continue
 					}
 					sp := unique[i]
-					res, err := sp.Run()
+					res, err := sp.RunAudited(e.Audit)
 					if err == nil && res.VerifyErr != nil {
 						err = fmt.Errorf("%v: verification: %w", sp, res.VerifyErr)
 					}

@@ -90,13 +90,22 @@ func (sp RunSpec) Validate() error {
 // Run executes the spec's simulation and returns its result. Numeric
 // verification failures are reported in Result.VerifyErr, as with
 // core.Run.
-func (sp RunSpec) Run() (*core.Result, error) {
+func (sp RunSpec) Run() (*core.Result, error) { return sp.RunAudited(false) }
+
+// RunAudited is Run with the runtime invariant auditor (core.Options.Audit)
+// optionally enabled. Auditing observes without changing the simulated
+// result, so audited and unaudited runs of equal specs are interchangeable;
+// that is why it is a run argument and not part of the spec (it must not
+// fork cache keys).
+func (sp RunSpec) RunAudited(audit bool) (*core.Result, error) {
 	sp = sp.Normalize()
 	k, err := kernels.New(sp.Kernel, sp.Size)
 	if err != nil {
 		return nil, err
 	}
-	res, err := core.Run(sp.Options(), k)
+	opts := sp.Options()
+	opts.Audit = audit
+	res, err := core.Run(opts, k)
 	if err != nil {
 		return nil, fmt.Errorf("%v: %w", sp, err)
 	}

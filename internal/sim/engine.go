@@ -12,14 +12,26 @@ import (
 	"fmt"
 )
 
+// Monitor observes engine progress. It exists for runtime auditing
+// (internal/audit): the engine calls Step after executing each event, so a
+// monitor can cross-check clock monotonicity independently of the heap
+// ordering that is supposed to guarantee it. Implementations must not
+// mutate simulation state.
+type Monitor interface {
+	// Step reports that the clock advanced from prev to now and one event
+	// ran at now.
+	Step(prev, now int64)
+}
+
 // Engine is a discrete-event simulator. The zero value is not usable; use
 // NewEngine.
 type Engine struct {
-	now    int64
-	seq    uint64
-	events eventHeap
-	yield  chan struct{}
-	procs  []*Proc
+	now     int64
+	seq     uint64
+	events  eventHeap
+	yield   chan struct{}
+	procs   []*Proc
+	monitor Monitor
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -44,6 +56,10 @@ func (e *Engine) At(t int64, fn func()) {
 // After schedules fn to run d cycles from now.
 func (e *Engine) After(d int64, fn func()) { e.At(e.now+d, fn) }
 
+// SetMonitor installs (or, with nil, removes) the engine's step monitor.
+// The unmonitored path pays one nil check per event.
+func (e *Engine) SetMonitor(m Monitor) { e.monitor = m }
+
 // Step executes the next pending event, advancing the clock. It reports
 // whether an event was executed.
 func (e *Engine) Step() bool {
@@ -51,8 +67,12 @@ func (e *Engine) Step() bool {
 		return false
 	}
 	ev := heap.Pop(&e.events).(event)
+	prev := e.now
 	e.now = ev.at
 	ev.fn()
+	if e.monitor != nil {
+		e.monitor.Step(prev, ev.at)
+	}
 	return true
 }
 

@@ -1,0 +1,73 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestScaleIdentity(t *testing.T) {
+	cases := []Breakdown{
+		{},
+		{Busy: 1},
+		{Busy: 100, MemStall: 20, Barrier: 3, Lock: 7, ARSync: 11},
+		{Busy: 1 << 40, MemStall: 1<<40 + 1, Barrier: 999999999999},
+	}
+	for _, b := range cases {
+		if got := b.Scale(1.0); got != b {
+			t.Errorf("Scale(1.0) of %+v = %+v; want identity", b, got)
+		}
+	}
+}
+
+// TestScaleSumWithinOneCycle checks the cascade rounding: the scaled
+// categories must sum to within one cycle of the scaled total, for any
+// factor. Naive per-category truncation drifts by up to one cycle per
+// category (five here), which visibly skewed small normalized breakdowns.
+func TestScaleSumWithinOneCycle(t *testing.T) {
+	factors := []float64{0.001, 0.25, 1.0 / 3.0, 0.5, 1.0, 1.7, math.Pi, 1000}
+	breakdowns := []Breakdown{
+		{Busy: 1, MemStall: 1, Barrier: 1, Lock: 1, ARSync: 1},
+		{Busy: 333, MemStall: 333, Barrier: 333, Lock: 333, ARSync: 333},
+		{Busy: 123456, MemStall: 7, Barrier: 89012, Lock: 3, ARSync: 45678},
+		{Busy: 1 << 30, MemStall: 1<<30 + 1, Barrier: 1<<30 + 2, Lock: 1, ARSync: 0},
+	}
+	for _, f := range factors {
+		for _, b := range breakdowns {
+			got := float64(b.Scale(f).Total())
+			want := float64(b.Total()) * f
+			if math.Abs(got-want) > 1 {
+				t.Errorf("Scale(%v) of %+v: total %v, want %v within 1 cycle", f, b, got, want)
+			}
+		}
+	}
+}
+
+func TestScaleSumProperty(t *testing.T) {
+	prop := func(busy, mem, barrier, lock, ar uint32, fRaw uint16) bool {
+		b := Breakdown{
+			Busy: int64(busy), MemStall: int64(mem), Barrier: int64(barrier),
+			Lock: int64(lock), ARSync: int64(ar),
+		}
+		f := float64(fRaw) / 1000
+		s := b.Scale(f)
+		got := float64(s.Total())
+		want := float64(b.Total()) * f
+		return math.Abs(got-want) <= 1 &&
+			s.Busy >= 0 && s.MemStall >= 0 && s.Barrier >= 0 && s.Lock >= 0 && s.ARSync >= 0
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// A half-cycle residual carried into a zero category must not round it to
+// -1: averaging four tasks where only half spent a lock cycle previously
+// rendered "lock=-1".
+func TestScaleNeverNegative(t *testing.T) {
+	b := Breakdown{Busy: 26113, MemStall: 27249, Barrier: 1466, Lock: 0, ARSync: 6}
+	s := b.Scale(0.25)
+	if s.Busy < 0 || s.MemStall < 0 || s.Barrier < 0 || s.Lock < 0 || s.ARSync < 0 {
+		t.Fatalf("Scale produced a negative category: %+v", s)
+	}
+}

@@ -4,7 +4,10 @@
 // load accounting (Figure 9).
 package stats
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Breakdown decomposes a task's execution time into the categories plotted
 // in Figure 6 of the paper. All values are in cycles and, for a finished
@@ -31,15 +34,26 @@ func (b *Breakdown) Add(other Breakdown) {
 	b.ARSync += other.ARSync
 }
 
-// Scale returns b with every category multiplied by f.
+// Scale returns b with every category multiplied by f. Each category is
+// rounded to the nearest cycle with the residual carried into the next
+// (cascade rounding), so Scale(1.0) is the identity and the result's Total
+// stays within one cycle of the real-valued scaled total. Ties round to
+// even: a half-cycle carry must never push a zero category to -1.
 func (b Breakdown) Scale(f float64) Breakdown {
-	return Breakdown{
-		Busy:     int64(float64(b.Busy) * f),
-		MemStall: int64(float64(b.MemStall) * f),
-		Barrier:  int64(float64(b.Barrier) * f),
-		Lock:     int64(float64(b.Lock) * f),
-		ARSync:   int64(float64(b.ARSync) * f),
+	var carry float64
+	round := func(v int64) int64 {
+		x := float64(v)*f + carry
+		r := math.RoundToEven(x)
+		carry = x - r
+		return int64(r)
 	}
+	var out Breakdown
+	out.Busy = round(b.Busy)
+	out.MemStall = round(b.MemStall)
+	out.Barrier = round(b.Barrier)
+	out.Lock = round(b.Lock)
+	out.ARSync = round(b.ARSync)
+	return out
 }
 
 func (b Breakdown) String() string {

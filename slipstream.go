@@ -22,6 +22,7 @@
 package slipstream
 
 import (
+	"slipstream/internal/audit"
 	"slipstream/internal/core"
 	"slipstream/internal/kernels"
 	"slipstream/internal/memsys"
@@ -65,6 +66,11 @@ type (
 	TraceEvent = trace.Event
 	// TraceSummary aggregates a trace.
 	TraceSummary = trace.Summary
+	// AuditError is returned by Run when Options.Audit is set and the run
+	// violated a simulation invariant; it carries the violations.
+	AuditError = core.AuditError
+	// AuditViolation is one invariant breach found by the runtime auditor.
+	AuditViolation = audit.Violation
 )
 
 // Execution modes.
