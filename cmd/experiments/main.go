@@ -20,9 +20,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"strconv"
 	"strings"
@@ -35,29 +38,31 @@ import (
 
 func main() {
 	var (
-		all     = flag.Bool("all", false, "regenerate every table and figure")
-		table1  = flag.Bool("table1", false, "Table 1: machine parameters")
-		table2  = flag.Bool("table2", false, "Table 2: benchmarks and sizes")
-		fig1    = flag.Bool("fig1", false, "Figure 1: double vs single")
-		fig4    = flag.Bool("fig4", false, "Figure 4: single-mode scalability")
-		fig5    = flag.Bool("fig5", false, "Figure 5: slipstream and double vs single")
-		fig6    = flag.Bool("fig6", false, "Figure 6: execution time breakdown")
-		fig7    = flag.Bool("fig7", false, "Figure 7: request classification")
-		fig9    = flag.Bool("fig9", false, "Figure 9: transparent load breakdown")
-		fig10   = flag.Bool("fig10", false, "Figure 10: transparent loads + self-invalidation")
-		adapt   = flag.Bool("adaptive", false, "extension: dynamic A-R policy selection (paper Section 6)")
-		forward = flag.Bool("forward", false, "extension: A-to-R address forwarding queue (paper Section 6)")
-		sens    = flag.Bool("sensitivity", false, "extension: slipstream benefit vs network latency")
-		leads   = flag.Bool("leads", false, "extension: A-stream lead analysis per policy")
-		banks   = flag.Bool("banks", false, "extension: directory-controller banking sensitivity")
-		size    = flag.String("size", "small", "problem size preset: tiny, small, paper")
-		cmps    = flag.String("cmps", "2,4,8,16", "comma-separated CMP counts to sweep")
-		workers = flag.Int("j", runtime.NumCPU(), "max concurrent simulations")
-		cacheAt = flag.String("cache", runcache.DefaultDir(), "persistent run cache directory")
-		noCache = flag.Bool("no-cache", false, "disable the persistent run cache")
-		csvDir  = flag.String("csv", "", "also write per-figure CSV data files into this directory")
-		audit   = flag.Bool("audit", false, "cross-check every simulated run against conservation and coherence invariants")
-		quiet   = flag.Bool("q", false, "suppress per-run progress lines")
+		all       = flag.Bool("all", false, "regenerate every table and figure")
+		table1    = flag.Bool("table1", false, "Table 1: machine parameters")
+		table2    = flag.Bool("table2", false, "Table 2: benchmarks and sizes")
+		fig1      = flag.Bool("fig1", false, "Figure 1: double vs single")
+		fig4      = flag.Bool("fig4", false, "Figure 4: single-mode scalability")
+		fig5      = flag.Bool("fig5", false, "Figure 5: slipstream and double vs single")
+		fig6      = flag.Bool("fig6", false, "Figure 6: execution time breakdown")
+		fig7      = flag.Bool("fig7", false, "Figure 7: request classification")
+		fig9      = flag.Bool("fig9", false, "Figure 9: transparent load breakdown")
+		fig10     = flag.Bool("fig10", false, "Figure 10: transparent loads + self-invalidation")
+		adapt     = flag.Bool("adaptive", false, "extension: dynamic A-R policy selection (paper Section 6)")
+		forward   = flag.Bool("forward", false, "extension: A-to-R address forwarding queue (paper Section 6)")
+		sens      = flag.Bool("sensitivity", false, "extension: slipstream benefit vs network latency")
+		leads     = flag.Bool("leads", false, "extension: A-stream lead analysis per policy")
+		banks     = flag.Bool("banks", false, "extension: directory-controller banking sensitivity")
+		size      = flag.String("size", "small", "problem size preset: tiny, small, paper")
+		cmps      = flag.String("cmps", "2,4,8,16", "comma-separated CMP counts to sweep")
+		workers   = flag.Int("j", runtime.NumCPU(), "max concurrent simulations")
+		cacheAt   = flag.String("cache", runcache.DefaultDir(), "persistent run cache directory")
+		noCache   = flag.Bool("no-cache", false, "disable the persistent run cache")
+		csvDir    = flag.String("csv", "", "also write per-figure CSV data files into this directory")
+		audit     = flag.Bool("audit", false, "cross-check every simulated run against conservation and coherence invariants")
+		chromeOut = flag.String("trace-out", "", "write a merged Chrome trace-event JSON timeline of every simulated run to this file")
+		metricOut = flag.String("metrics-out", "", "write merged counters and latency histograms of every simulated run to this file (.csv for CSV)")
+		quiet     = flag.Bool("q", false, "suppress per-run progress lines")
 	)
 	flag.Parse()
 
@@ -74,9 +79,15 @@ func main() {
 		counts = append(counts, n)
 	}
 
+	// An interrupt stops scheduling new simulations and lets in-flight
+	// ones drain; a second interrupt kills the process the usual way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	cfg := harness.Config{
 		Size: ksize, CMPCounts: counts, Out: os.Stdout, Workers: *workers,
-		Audit: *audit,
+		Audit: *audit, Context: ctx,
+		Observe: *chromeOut != "" || *metricOut != "",
 	}
 	if !*quiet {
 		cfg.Progress = os.Stderr
@@ -119,6 +130,22 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "experiments: wrote CSV data to %s\n", *csvDir)
 	}
+	if *chromeOut != "" {
+		if err := writeFile(*chromeOut, s.WriteTrace); err != nil {
+			fatalf("trace-out: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "experiments: wrote Chrome trace to %s (open in Perfetto)\n", *chromeOut)
+	}
+	if *metricOut != "" {
+		write := s.WriteMetrics
+		if strings.HasSuffix(*metricOut, ".csv") {
+			write = s.WriteMetricsCSV
+		}
+		if err := writeFile(*metricOut, write); err != nil {
+			fatalf("metrics-out: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "experiments: wrote metrics to %s\n", *metricOut)
+	}
 	if !any {
 		fmt.Fprintln(os.Stderr, "experiments: nothing selected; pass -all or one of the -table/-fig flags")
 		flag.Usage()
@@ -129,6 +156,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "experiments: %d runs simulated, %d served from cache\n",
 			simulated, cacheHits)
 	}
+}
+
+// writeFile creates path and streams render into it.
+func writeFile(path string, render func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := render(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatalf(format string, args ...any) {

@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -19,17 +20,19 @@ import (
 
 func main() {
 	var (
-		kernel   = flag.String("kernel", "SOR", "benchmark: "+strings.Join(slipstream.Kernels(), ", "))
-		mode     = flag.String("mode", "slipstream", "execution mode: sequential, single, double, slipstream")
-		arsync   = flag.String("arsync", "L1", "A-R synchronization: L1, L0, G1, G0")
-		cmps     = flag.Int("cmps", 8, "number of CMP nodes")
-		size     = flag.String("size", "small", "problem size preset: tiny, small, paper")
-		tl       = flag.Bool("tl", false, "enable transparent loads (slipstream only)")
-		si       = flag.Bool("si", false, "enable self-invalidation (implies -tl)")
-		adapt    = flag.Bool("adaptive", false, "vary the A-R policy dynamically (slipstream only)")
-		auditRun = flag.Bool("audit", false, "cross-check the run against conservation and coherence invariants")
-		traceOut = flag.String("trace", "", "write a TSV event trace to this file")
-		verbose  = flag.Bool("v", false, "print per-task breakdowns")
+		kernel    = flag.String("kernel", "SOR", "benchmark: "+strings.Join(slipstream.Kernels(), ", "))
+		mode      = flag.String("mode", "slipstream", "execution mode: sequential, single, double, slipstream")
+		arsync    = flag.String("arsync", "L1", "A-R synchronization: L1, L0, G1, G0")
+		cmps      = flag.Int("cmps", 8, "number of CMP nodes")
+		size      = flag.String("size", "small", "problem size preset: tiny, small, paper")
+		tl        = flag.Bool("tl", false, "enable transparent loads (slipstream only)")
+		si        = flag.Bool("si", false, "enable self-invalidation (implies -tl)")
+		adapt     = flag.Bool("adaptive", false, "vary the A-R policy dynamically (slipstream only)")
+		auditRun  = flag.Bool("audit", false, "cross-check the run against conservation and coherence invariants")
+		traceOut  = flag.String("trace", "", "write a TSV event trace to this file")
+		chromeOut = flag.String("trace-out", "", "write a Chrome trace-event JSON timeline to this file (open in Perfetto)")
+		metricOut = flag.String("metrics-out", "", "write aggregated counters and latency histograms to this file (.csv for CSV)")
+		verbose   = flag.Bool("v", false, "print per-task breakdowns")
 	)
 	flag.Parse()
 
@@ -64,6 +67,16 @@ func main() {
 	if *traceOut != "" {
 		tr = &slipstream.Trace{SlowThreshold: 600}
 		opts.Trace = tr
+	}
+	var chrome *slipstream.ChromeTrace
+	if *chromeOut != "" {
+		chrome = &slipstream.ChromeTrace{Name: fmt.Sprintf("%s/%s %s", *kernel, *size, *mode)}
+		opts.Observers = append(opts.Observers, chrome)
+	}
+	var metrics *slipstream.Metrics
+	if *metricOut != "" {
+		metrics = &slipstream.Metrics{}
+		opts.Observers = append(opts.Observers, metrics)
 	}
 
 	res, err := slipstream.Run(opts, k)
@@ -122,6 +135,23 @@ func main() {
 		fmt.Printf("trace: %d events -> %s (mean barrier %.0f, mean token %.0f, mean A-lead %.0f cycles)\n",
 			tr.Len(), *traceOut, sum.MeanBarrier, sum.MeanToken, sum.MeanLead)
 	}
+	if chrome != nil {
+		if err := writeFile(*chromeOut, chrome.WriteJSON); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("timeline: %d trace events -> %s (open in Perfetto / chrome://tracing)\n",
+			chrome.Len(), *chromeOut)
+	}
+	if metrics != nil {
+		write := metrics.WriteText
+		if strings.HasSuffix(*metricOut, ".csv") {
+			write = metrics.WriteCSV
+		}
+		if err := writeFile(*metricOut, write); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("metrics: -> %s\n", *metricOut)
+	}
 	if *verbose {
 		for i, bd := range res.Tasks {
 			fmt.Printf("  task %2d: %v\n", i, bd)
@@ -130,6 +160,19 @@ func main() {
 			fmt.Printf("  A    %2d: %v\n", i, bd)
 		}
 	}
+}
+
+// writeFile creates path and streams render into it.
+func writeFile(path string, render func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := render(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatalf(format string, args ...any) {

@@ -20,9 +20,10 @@ var Nondeterminism = &Analyzer{
 }
 
 // simulationPackage reports whether an import path names deterministic
-// simulation code: internal/{sim,memsys,core,kernels,audit} or a
-// subpackage. The auditor observes simulation state mid-run, so it is held
-// to the same determinism rules as the code it checks.
+// simulation code: internal/{sim,memsys,core,kernels,audit,obs} or a
+// subpackage. The auditor and the observation layer run inside the
+// simulation loop, so they are held to the same determinism rules as the
+// code they watch.
 func simulationPackage(path string) bool {
 	segs := strings.Split(path, "/")
 	for i := 0; i+1 < len(segs); i++ {
@@ -30,7 +31,7 @@ func simulationPackage(path string) bool {
 			continue
 		}
 		switch segs[i+1] {
-		case "sim", "memsys", "core", "kernels", "audit":
+		case "sim", "memsys", "core", "kernels", "audit", "obs":
 			return true
 		}
 	}

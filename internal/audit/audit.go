@@ -27,10 +27,13 @@
 //     untouched. This is the contract that makes the clock-skew batching
 //     optimization sound.
 //
-// The auditor is wired in through nil-checkable hooks (memsys.AuditHook,
-// sim.Monitor), so production runs pay one branch per access and per
-// coherence event. It only observes: an audited run produces bit-identical
-// results to an unaudited one.
+// The auditor subscribes to the observation bus (internal/obs): core.Run
+// attaches it like any other observer, and its Event method dispatches to
+// the rule checks. Production runs leave the bus nil and pay one branch per
+// emission site. The pre-bus hook interfaces (memsys.AuditHook,
+// sim.Monitor) are still implemented for direct users. The auditor only
+// observes: an audited run produces bit-identical results to an unaudited
+// one.
 package audit
 
 import (
@@ -38,6 +41,7 @@ import (
 	"sort"
 
 	"slipstream/internal/memsys"
+	"slipstream/internal/obs"
 	"slipstream/internal/sim"
 	"slipstream/internal/stats"
 )
@@ -147,11 +151,52 @@ func (a *Auditor) violate(rule string, line memsys.Addr, format string, args ...
 	})
 }
 
-// Interface assertions: the auditor is installed through these hooks.
+// Interface assertions: the auditor rides the observation bus, and still
+// implements the deprecated direct hooks.
 var (
+	_ obs.Observer     = (*Auditor)(nil)
 	_ memsys.AuditHook = (*Auditor)(nil)
 	_ sim.Monitor      = (*Auditor)(nil)
 )
+
+// Event implements obs.Observer, dispatching bus events to the rule
+// checks. The auditor inspects live simulation state, so it relies on the
+// bus's synchronous, unsorted delivery.
+func (a *Auditor) Event(e *obs.Event) {
+	switch e.Kind {
+	case obs.EvStep:
+		a.Step(e.Count, e.Time)
+	case obs.EvAccessStart:
+		a.BeforeAccess(a.req(e), e.Time)
+	case obs.EvAccess:
+		a.AfterAccess(a.req(e), e.Time-e.Dur, e.Time)
+	case obs.EvLine:
+		a.LineEvent(memsys.Addr(e.Addr))
+	case obs.EvTaskStart:
+		if e.Role == obs.RoleA {
+			a.NoteACPU(e.CPU)
+		}
+	case obs.EvTaskEnd:
+		a.TaskDone(e.Task, e.Note, e.BD, e.Dur)
+	case obs.EvRunEnd:
+		a.FinishRun(e.Flags&obs.FlagSlipstream != 0)
+	}
+}
+
+// req reconstructs the memsys request an access event describes (the obs
+// enums mirror memsys by ordinal).
+func (a *Auditor) req(e *obs.Event) memsys.Req {
+	return memsys.Req{
+		CPU:         a.sys.CPUByID(e.CPU),
+		Kind:        memsys.AccessKind(e.Op),
+		Addr:        memsys.Addr(e.Addr),
+		Role:        memsys.Role(e.Role),
+		Transparent: e.Flags&obs.FlagTransparent != 0,
+		InCS:        e.Flags&obs.FlagInCS != 0,
+		Task:        e.Task,
+		Session:     e.Session,
+	}
+}
 
 // Step implements sim.Monitor: the engine clock must never run backwards.
 func (a *Auditor) Step(prev, now int64) {

@@ -2,7 +2,7 @@ package core
 
 import (
 	"slipstream/internal/memsys"
-	"slipstream/internal/trace"
+	"slipstream/internal/obs"
 )
 
 // This file implements the paper's Section 6 future work: "extending the
@@ -71,8 +71,14 @@ func (r *Runner) switchPolicy(p *pair, next ARSync) {
 	p.policy = next
 	p.sem.adjust(delta, r.eng.Now())
 	r.policySwitches++
-	r.opts.Trace.Add(trace.Event{
-		Time: r.eng.Now(), Task: p.id,
-		Kind: trace.EvPolicySwitch, Note: next.String(),
-	})
+	if r.bus != nil {
+		cpu := -1
+		if p.r != nil {
+			cpu = p.r.cpu.ID
+		}
+		r.bus.Emit(&obs.Event{
+			Kind: obs.EvPolicySwitch, Time: r.eng.Now(), Task: p.id, CPU: cpu,
+			Note: next.String(),
+		})
+	}
 }

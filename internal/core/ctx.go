@@ -2,9 +2,9 @@ package core
 
 import (
 	"slipstream/internal/memsys"
+	"slipstream/internal/obs"
 	"slipstream/internal/sim"
 	"slipstream/internal/stats"
-	"slipstream/internal/trace"
 )
 
 // Ctx is a task's execution context: kernels issue all simulated work
@@ -93,18 +93,15 @@ func (c *Ctx) maybeYield() {
 	}
 }
 
-// trace emits a run event when tracing is enabled.
-func (c *Ctx) trace(kind trace.Kind, at int64, addr uint64, dur int64, note string) {
-	c.run.opts.Trace.Add(trace.Event{
-		Time:    at,
-		Task:    c.id,
-		AStream: c.role == memsys.RoleA,
-		Kind:    kind,
-		Session: c.session,
-		Addr:    addr,
-		Dur:     dur,
-		Note:    note,
-	})
+// emit fills the event's task-identity fields and sends it on the
+// observation bus. Callers guard with `c.run.bus != nil` so the unobserved
+// path constructs no Event.
+func (c *Ctx) emit(e obs.Event) {
+	e.Task = c.id
+	e.CPU = c.cpu.ID
+	e.Session = c.session
+	e.Role = obs.Role(c.role)
+	c.run.bus.Emit(&e)
 }
 
 // Compute charges cycles of private computation.
@@ -124,11 +121,13 @@ func (c *Ctx) access(kind memsys.AccessKind, addr memsys.Addr) {
 	sys := c.run.sys
 	c.bump()
 	req := memsys.Req{
-		CPU:  c.cpu,
-		Kind: kind,
-		Addr: addr,
-		Role: c.role,
-		InCS: c.csDepth > 0,
+		CPU:     c.cpu,
+		Kind:    kind,
+		Addr:    addr,
+		Role:    c.role,
+		InCS:    c.csDepth > 0,
+		Task:    c.id,
+		Session: c.session,
 	}
 	if kind == memsys.Read && c.role == memsys.RoleA && c.run.opts.TransparentLoads {
 		// Transparent loads when ahead of the R-stream or in a (skipped)
@@ -160,9 +159,6 @@ func (c *Ctx) access(kind memsys.AccessKind, addr memsys.Addr) {
 	}
 	c.bd.Busy += hitCost
 	c.bd.MemStall += done - now - hitCost
-	if tr := c.run.opts.Trace; tr != nil && tr.SlowThreshold > 0 && done-now > tr.SlowThreshold {
-		c.trace(trace.EvSlowAccess, now, uint64(addr), done-now, kind.String())
-	}
 	c.proc.WaitUntil(done)
 	c.vnow = done
 }
@@ -219,10 +215,12 @@ func (c *Ctx) storeTiming(a memsys.Addr) bool {
 			for i := range c.pfSlots {
 				if c.pfSlots[i] <= now {
 					c.pfSlots[i] = c.run.sys.Access(memsys.Req{
-						CPU:  c.cpu,
-						Kind: memsys.PrefetchExcl,
-						Addr: a,
-						Role: memsys.RoleA,
+						CPU:     c.cpu,
+						Kind:    memsys.PrefetchExcl,
+						Addr:    a,
+						Role:    memsys.RoleA,
+						Task:    c.id,
+						Session: c.session,
 					}, now)
 					break
 				}
@@ -267,11 +265,13 @@ func (c *Ctx) storeTiming(a memsys.Addr) bool {
 	// Stores drain serially: this one issues after its predecessor.
 	issue := max(now, newest)
 	c.stRing[c.stPos%depth] = sys.Access(memsys.Req{
-		CPU:  c.cpu,
-		Kind: memsys.Write,
-		Addr: a,
-		Role: c.role,
-		InCS: c.csDepth > 0,
+		CPU:     c.cpu,
+		Kind:    memsys.Write,
+		Addr:    a,
+		Role:    c.role,
+		InCS:    c.csDepth > 0,
+		Task:    c.id,
+		Session: c.session,
 	}, issue)
 	c.stPos = (c.stPos + 1) % depth
 	c.bd.Busy++
@@ -323,13 +323,13 @@ func (c *Ctx) Barrier() {
 			c.pr.sem.put(c.engNow())
 		}
 	}
-	if c.run.opts.Trace != nil {
-		c.trace(trace.EvSession, c.engNow(), 0, 0, "barrier-entry")
+	if c.run.bus != nil {
+		c.emit(obs.Event{Kind: obs.EvSession, Time: c.engNow(), Note: "barrier-entry"})
 	}
 	t0 := c.engNow()
 	c.barrierWait()
-	if c.run.opts.Trace != nil {
-		c.trace(trace.EvBarrier, c.engNow(), 0, c.engNow()-t0, "")
+	if c.run.bus != nil {
+		c.emit(obs.Event{Kind: obs.EvBarrier, Time: c.engNow(), Dur: c.engNow() - t0})
 	}
 	if c.pr != nil && c.pr.policy.Global() {
 		c.pr.sem.put(c.engNow())
@@ -350,7 +350,7 @@ func (c *Ctx) barrierWait() {
 	b.arrived++
 	if b.arrived < b.n {
 		b.waiters = append(b.waiters, syncWaiter{c.proc, c.cpu.Node})
-		c.proc.Park()
+		c.park("barrier")
 	} else {
 		for i, w := range b.waiters {
 			w.proc.Wake(tArr + int64(i+1)*r.opts.SyncOcc + r.transit(home, w.node))
@@ -368,16 +368,29 @@ func (c *Ctx) barrierWait() {
 // waiting for the R-stream if the pool is empty.
 func (c *Ctx) aSync() {
 	c.flush()
-	if c.run.opts.Trace != nil {
-		c.trace(trace.EvSession, c.engNow(), 0, 0, "a-boundary")
+	if c.run.bus != nil {
+		c.emit(obs.Event{Kind: obs.EvSession, Time: c.engNow(), Note: "a-boundary"})
 	}
 	wait := c.pr.sem.take(c.proc, c.engNow)
 	c.bd.ARSync += wait
-	if wait > 0 && c.run.opts.Trace != nil {
-		c.trace(trace.EvToken, c.engNow(), 0, wait, "")
+	if c.run.bus != nil {
+		c.emit(obs.Event{Kind: obs.EvToken, Time: c.engNow(), Dur: wait})
 	}
 	c.vnow = c.engNow()
 	c.session++
+}
+
+// park wraps proc.Park with EvPark/EvWake observation; note names the
+// object waited on.
+func (c *Ctx) park(note string) {
+	if c.run.bus == nil {
+		c.proc.Park()
+		return
+	}
+	t0 := c.engNow()
+	c.emit(obs.Event{Kind: obs.EvPark, Time: t0, Note: note})
+	c.proc.Park()
+	c.emit(obs.Event{Kind: obs.EvWake, Time: c.engNow(), Dur: c.engNow() - t0, Note: note})
 }
 
 // ffSync advances sessions during fast-forward replay; reaching the fork
@@ -427,12 +440,12 @@ func (c *Ctx) Lock(id int) {
 		c.proc.WaitUntil(tAt + r.transit(home, c.cpu.Node))
 	} else {
 		ls.queue = append(ls.queue, syncWaiter{c.proc, c.cpu.Node})
-		c.proc.Park()
+		c.park("lock")
 	}
 	now := c.engNow()
 	c.bd.Lock += now - t0
-	if c.run.opts.Trace != nil {
-		c.trace(trace.EvLock, now, uint64(id), now-t0, "")
+	if c.run.bus != nil {
+		c.emit(obs.Event{Kind: obs.EvLock, Time: now, Addr: uint64(id), Dur: now - t0})
 	}
 	c.vnow = now
 }
@@ -496,14 +509,14 @@ func (c *Ctx) WaitEvent(id int) {
 			c.pr.sem.put(c.engNow())
 		}
 	}
-	if c.run.opts.Trace != nil {
-		c.trace(trace.EvSession, c.engNow(), 0, 0, "event-entry")
+	if c.run.bus != nil {
+		c.emit(obs.Event{Kind: obs.EvSession, Time: c.engNow(), Note: "event-entry"})
 	}
 	es := r.event(id)
 	t0 := c.engNow()
 	if !es.signaled {
 		es.waiters = append(es.waiters, syncWaiter{c.proc, c.cpu.Node})
-		c.proc.Park()
+		c.park("event")
 	} else {
 		// Check of an already-set flag: one round trip to its home.
 		home := r.sys.Nodes[id%len(r.sys.Nodes)]
@@ -512,6 +525,9 @@ func (c *Ctx) WaitEvent(id int) {
 	now := c.engNow()
 	c.bd.Barrier += now - t0
 	c.vnow = now
+	if c.run.bus != nil {
+		c.emit(obs.Event{Kind: obs.EvBarrier, Time: now, Dur: now - t0, Note: "event"})
+	}
 	if c.pr != nil && c.pr.policy.Global() {
 		c.pr.sem.put(c.engNow())
 	}
@@ -556,7 +572,11 @@ func (c *Ctx) Once(f func() int64) int64 {
 		for p.aConsumed >= len(p.onceVals) {
 			t0 := c.engNow()
 			p.onceWait = c.proc
-			c.proc.Park()
+			if c.fastForward || c.run.bus == nil {
+				c.proc.Park()
+			} else {
+				c.park("once")
+			}
 			if !c.fastForward {
 				c.bd.ARSync += c.engNow() - t0
 				c.vnow = c.engNow()

@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"slipstream/internal/memsys"
+	"slipstream/internal/obs"
 	"slipstream/internal/trace"
 )
 
@@ -234,9 +235,19 @@ type Options struct {
 	// L1 hits. Slipstream mode only.
 	ForwardQueue bool
 
+	// Observers subscribe to the run's observation bus (internal/obs) and
+	// receive the full typed event stream: task lifecycle, classified
+	// memory accesses, coherence-line changes, synchronization waits, and
+	// end-of-run resource occupancy. Observers must not mutate simulation
+	// state; with none attached (and no Trace or Audit) the run takes the
+	// unobserved fast path.
+	Observers []obs.Observer
+
 	// Trace, when non-nil, collects structured run events (sessions,
 	// synchronization waits, recoveries, policy switches, and — when its
-	// SlowThreshold is set — slow memory accesses).
+	// SlowThreshold is set — slow memory accesses). It is attached to the
+	// observation bus like any observer; the field remains as a shorthand
+	// for the common case.
 	Trace *trace.Collector
 
 	// Audit enables the runtime invariant auditor (internal/audit): the

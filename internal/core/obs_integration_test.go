@@ -1,0 +1,98 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"slipstream/internal/obs"
+	"slipstream/internal/trace"
+)
+
+// TestObserversDoNotPerturbResults pins the central contract of the
+// observation bus: attaching observers must not change simulated timing or
+// any reported statistic.
+func TestObserversDoNotPerturbResults(t *testing.T) {
+	run := func(observers ...obs.Observer) *Result {
+		k := &stencilKernel{n: 1024, iters: 4}
+		res, err := Run(Options{
+			Mode: ModeSlipstream, CMPs: 4, ARSync: OneTokenLocal,
+			Observers: observers,
+		}, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	bare := run()
+	observed := run(&obs.Metrics{}, &obs.ChromeTrace{}, &trace.Collector{SlowThreshold: 1})
+	if !reflect.DeepEqual(bare, observed) {
+		t.Errorf("observers perturbed the result:\nbare:     %+v\nobserved: %+v", bare, observed)
+	}
+}
+
+// TestTraceFieldMatchesObserverList pins the deprecated-adapter guarantee:
+// a collector passed via Options.Trace records exactly what the same
+// collector records when attached through Options.Observers.
+func TestTraceFieldMatchesObserverList(t *testing.T) {
+	run := func(opts Options) *trace.Collector {
+		k := &stencilKernel{n: 1024, iters: 4}
+		if _, err := Run(opts, k); err != nil {
+			t.Fatal(err)
+		}
+		if opts.Trace != nil {
+			return opts.Trace
+		}
+		return opts.Observers[0].(*trace.Collector)
+	}
+	base := Options{Mode: ModeSlipstream, CMPs: 4, ARSync: ZeroTokenLocal}
+
+	legacy := base
+	legacy.Trace = &trace.Collector{SlowThreshold: 400}
+	viaField := run(legacy)
+
+	redesigned := base
+	redesigned.Observers = []obs.Observer{&trace.Collector{SlowThreshold: 400}}
+	viaList := run(redesigned)
+
+	var a, b bytes.Buffer
+	if err := viaField.WriteTSV(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := viaList.WriteTSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("Options.Trace and Options.Observers diverge:\nTrace:\n%s\nObservers:\n%s",
+			a.String(), b.String())
+	}
+	if viaField.Len() == 0 {
+		t.Fatal("trace collected no events")
+	}
+}
+
+// TestMetricsObserverCountsMatchResult cross-checks derived metrics against
+// the run's own Result counters.
+func TestMetricsObserverCountsMatchResult(t *testing.T) {
+	m := &obs.Metrics{}
+	k := &chronicKernel{rounds: 10}
+	res, err := Run(Options{
+		Mode: ModeSlipstream, CMPs: 2, ARSync: OneTokenLocal,
+		AdaptiveARSync: true, Observers: []obs.Observer{m},
+	}, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Counter("recovery.count"); got != int64(res.Recoveries) {
+		t.Errorf("recovery.count = %d, result says %d", got, res.Recoveries)
+	}
+	if got := m.Counter("policy.switch"); got != int64(res.PolicySwitches) {
+		t.Errorf("policy.switch = %d, result says %d", got, res.PolicySwitches)
+	}
+	if got := m.Counter("run.count"); got != 1 {
+		t.Errorf("run.count = %d, want 1", got)
+	}
+	if got := m.Counter("run.cycles"); got != res.Cycles {
+		t.Errorf("run.cycles = %d, result says %d", got, res.Cycles)
+	}
+}

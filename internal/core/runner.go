@@ -6,9 +6,9 @@ import (
 
 	"slipstream/internal/audit"
 	"slipstream/internal/memsys"
+	"slipstream/internal/obs"
 	"slipstream/internal/sim"
 	"slipstream/internal/stats"
-	"slipstream/internal/trace"
 )
 
 // SimVersion identifies the simulation semantics. Persistent result
@@ -28,6 +28,7 @@ type Runner struct {
 	ctxs  []*Ctx  // R-stream / conventional task contexts
 	pairs []*pair // slipstream pairs, indexed by logical task
 
+	bus *obs.Bus       // observation bus; nil when nothing is attached
 	aud *audit.Auditor // non-nil when the run is audited
 
 	barrier barrierState
@@ -54,11 +55,21 @@ func Run(opts Options, k Kernel) (*Result, error) {
 	}
 	sys.Classify = opts.Mode == ModeSlipstream
 
+	// All observation consumers — caller observers, the trace collector,
+	// and the auditor — attach to one bus; emission sites pay a single
+	// pointer test when it stays nil.
+	bus := obs.NewBus(opts.Observers...)
+	if opts.Trace != nil {
+		bus = bus.Attach(opts.Trace)
+	}
 	var aud *audit.Auditor
 	if opts.Audit || auditForced {
 		aud = audit.New(sys)
-		sys.Audit = aud
-		eng.SetMonitor(aud)
+		bus = bus.Attach(aud)
+	}
+	if bus != nil {
+		sys.Bus = bus
+		eng.SetMonitor(&obs.ClockMonitor{Bus: bus})
 	}
 
 	numTasks := opts.CMPs
@@ -74,6 +85,7 @@ func Run(opts Options, k Kernel) (*Result, error) {
 		eng:    eng,
 		sys:    sys,
 		kernel: k,
+		bus:    bus,
 		aud:    aud,
 		locks:  make(map[int]*lockState),
 		events: make(map[int]*eventState),
@@ -103,13 +115,47 @@ func Run(opts Options, k Kernel) (*Result, error) {
 	}
 	sys.Finalize()
 	res := r.collect()
+	if bus != nil {
+		ev := obs.Event{Kind: obs.EvRunEnd, Time: eng.Now(), Dur: res.Cycles, Task: -1, CPU: -1}
+		if opts.Mode == ModeSlipstream {
+			ev.Flags |= obs.FlagSlipstream
+		}
+		// EvRunEnd drives the auditor's end-of-run checks (FinishRun).
+		bus.Emit(&ev)
+	}
 	if aud != nil {
-		aud.FinishRun(opts.Mode == ModeSlipstream)
 		if vs := aud.Violations(); len(vs) > 0 {
 			return nil, &AuditError{Violations: vs, Dropped: aud.Dropped()}
 		}
 	}
 	return res, nil
+}
+
+// emitTaskStart announces a task incarnation on the bus (chrome lanes and
+// the auditor's A-CPU set are derived from it).
+func (r *Runner) emitTaskStart(c *Ctx, refork bool) {
+	if r.bus == nil {
+		return
+	}
+	e := obs.Event{
+		Kind: obs.EvTaskStart, Time: r.eng.Now(), Task: c.id, CPU: c.cpu.ID,
+		Session: c.session, Role: obs.Role(c.role), Note: c.role.String(),
+	}
+	if refork {
+		e.Flags |= obs.FlagRefork
+	}
+	r.bus.Emit(&e)
+}
+
+// emitTaskEnd reports a finished incarnation's measured time and breakdown.
+func (r *Runner) emitTaskEnd(c *Ctx, end, measured int64) {
+	if r.bus == nil {
+		return
+	}
+	r.bus.Emit(&obs.Event{
+		Kind: obs.EvTaskEnd, Time: end, Dur: measured, Task: c.id, CPU: c.cpu.ID,
+		Session: c.session, Role: obs.Role(c.role), BD: c.bd, Note: c.role.String(),
+	})
 }
 
 // spawnTasks creates the task processes according to the execution mode.
@@ -140,6 +186,7 @@ func (r *Runner) spawnTasks() {
 func (r *Runner) spawnTask(id int, cpu *memsys.CPU, role memsys.Role, p *pair) *Ctx {
 	c := &Ctx{run: r, cpu: cpu, id: id, role: role, pr: p}
 	r.ctxs = append(r.ctxs, c)
+	r.emitTaskStart(c, false)
 	name := fmt.Sprintf("task%d", id)
 	if role == memsys.RoleR {
 		name = fmt.Sprintf("task%d(R)", id)
@@ -151,9 +198,7 @@ func (r *Runner) spawnTask(id int, cpu *memsys.CPU, role memsys.Role, p *pair) *
 		c.flush()
 		c.done = r.eng.Now()
 		c.finished = true
-		if r.aud != nil {
-			r.aud.TaskDone(c.id, role.String(), c.bd, c.done)
-		}
+		r.emitTaskEnd(c, c.done, c.done)
 		// The A-stream has no further purpose once its R-stream is done.
 		if p != nil && p.a != nil && !p.a.finished {
 			p.a.proc.Kill()
@@ -172,9 +217,7 @@ func (r *Runner) spawnA(p *pair, cpu *memsys.CPU, refork bool, ffTarget int) *Ct
 		run: r, cpu: cpu, id: p.id, role: memsys.RoleA, pr: p,
 		fastForward: refork, ffTarget: ffTarget,
 	}
-	if r.aud != nil {
-		r.aud.NoteACPU(cpu.ID)
-	}
+	r.emitTaskStart(c, refork)
 	c.proc = r.eng.Go(fmt.Sprintf("task%d(A)", p.id), func(proc *sim.Proc) {
 		c.proc = proc
 		if refork {
@@ -182,10 +225,10 @@ func (r *Runner) spawnA(p *pair, cpu *memsys.CPU, refork bool, ffTarget int) *Ct
 		}
 		r.kernel.Task(c)
 		c.finished = true
-		if r.aud != nil && !c.fastForward {
+		if !c.fastForward {
 			// A reforked stream that never left fast-forward has no timed
 			// execution to conserve.
-			r.aud.TaskDone(c.id, memsys.RoleA.String(), c.bd, c.vnow-c.t0)
+			r.emitTaskEnd(c, c.vnow, c.vnow-c.t0)
 		}
 	})
 	return c
@@ -201,10 +244,12 @@ func (r *Runner) reforkA(p *pair, rCtx *Ctx) {
 	old.proc.Kill()
 	old.finished = true
 	r.recoveries++
-	r.opts.Trace.Add(trace.Event{
-		Time: r.eng.Now(), Task: p.id, AStream: true,
-		Kind: trace.EvRecovery, Session: rCtx.session,
-	})
+	if r.bus != nil {
+		r.bus.Emit(&obs.Event{
+			Kind: obs.EvRecovery, Time: r.eng.Now(), Task: p.id, CPU: old.cpu.ID,
+			Session: rCtx.session, Role: obs.RoleA,
+		})
+	}
 	p.sem.reset(p.policy.InitialTokens())
 	p.onceWait = nil
 	// The new A-stream replays up to the barrier the R-stream is entering

@@ -13,12 +13,16 @@
 package harness
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 
 	"slipstream/internal/core"
 	"slipstream/internal/kernels"
+	"slipstream/internal/obs"
 	"slipstream/internal/runcache"
 	"slipstream/internal/runspec"
 )
@@ -45,6 +49,15 @@ type Config struct {
 	// the session. Audited results are identical to unaudited ones, so
 	// they share the cache.
 	Audit bool
+	// Observe attaches a Chrome-trace exporter and a metrics registry to
+	// every simulated run (cache and memo hits contribute nothing — there
+	// is no run to observe). Retrieve the collected data with WriteTrace,
+	// WriteMetrics, and WriteMetricsCSV after the figures complete.
+	Observe bool
+	// Context, when set, cancels in-flight execution: queued specs stop
+	// being scheduled and the session returns the context's error. Nil
+	// behaves like context.Background().
+	Context context.Context
 }
 
 // Session plans, executes, and renders figures, memoizing runs so figures
@@ -57,6 +70,13 @@ type Session struct {
 	memo      map[runspec.RunSpec]*core.Result
 	simulated int
 	cacheHits int
+
+	// Per-spec observation sinks, filled by workers when Config.Observe is
+	// set. Keyed by spec so export order can be made deterministic at
+	// write-out regardless of worker interleaving.
+	obsMu   sync.Mutex
+	tracers map[runspec.RunSpec]*obs.ChromeTrace
+	metrics map[runspec.RunSpec]*obs.Metrics
 }
 
 // NewSession returns a session with the given configuration, applying
@@ -69,6 +89,10 @@ func NewSession(cfg Config) *Session {
 		cfg.Out = io.Discard
 	}
 	s := &Session{cfg: cfg, memo: make(map[runspec.RunSpec]*core.Result)}
+	if cfg.Observe {
+		s.tracers = make(map[runspec.RunSpec]*obs.ChromeTrace)
+		s.metrics = make(map[runspec.RunSpec]*obs.Metrics)
+	}
 	if cfg.Progress != nil {
 		s.progress = &lockedWriter{w: cfg.Progress}
 	}
@@ -157,6 +181,22 @@ func (s *Session) store(sp runspec.RunSpec, res *core.Result) {
 	}
 }
 
+// observersFor builds and registers the observation sinks for one
+// simulated spec. Safe for concurrent use from worker goroutines; the
+// returned observers themselves are used by a single run.
+func (s *Session) observersFor(sp runspec.RunSpec) []obs.Observer {
+	if !s.cfg.Observe {
+		return nil
+	}
+	tr := &obs.ChromeTrace{Name: sp.String()}
+	m := &obs.Metrics{}
+	s.obsMu.Lock()
+	s.tracers[sp] = tr
+	s.metrics[sp] = m
+	s.obsMu.Unlock()
+	return []obs.Observer{tr, m}
+}
+
 // Execute simulates every planned spec not already memoized or cached on
 // the worker pool. It is idempotent: re-executing a covered plan costs
 // only map lookups.
@@ -165,6 +205,7 @@ func (s *Session) Execute(specs []runspec.RunSpec) error {
 		Workers: s.cfg.Workers,
 		Audit:   s.cfg.Audit,
 		Lookup:  s.lookup,
+		Observe: s.observersFor,
 		Store:   s.store,
 		OnDone: func(sp runspec.RunSpec, res *core.Result, cached bool) {
 			verb := "ran"
@@ -174,7 +215,7 @@ func (s *Session) Execute(specs []runspec.RunSpec) error {
 			s.progressLine(verb, sp, res)
 		},
 	}
-	_, err := ex.Execute(specs)
+	_, err := ex.Execute(s.cfg.Context, specs)
 	if err != nil {
 		return fmt.Errorf("harness: %w", err)
 	}
@@ -210,7 +251,7 @@ func (s *Session) result(sp runspec.RunSpec) (*core.Result, error) {
 	if res, ok := s.lookup(sp); ok {
 		return res, nil
 	}
-	res, err := sp.RunAudited(s.cfg.Audit)
+	res, err := sp.RunObserved(s.cfg.Audit, s.observersFor(sp)...)
 	if err != nil {
 		return nil, fmt.Errorf("harness: %w", err)
 	}
@@ -304,4 +345,72 @@ func (s *Session) RunFigures(tags ...string) error {
 // Section 6 extension studies.
 func (s *Session) All() error {
 	return s.RunFigures(Tags()...)
+}
+
+// observedSpecs returns the specs with observation data in a canonical
+// order: sorted by their JSON encoding, which (unlike String) covers every
+// field including Machine. The order — and therefore every exporter's
+// output — is byte-identical at any worker count.
+func (s *Session) observedSpecs() []runspec.RunSpec {
+	s.obsMu.Lock()
+	defer s.obsMu.Unlock()
+	type keyed struct {
+		sp  runspec.RunSpec
+		key string
+	}
+	ks := make([]keyed, 0, len(s.tracers))
+	//simlint:ordered keys are sorted below before any output is derived
+	for sp := range s.tracers {
+		b, err := json.Marshal(sp)
+		if err != nil {
+			// RunSpec is plain data; Marshal cannot fail on it.
+			panic(err)
+		}
+		ks = append(ks, keyed{sp, string(b)})
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i].key < ks[j].key })
+	specs := make([]runspec.RunSpec, len(ks))
+	for i, k := range ks {
+		specs[i] = k.sp
+	}
+	return specs
+}
+
+// WriteTrace writes one merged Chrome trace-event JSON document covering
+// every run the session simulated under Config.Observe, one trace process
+// per run. Call it after the figures complete.
+func (s *Session) WriteTrace(w io.Writer) error {
+	specs := s.observedSpecs()
+	runs := make([]*obs.ChromeTrace, len(specs))
+	s.obsMu.Lock()
+	for i, sp := range specs {
+		tr := s.tracers[sp]
+		tr.Pid = i + 1
+		runs[i] = tr
+	}
+	s.obsMu.Unlock()
+	return obs.WriteChrome(w, runs...)
+}
+
+// mergedMetrics folds every simulated run's registry into one.
+func (s *Session) mergedMetrics() *obs.Metrics {
+	merged := &obs.Metrics{}
+	specs := s.observedSpecs()
+	s.obsMu.Lock()
+	defer s.obsMu.Unlock()
+	for _, sp := range specs {
+		merged.Merge(s.metrics[sp])
+	}
+	return merged
+}
+
+// WriteMetrics writes the merged metrics of every observed run as
+// deterministic text (one counter or histogram per line, sorted by name).
+func (s *Session) WriteMetrics(w io.Writer) error {
+	return s.mergedMetrics().WriteText(w)
+}
+
+// WriteMetricsCSV writes the merged metrics of every observed run as CSV.
+func (s *Session) WriteMetricsCSV(w io.Writer) error {
+	return s.mergedMetrics().WriteCSV(w)
 }

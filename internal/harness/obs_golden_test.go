@@ -1,0 +1,92 @@
+package harness
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"slipstream/internal/core"
+	"slipstream/internal/kernels"
+	"slipstream/internal/runspec"
+)
+
+// observedRun executes a small audited, fully observed plan at the given
+// worker count and returns the exported trace JSON and metrics text.
+func observedRun(t *testing.T, workers int) (trace, metrics string) {
+	t.Helper()
+	s := NewSession(Config{
+		Size: kernels.Tiny, CMPCounts: []int{2, 4},
+		Workers: workers, Audit: true, Observe: true,
+	})
+	specs := []runspec.RunSpec{
+		{Kernel: "SOR", Size: kernels.Tiny, Mode: core.ModeSingle, CMPs: 2},
+		{Kernel: "SOR", Size: kernels.Tiny, Mode: core.ModeSlipstream, ARSync: core.ZeroTokenLocal, CMPs: 2},
+		{Kernel: "LU", Size: kernels.Tiny, Mode: core.ModeSlipstream, ARSync: core.OneTokenLocal, CMPs: 2, TransparentLoads: true},
+		{Kernel: "CG", Size: kernels.Tiny, Mode: core.ModeDouble, CMPs: 2},
+	}
+	if err := s.Execute(specs); err != nil {
+		t.Fatal(err)
+	}
+	var tb, mb strings.Builder
+	if err := s.WriteTrace(&tb); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteMetrics(&mb); err != nil {
+		t.Fatal(err)
+	}
+	return tb.String(), mb.String()
+}
+
+// TestObservedExportsIdenticalAcrossWorkerCounts is the determinism
+// contract of the observation layer: trace and metrics exports are sorted
+// into canonical order at write-out, so the bytes must not depend on how
+// workers interleaved.
+func TestObservedExportsIdenticalAcrossWorkerCounts(t *testing.T) {
+	tr1, m1 := observedRun(t, 1)
+	tr8, m8 := observedRun(t, 8)
+	if tr1 != tr8 {
+		t.Errorf("trace JSON differs between -j 1 and -j 8: len %d vs %d", len(tr1), len(tr8))
+	}
+	if m1 != m8 {
+		t.Errorf("metrics text differs between -j 1 and -j 8:\n-j1:\n%s\n-j8:\n%s", m1, m8)
+	}
+
+	// The trace must be valid JSON with the expected envelope.
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(tr1), &doc); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace output holds no events")
+	}
+	if !strings.Contains(m1, "counter run.count 4") {
+		t.Errorf("metrics missing run.count 4:\n%s", m1)
+	}
+	if !strings.Contains(m1, "hist mem.") {
+		t.Errorf("metrics missing memory latency histograms:\n%s", m1)
+	}
+}
+
+// TestUnobservedSessionMatchesSeedResults pins that a session without
+// observers still produces the same results as one with them: observation
+// is pure.
+func TestUnobservedSessionMatchesSeedResults(t *testing.T) {
+	spec := runspec.RunSpec{
+		Kernel: "SOR", Size: kernels.Tiny, Mode: core.ModeSlipstream,
+		ARSync: core.ZeroTokenLocal, CMPs: 2,
+	}
+	plain := NewSession(Config{Size: kernels.Tiny, CMPCounts: []int{2}})
+	observed := NewSession(Config{Size: kernels.Tiny, CMPCounts: []int{2}, Observe: true, Audit: true})
+	for _, s := range []*Session{plain, observed} {
+		if err := s.Execute([]runspec.RunSpec{spec}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, _ := plain.result(spec)
+	b, _ := observed.result(spec)
+	if a.Cycles != b.Cycles || a.Mem != b.Mem {
+		t.Errorf("observation changed the result: %d vs %d cycles", a.Cycles, b.Cycles)
+	}
+}

@@ -3,6 +3,9 @@ package memsys
 import (
 	"fmt"
 	"math/bits"
+
+	"slipstream/internal/obs"
+	"slipstream/internal/stats"
 )
 
 // AccessKind distinguishes the operations the task runtime issues against
@@ -32,6 +35,10 @@ func (k AccessKind) String() string {
 // A-stream should issue a read that misses to the directory as a
 // transparent load (Section 4.1), and InCS when a store is issued inside a
 // critical section (the migratory heuristic for self-invalidation).
+//
+// Task and Session identify the issuing task incarnation for observation
+// only: they attribute access events on the bus and have no effect on
+// timing or coherence.
 type Req struct {
 	CPU         *CPU
 	Kind        AccessKind
@@ -39,6 +46,8 @@ type Req struct {
 	Role        Role
 	Transparent bool
 	InCS        bool
+	Task        int
+	Session     int
 }
 
 // IsL1Hit reports whether the access would be satisfied entirely by the
@@ -68,13 +77,88 @@ func (s *System) IsL1Hit(r Req) bool {
 // completion time. State (caches, directory) is updated at issue time;
 // per-line fill times provide request merging for later arrivals.
 func (s *System) Access(r Req, now int64) int64 {
+	if s.Audit == nil && s.Bus == nil {
+		return s.access(r, now)
+	}
+	return s.observedAccess(r, now)
+}
+
+// observedAccess wraps access with the observation and audit hooks; the
+// fast path above keeps the unobserved cost at two pointer tests.
+func (s *System) observedAccess(r Req, now int64) int64 {
 	if s.Audit != nil {
 		s.Audit.BeforeAccess(r, now)
-		done := s.access(r, now)
-		s.Audit.AfterAccess(r, now, done)
-		return done
 	}
-	return s.access(r, now)
+	var pre stats.MemStats
+	if s.Bus != nil {
+		pre = s.MS
+		e := accessEvent(obs.EvAccessStart, r, now)
+		s.Bus.Emit(&e)
+	}
+	done := s.access(r, now)
+	if s.Bus != nil {
+		e := accessEvent(obs.EvAccess, r, done)
+		e.Dur = done - now
+		e.Level = s.classify(&pre)
+		s.Bus.Emit(&e)
+	}
+	if s.Audit != nil {
+		s.Audit.AfterAccess(r, now, done)
+	}
+	return done
+}
+
+// accessEvent builds the common fields of an access observation.
+func accessEvent(k obs.Kind, r Req, t int64) obs.Event {
+	e := obs.Event{
+		Kind:    k,
+		Time:    t,
+		Task:    r.Task,
+		CPU:     r.CPU.ID,
+		Session: r.Session,
+		Role:    obs.Role(r.Role),
+		Op:      obs.Op(r.Kind),
+		Addr:    uint64(r.Addr),
+	}
+	if r.Transparent {
+		e.Flags |= obs.FlagTransparent
+	}
+	if r.InCS {
+		e.Flags |= obs.FlagInCS
+	}
+	return e
+}
+
+// classify derives where the access just simulated was satisfied from the
+// MemStats delta since pre. One access performs at most one directory
+// transaction, so the first counter that moved identifies the level.
+func (s *System) classify(pre *stats.MemStats) obs.Level {
+	switch {
+	case s.MS.RemoteDirReqs > pre.RemoteDirReqs:
+		return obs.LevelDirRemote
+	case s.MS.LocalDirReqs > pre.LocalDirReqs:
+		return obs.LevelDirLocal
+	case s.MS.L2Hits > pre.L2Hits:
+		return obs.LevelL2
+	default:
+		return obs.LevelL1
+	}
+}
+
+// lineEvent notifies the audit hook and the bus that the coherence state
+// of line changed.
+func (s *System) lineEvent(line Addr) {
+	if s.Audit != nil {
+		s.Audit.LineEvent(line)
+	}
+	if s.Bus != nil {
+		e := obs.Event{Kind: obs.EvLine, Time: s.Eng.Now(), Task: -1, CPU: -1, Addr: uint64(line)}
+		if de := s.Home(line).Dir.Peek(line); de != nil {
+			e.Dir = obs.DirState(de.State)
+			e.Sharers = de.Sharers
+		}
+		s.Bus.Emit(&e)
+	}
 }
 
 func (s *System) access(r Req, now int64) int64 {
@@ -138,9 +222,7 @@ func (s *System) accessInner(r Req, now int64) int64 {
 		s.Home(line).Dir.Entry(line).ClearFuture(node.ID)
 		s.invalidateL1s(node, line)
 		clearLine(l2)
-		if s.Audit != nil {
-			s.Audit.LineEvent(line)
-		}
+		s.lineEvent(line)
 	}
 
 	if l2 != nil && l2.State != Invalid {
@@ -303,9 +385,7 @@ func (s *System) dirTransaction(node *Node, line Addr, r Req, t int64, frame *Li
 	if r.Kind == PrefetchExcl {
 		s.MS.PrefetchExcl++
 	}
-	if s.Audit != nil {
-		s.Audit.LineEvent(line)
-	}
+	s.lineEvent(line)
 	return t
 }
 
@@ -423,9 +503,7 @@ func (s *System) PushL1(cpu *CPU, line Addr, now int64) bool {
 	}
 	s.fillL1(cpu, line, state, false)
 	s.MS.L1Pushes++
-	if s.Audit != nil {
-		s.Audit.LineEvent(line)
-	}
+	s.lineEvent(line)
 	return true
 }
 
@@ -516,9 +594,7 @@ func (s *System) evictL2(node *Node, frame *Line, t int64) {
 	}
 	s.invalidateL1s(node, line)
 	clearLine(frame)
-	if s.Audit != nil {
-		s.Audit.LineEvent(line)
-	}
+	s.lineEvent(line)
 }
 
 // markSI marks a resident exclusive line for self-invalidation at the
@@ -603,9 +679,7 @@ func (s *System) selfInvalidate(node *Node, addr Addr) {
 		e.State = DirShared
 		e.Sharers = 1 << uint(node.ID)
 	}
-	if s.Audit != nil {
-		s.Audit.LineEvent(addr)
-	}
+	s.lineEvent(addr)
 }
 
 // DebugSlow, when set, is called for any access whose total latency exceeds

@@ -1,10 +1,16 @@
 package memsys
 
+import "slipstream/internal/obs"
+
 // AuditHook receives memory-system events for runtime invariant checking
 // (internal/audit). The hook is an observer: implementations must not
 // mutate system state, or the audited run would diverge from the unaudited
 // one. System.Audit is nil in production runs, so the unaudited hot path
 // pays one branch per access and per coherence event.
+//
+// Deprecated: AuditHook predates the observation bus (internal/obs). New
+// consumers should implement obs.Observer and subscribe to System.Bus;
+// existing hooks can ride the bus unchanged through HookObserver.
 type AuditHook interface {
 	// BeforeAccess runs at the start of every System.Access call, before
 	// any state changes.
@@ -16,4 +22,41 @@ type AuditHook interface {
 	// of the given line (directory transaction, eviction, transparent-copy
 	// discard, self-invalidation, L2-to-L1 push).
 	LineEvent(line Addr)
+}
+
+// HookObserver adapts a legacy AuditHook to the observation bus: access and
+// line events are translated back into the hook's calling convention, so a
+// hook attached via Bus sees the same call sequence it would have seen on
+// System.Audit. Sys is needed to resolve the event's processor id back to
+// the *CPU the hook expects.
+type HookObserver struct {
+	Sys  *System
+	Hook AuditHook
+}
+
+// Event implements obs.Observer.
+func (h *HookObserver) Event(e *obs.Event) {
+	switch e.Kind {
+	case obs.EvAccessStart:
+		h.Hook.BeforeAccess(h.req(e), e.Time)
+	case obs.EvAccess:
+		h.Hook.AfterAccess(h.req(e), e.Time-e.Dur, e.Time)
+	case obs.EvLine:
+		h.Hook.LineEvent(Addr(e.Addr))
+	}
+}
+
+// req reconstructs the memsys request from an access event's fields. The
+// enums mirror by ordinal (pinned by TestObsEnumsMirrorMemsys).
+func (h *HookObserver) req(e *obs.Event) Req {
+	return Req{
+		CPU:         h.Sys.CPUByID(e.CPU),
+		Kind:        AccessKind(e.Op),
+		Addr:        Addr(e.Addr),
+		Role:        Role(e.Role),
+		Transparent: e.Flags&obs.FlagTransparent != 0,
+		InCS:        e.Flags&obs.FlagInCS != 0,
+		Task:        e.Task,
+		Session:     e.Session,
+	}
 }

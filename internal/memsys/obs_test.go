@@ -1,0 +1,156 @@
+package memsys
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"slipstream/internal/obs"
+	"slipstream/internal/sim"
+)
+
+// TestObsEnumsMirrorMemsys pins the ordinal mirroring that lets observation
+// events carry memsys enums without conversion tables (HookObserver and the
+// access-event builder both rely on it).
+func TestObsEnumsMirrorMemsys(t *testing.T) {
+	ops := []struct {
+		m AccessKind
+		o obs.Op
+	}{{Read, obs.OpRead}, {Write, obs.OpWrite}, {PrefetchExcl, obs.OpPrefetchExcl}}
+	for _, c := range ops {
+		if uint8(c.m) != uint8(c.o) || c.m.String() != c.o.String() {
+			t.Errorf("AccessKind %v (%d) != obs.Op %v (%d)", c.m, c.m, c.o, c.o)
+		}
+	}
+	roles := []struct {
+		m Role
+		o obs.Role
+	}{{RoleNone, obs.RoleNone}, {RoleR, obs.RoleR}, {RoleA, obs.RoleA}}
+	for _, c := range roles {
+		if uint8(c.m) != uint8(c.o) || c.m.String() != c.o.String() {
+			t.Errorf("Role %v (%d) != obs.Role %v (%d)", c.m, c.m, c.o, c.o)
+		}
+	}
+	dirs := []struct {
+		m DirState
+		o obs.DirState
+	}{{DirIdle, obs.DirIdle}, {DirShared, obs.DirShared}, {DirExclusive, obs.DirExclusive}}
+	for _, c := range dirs {
+		if uint8(c.m) != uint8(c.o) {
+			t.Errorf("DirState %v (%d) != obs.DirState %d", c.m, c.m, c.o)
+		}
+	}
+}
+
+// hookRecorder logs every AuditHook call as a comparable string.
+type hookRecorder struct {
+	calls []string
+}
+
+func (h *hookRecorder) BeforeAccess(r Req, now int64) {
+	h.calls = append(h.calls, fmt.Sprintf("before cpu=%d %v %#x role=%v t=%v cs=%v task=%d sess=%d now=%d",
+		r.CPU.ID, r.Kind, r.Addr, r.Role, r.Transparent, r.InCS, r.Task, r.Session, now))
+}
+
+func (h *hookRecorder) AfterAccess(r Req, now, done int64) {
+	h.calls = append(h.calls, fmt.Sprintf("after cpu=%d %v %#x role=%v t=%v cs=%v task=%d sess=%d now=%d done=%d",
+		r.CPU.ID, r.Kind, r.Addr, r.Role, r.Transparent, r.InCS, r.Task, r.Session, now, done))
+}
+
+func (h *hookRecorder) LineEvent(line Addr) {
+	h.calls = append(h.calls, fmt.Sprintf("line %#x", line))
+}
+
+// driveAccesses exercises L1 hits, L2 hits, local and remote directory
+// transactions, a transparent load, and an eviction-free mixed workload.
+func driveAccesses(s *System) {
+	now := int64(0)
+	reqs := []Req{
+		{CPU: s.CPUByID(0), Kind: Read, Addr: 0x40, Role: RoleR, Task: 0, Session: 1},
+		{CPU: s.CPUByID(0), Kind: Read, Addr: 0x40, Role: RoleR, Task: 0, Session: 1}, // L1 hit
+		{CPU: s.CPUByID(1), Kind: Read, Addr: 0x40, Role: RoleR, Task: 1, Session: 1}, // L2 hit
+		{CPU: s.CPUByID(0), Kind: Write, Addr: 0x80, Role: RoleR, Task: 0, Session: 1},
+		{CPU: s.CPUByID(2), Kind: Read, Addr: 0x80, Role: RoleR, Task: 2, Session: 2}, // remote + intervention
+		{CPU: s.CPUByID(0), Kind: Read, Addr: 0x1c0, Role: RoleA, Transparent: true, Task: 0, Session: 2},
+		{CPU: s.CPUByID(3), Kind: Write, Addr: 0x200, Role: RoleA, InCS: true, Task: 3, Session: 2},
+	}
+	for _, r := range reqs {
+		now = s.Access(r, now)
+	}
+}
+
+// TestHookObserverMatchesDirectHook pins the deprecated-adapter equivalence:
+// an AuditHook subscribed through the bus (via HookObserver) sees the same
+// call sequence, with the same arguments, as one installed on System.Audit.
+func TestHookObserverMatchesDirectHook(t *testing.T) {
+	build := func() *System {
+		s, err := NewSystem(sim.NewEngine(), DefaultParams(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+
+	direct := &hookRecorder{}
+	s1 := build()
+	s1.Audit = direct
+	driveAccesses(s1)
+	s1.Finalize()
+
+	bused := &hookRecorder{}
+	s2 := build()
+	s2.Bus = obs.NewBus(&HookObserver{Sys: s2, Hook: bused})
+	driveAccesses(s2)
+	s2.Finalize()
+
+	if len(direct.calls) == 0 {
+		t.Fatal("direct hook recorded nothing; workload too small")
+	}
+	if !reflect.DeepEqual(direct.calls, bused.calls) {
+		t.Errorf("call sequences differ:\ndirect (%d calls): %v\nbus    (%d calls): %v",
+			len(direct.calls), direct.calls, len(bused.calls), bused.calls)
+	}
+
+	// Observation must not change timing or counters.
+	s3 := build()
+	driveAccesses(s3)
+	s3.Finalize()
+	if s1.MS != s3.MS || s2.MS != s3.MS {
+		t.Errorf("observation changed MemStats:\nplain   %+v\naudited %+v\nbused   %+v", s3.MS, s1.MS, s2.MS)
+	}
+}
+
+// TestAccessLevelClassification pins the MemStats-delta classification of
+// EvAccess events.
+func TestAccessLevelClassification(t *testing.T) {
+	s, err := NewSystem(sim.NewEngine(), DefaultParams(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var levels []obs.Level
+	s.Bus = obs.NewBus(obsFunc(func(e *obs.Event) {
+		if e.Kind == obs.EvAccess {
+			levels = append(levels, e.Level)
+		}
+	}))
+
+	now := int64(0)
+	// Lines interleave round-robin by line index: 0x80 (index 2) homes at
+	// node 0, so it is a local directory request for CPU 0, then an L1 hit,
+	// then an L2 hit from the sibling processor. 0x1c0 (index 7) homes at
+	// node 1: remote from node 0.
+	now = s.Access(Req{CPU: s.CPUByID(0), Kind: Read, Addr: 0x80, Role: RoleR}, now)
+	now = s.Access(Req{CPU: s.CPUByID(0), Kind: Read, Addr: 0x80, Role: RoleR}, now)
+	now = s.Access(Req{CPU: s.CPUByID(1), Kind: Read, Addr: 0x80, Role: RoleR}, now)
+	now = s.Access(Req{CPU: s.CPUByID(0), Kind: Read, Addr: 0x1c0, Role: RoleR}, now)
+	_ = now
+
+	want := []obs.Level{obs.LevelDirLocal, obs.LevelL1, obs.LevelL2, obs.LevelDirRemote}
+	if !reflect.DeepEqual(levels, want) {
+		t.Fatalf("levels = %v, want %v", levels, want)
+	}
+}
+
+type obsFunc func(e *obs.Event)
+
+func (f obsFunc) Event(e *obs.Event) { f(e) }

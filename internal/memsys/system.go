@@ -3,6 +3,7 @@ package memsys
 import (
 	"fmt"
 
+	"slipstream/internal/obs"
 	"slipstream/internal/sim"
 	"slipstream/internal/stats"
 )
@@ -88,7 +89,16 @@ type System struct {
 
 	// Audit, when non-nil, receives invariant-checking hooks (see
 	// AuditHook). It must only observe.
+	//
+	// Deprecated: new consumers should subscribe to Bus instead; the field
+	// remains for direct users of the memory system and is honored alongside
+	// the bus.
 	Audit AuditHook
+
+	// Bus, when non-nil, receives observation events (internal/obs): access
+	// start/completion with level classification, coherence-line changes,
+	// and end-of-run resource occupancy. Subscribers must only observe.
+	Bus *obs.Bus
 
 	MS   stats.MemStats
 	Req  stats.ReqBreakdown
@@ -136,12 +146,31 @@ func (s *System) Home(line Addr) *Node {
 }
 
 // Finalize closes all open classification records (end of run counts as the
-// end of every line's residency).
+// end of every line's residency) and reports end-of-run resource occupancy
+// to the bus.
 func (s *System) Finalize() {
 	for _, n := range s.Nodes {
 		n := n
 		n.L2.ForEachValid(func(l *Line) { s.closeRecs(n, l) })
 	}
+	if s.Bus == nil {
+		return
+	}
+	now := s.Eng.Now()
+	for _, n := range s.Nodes {
+		s.emitResource(now, fmt.Sprintf("node%d/l2port", n.ID), n.L2Port.BusyCycles(), n.L2Port.Uses())
+		s.emitResource(now, fmt.Sprintf("node%d/ni-in", n.ID), n.NIIn.BusyCycles(), n.NIIn.Uses())
+		s.emitResource(now, fmt.Sprintf("node%d/ni-out", n.ID), n.NIOut.BusyCycles(), n.NIOut.Uses())
+		busy, uses := n.DCStats()
+		s.emitResource(now, fmt.Sprintf("node%d/dc", n.ID), busy, uses)
+	}
+}
+
+func (s *System) emitResource(now int64, name string, busy, uses int64) {
+	s.Bus.Emit(&obs.Event{
+		Kind: obs.EvResource, Time: now, Dur: busy, Count: uses,
+		Task: -1, CPU: -1, Note: name,
+	})
 }
 
 // String summarizes the configuration.

@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// ChromeTrace records a run's events and renders them as Chrome
+// trace-event JSON (the format read by Perfetto and chrome://tracing):
+// one process per run, one thread lane per processor, named after the
+// stream it hosts (A-stream/R-stream in slipstream mode). Durations are
+// cycles; the viewer displays them as microseconds, so 1 µs on screen is
+// one simulated cycle.
+//
+// Recorded spans: task lifetimes, barrier/event waits, lock waits, token
+// waits, and every access satisfied beyond the private L1 (bound the
+// volume with MinAccess). Instants: session boundaries, recoveries, and
+// policy switches.
+//
+// The zero value records with Pid 0 and no process name; set Pid and Name
+// before writing when merging several runs into one file. Output is
+// deterministic: records sort stably by start time, so equal runs render
+// byte-identical JSON.
+type ChromeTrace struct {
+	// Pid is the trace process id for this run's events.
+	Pid int
+	// Name, when set, is emitted as the process_name metadata (e.g. the
+	// RunSpec string).
+	Name string
+	// MinAccess drops access spans shorter than this many cycles; zero
+	// keeps every non-L1 access.
+	MinAccess int64
+
+	recs    []chromeRec
+	threads []threadMeta
+}
+
+type chromeRec struct {
+	ph   byte // 'X' complete span or 'i' instant
+	ts   int64
+	dur  int64
+	tid  int
+	name string
+	note string // optional args.note
+}
+
+type threadMeta struct {
+	tid  int
+	name string
+}
+
+// Event implements Observer.
+func (t *ChromeTrace) Event(e *Event) {
+	switch e.Kind {
+	case EvTaskStart:
+		lane := "task"
+		switch e.Role {
+		case RoleR:
+			lane = "R-stream"
+		case RoleA:
+			lane = "A-stream"
+		}
+		t.threads = append(t.threads, threadMeta{tid: e.CPU, name: fmt.Sprintf("cpu%d (%s)", e.CPU, lane)})
+		if e.Flags&FlagRefork != 0 {
+			t.add(chromeRec{ph: 'i', ts: e.Time, tid: e.CPU, name: "refork"})
+		}
+	case EvTaskEnd:
+		t.add(chromeRec{ph: 'X', ts: e.Time - e.Dur, dur: e.Dur, tid: e.CPU,
+			name: fmt.Sprintf("task%d(%s)", e.Task, e.Note)})
+	case EvAccess:
+		if e.Level <= LevelL1 || e.Dur < t.MinAccess {
+			return
+		}
+		t.add(chromeRec{ph: 'X', ts: e.Time - e.Dur, dur: e.Dur, tid: e.CPU, name: e.Level.String()})
+	case EvBarrier:
+		name := "barrier"
+		if e.Note != "" {
+			name = e.Note + "-wait"
+		}
+		t.add(chromeRec{ph: 'X', ts: e.Time - e.Dur, dur: e.Dur, tid: e.CPU, name: name})
+	case EvLock:
+		t.add(chromeRec{ph: 'X', ts: e.Time - e.Dur, dur: e.Dur, tid: e.CPU, name: "lock"})
+	case EvToken:
+		if e.Dur > 0 {
+			t.add(chromeRec{ph: 'X', ts: e.Time - e.Dur, dur: e.Dur, tid: e.CPU, name: "token"})
+		}
+	case EvSession:
+		t.add(chromeRec{ph: 'i', ts: e.Time, tid: e.CPU, name: "session", note: e.Note})
+	case EvRecovery:
+		t.add(chromeRec{ph: 'i', ts: e.Time, tid: e.CPU, name: "recovery"})
+	case EvPolicySwitch:
+		t.add(chromeRec{ph: 'i', ts: e.Time, tid: e.CPU, name: "policy:" + e.Note})
+	}
+}
+
+func (t *ChromeTrace) add(r chromeRec) { t.recs = append(t.recs, r) }
+
+// Len returns the number of recorded trace records.
+func (t *ChromeTrace) Len() int { return len(t.recs) }
+
+// WriteJSON renders this run alone; see WriteChrome for merging runs.
+func (t *ChromeTrace) WriteJSON(w io.Writer) error { return WriteChrome(w, t) }
+
+// WriteChrome writes one Chrome trace-event JSON document containing every
+// given run, in argument order. Callers merging runs assign each a
+// distinct Pid first.
+func WriteChrome(w io.Writer, runs ...*ChromeTrace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("{\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	first := true
+	item := func(s string) {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+		bw.WriteString(s)
+	}
+	for _, t := range runs {
+		if t.Name != "" {
+			item(fmt.Sprintf(`{"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":%s}}`,
+				t.Pid, jsonStr(t.Name)))
+		}
+		for _, th := range t.sortedThreads() {
+			item(fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":%s}}`,
+				t.Pid, th.tid, jsonStr(th.name)))
+		}
+		recs := make([]chromeRec, len(t.recs))
+		copy(recs, t.recs)
+		sort.SliceStable(recs, func(i, j int) bool { return recs[i].ts < recs[j].ts })
+		for _, r := range recs {
+			switch r.ph {
+			case 'X':
+				item(fmt.Sprintf(`{"name":%s,"ph":"X","pid":%d,"tid":%d,"ts":%d,"dur":%d}`,
+					jsonStr(r.name), t.Pid, r.tid, r.ts, r.dur))
+			case 'i':
+				args := ""
+				if r.note != "" {
+					args = fmt.Sprintf(`,"args":{"note":%s}`, jsonStr(r.note))
+				}
+				item(fmt.Sprintf(`{"name":%s,"ph":"i","s":"t","pid":%d,"tid":%d,"ts":%d%s}`,
+					jsonStr(r.name), t.Pid, r.tid, r.ts, args))
+			}
+		}
+	}
+	if _, err := bw.WriteString("\n],\"displayTimeUnit\":\"ms\"}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// sortedThreads returns the run's thread metadata deduplicated (first
+// registration wins) and ordered by tid.
+func (t *ChromeTrace) sortedThreads() []threadMeta {
+	var out []threadMeta
+	for _, th := range t.threads {
+		dup := false
+		for _, o := range out {
+			if o.tid == th.tid {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, th)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].tid < out[j].tid })
+	return out
+}
+
+// jsonStr encodes s as a JSON string literal.
+func jsonStr(s string) string {
+	b, err := json.Marshal(s)
+	if err != nil {
+		// A Go string always marshals; keep the signature simple.
+		return `"?"`
+	}
+	return string(b)
+}

@@ -1,0 +1,263 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+)
+
+// HistBuckets is the number of latency-histogram buckets: bucket k counts
+// observations in (2^(k-1), 2^k] cycles (bucket 0 counts v <= 1), and the
+// last bucket absorbs everything larger. Fixed bounds keep renderings
+// byte-comparable across runs and machines.
+const HistBuckets = 21
+
+// Hist is a fixed-bucket power-of-two latency histogram.
+type Hist struct {
+	Buckets [HistBuckets]int64
+	Count   int64
+	Sum     int64
+}
+
+// Observe records one value.
+func (h *Hist) Observe(v int64) {
+	h.Count++
+	h.Sum += v
+	h.Buckets[histBucket(v)]++
+}
+
+// Add accumulates other into h.
+func (h *Hist) Add(other *Hist) {
+	h.Count += other.Count
+	h.Sum += other.Sum
+	for i := range h.Buckets {
+		h.Buckets[i] += other.Buckets[i]
+	}
+}
+
+func histBucket(v int64) int {
+	if v <= 1 {
+		return 0
+	}
+	b := bits.Len64(uint64(v - 1)) // v in (2^(b-1), 2^b]
+	if b >= HistBuckets {
+		return HistBuckets - 1
+	}
+	return b
+}
+
+// bucketLabel names bucket i in renderings.
+func bucketLabel(i int) string {
+	if i == HistBuckets-1 {
+		return "inf"
+	}
+	return fmt.Sprintf("le%d", int64(1)<<uint(i))
+}
+
+// Metrics is a deterministic observation-driven metrics registry: named
+// counters plus latency histograms keyed by the execution-time breakdown
+// category the latency contributes to (memory stall per access level,
+// barrier, lock, A-R sync). The zero value is ready to use.
+//
+// Standard metrics derived from the event stream:
+//
+//	counters  access.<level>, access.transparent, task.count,
+//	          task.cycles.<category>, session.count, park.count,
+//	          recovery.count, policy.switch, line.events, engine.events,
+//	          resource.busy.<name>, resource.uses.<name>, run.count,
+//	          run.cycles
+//	hists     mem.<level> (access latency), wait.barrier, wait.event,
+//	          wait.lock, wait.arsync
+//
+// Registries merge commutatively (integer sums), so output is independent
+// of the order runs complete in.
+type Metrics struct {
+	counters map[string]int64
+	hists    map[string]*Hist
+}
+
+// Count adds delta to the named counter.
+func (m *Metrics) Count(name string, delta int64) {
+	if m.counters == nil {
+		m.counters = make(map[string]int64)
+	}
+	m.counters[name] += delta
+}
+
+// Counter returns the named counter's value.
+func (m *Metrics) Counter(name string) int64 { return m.counters[name] }
+
+// Observe records one value into the named histogram.
+func (m *Metrics) Observe(name string, v int64) {
+	if m.hists == nil {
+		m.hists = make(map[string]*Hist)
+	}
+	h := m.hists[name]
+	if h == nil {
+		h = &Hist{}
+		m.hists[name] = h
+	}
+	h.Observe(v)
+}
+
+// Histogram returns the named histogram, or nil.
+func (m *Metrics) Histogram(name string) *Hist { return m.hists[name] }
+
+// Merge accumulates other into m. Both loops are commutative — integer
+// adds only — so merge order never changes the registry's contents, which
+// is what lets per-run registries collected by racing workers fold into
+// one deterministic export.
+func (m *Metrics) Merge(other *Metrics) {
+	//simlint:ordered integer counter addition is commutative
+	for name, v := range other.counters {
+		m.Count(name, v)
+	}
+	//simlint:ordered per-bucket integer addition is commutative
+	for name, h := range other.hists {
+		if m.hists == nil {
+			m.hists = make(map[string]*Hist)
+		}
+		dst := m.hists[name]
+		if dst == nil {
+			dst = &Hist{}
+			m.hists[name] = dst
+		}
+		dst.Add(h)
+	}
+}
+
+// Per-level metric names, indexed by Level, precomputed so the access hot
+// path allocates nothing.
+var (
+	accessCounters = [numLevels]string{
+		"access.none", "access.l1", "access.l2", "access.dir-local", "access.dir-remote",
+	}
+	accessHists = [numLevels]string{
+		"mem.none", "mem.l1", "mem.l2", "mem.dir-local", "mem.dir-remote",
+	}
+)
+
+// Event implements Observer, deriving the standard metrics.
+func (m *Metrics) Event(e *Event) {
+	switch e.Kind {
+	case EvAccess:
+		m.Count(accessCounters[e.Level], 1)
+		m.Observe(accessHists[e.Level], e.Dur)
+		if e.Flags&FlagTransparent != 0 {
+			m.Count("access.transparent", 1)
+		}
+	case EvBarrier:
+		if e.Note == "event" {
+			m.Observe("wait.event", e.Dur)
+		} else {
+			m.Observe("wait.barrier", e.Dur)
+		}
+	case EvLock:
+		m.Observe("wait.lock", e.Dur)
+	case EvToken:
+		m.Observe("wait.arsync", e.Dur)
+	case EvTaskEnd:
+		m.Count("task.count", 1)
+		m.Count("task.cycles.busy", e.BD.Busy)
+		m.Count("task.cycles.memstall", e.BD.MemStall)
+		m.Count("task.cycles.barrier", e.BD.Barrier)
+		m.Count("task.cycles.lock", e.BD.Lock)
+		m.Count("task.cycles.arsync", e.BD.ARSync)
+	case EvSession:
+		m.Count("session.count", 1)
+	case EvPark:
+		m.Count("park.count", 1)
+	case EvRecovery:
+		m.Count("recovery.count", 1)
+	case EvPolicySwitch:
+		m.Count("policy.switch", 1)
+	case EvLine:
+		m.Count("line.events", 1)
+	case EvStep:
+		m.Count("engine.events", 1)
+	case EvResource:
+		m.Count("resource.busy."+e.Note, e.Dur)
+		m.Count("resource.uses."+e.Note, e.Count)
+	case EvRunEnd:
+		m.Count("run.count", 1)
+		m.Count("run.cycles", e.Dur)
+	}
+}
+
+// counterNames returns the counter names sorted (map iteration order would
+// leak randomization into the rendering).
+func (m *Metrics) counterNames() []string {
+	names := make([]string, 0, len(m.counters))
+	for name := range m.counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func (m *Metrics) histNames() []string {
+	names := make([]string, 0, len(m.hists))
+	for name := range m.hists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// WriteText renders the registry as sorted, byte-stable text: one
+// `counter <name> <value>` line per counter, then one
+// `hist <name> count=N sum=S <nonzero buckets>` line per histogram.
+func (m *Metrics) WriteText(w io.Writer) error {
+	for _, name := range m.counterNames() {
+		if _, err := fmt.Fprintf(w, "counter %s %d\n", name, m.counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range m.histNames() {
+		h := m.hists[name]
+		if _, err := fmt.Fprintf(w, "hist %s count=%d sum=%d", name, h.Count, h.Sum); err != nil {
+			return err
+		}
+		for i, n := range h.Buckets {
+			if n == 0 {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, " %s=%d", bucketLabel(i), n); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV renders the registry as sorted `type,name,field,value` rows
+// with a header, for spreadsheet import.
+func (m *Metrics) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "type,name,field,value"); err != nil {
+		return err
+	}
+	for _, name := range m.counterNames() {
+		if _, err := fmt.Fprintf(w, "counter,%s,value,%d\n", name, m.counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range m.histNames() {
+		h := m.hists[name]
+		if _, err := fmt.Fprintf(w, "hist,%s,count,%d\nhist,%s,sum,%d\n", name, h.Count, name, h.Sum); err != nil {
+			return err
+		}
+		for i, n := range h.Buckets {
+			if n == 0 {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "hist,%s,%s,%d\n", name, bucketLabel(i), n); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,230 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"slipstream/internal/stats"
+)
+
+type recorder struct {
+	events []Event
+}
+
+func (r *recorder) Event(e *Event) { r.events = append(r.events, *e) }
+
+func TestNilBusIsInert(t *testing.T) {
+	var b *Bus
+	b.Emit(&Event{Kind: EvAccess}) // must not panic
+	if nb := NewBus(); nb != nil {
+		t.Fatalf("NewBus() = %v, want nil", nb)
+	}
+	if nb := NewBus(nil, nil); nb != nil {
+		t.Fatalf("NewBus(nil, nil) = %v, want nil", nb)
+	}
+	if nb := (*Bus)(nil).Attach(nil); nb != nil {
+		t.Fatalf("nil.Attach(nil) = %v, want nil", nb)
+	}
+}
+
+func TestBusFanOutOrder(t *testing.T) {
+	var order []int
+	mk := func(id int) Observer {
+		return observerFunc(func(e *Event) { order = append(order, id) })
+	}
+	b := NewBus(mk(1), mk(2)).Attach(mk(3))
+	b.Emit(&Event{Kind: EvSession})
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("delivery order = %v, want [1 2 3]", order)
+	}
+}
+
+type observerFunc func(e *Event)
+
+func (f observerFunc) Event(e *Event) { f(e) }
+
+func TestClockMonitorEmitsSteps(t *testing.T) {
+	rec := &recorder{}
+	m := &ClockMonitor{Bus: NewBus(rec)}
+	m.Step(10, 25)
+	m.Step(25, 25)
+	if len(rec.events) != 2 {
+		t.Fatalf("got %d events, want 2", len(rec.events))
+	}
+	e := rec.events[0]
+	if e.Kind != EvStep || e.Time != 25 || e.Count != 10 || e.Task != -1 || e.CPU != -1 {
+		t.Fatalf("unexpected step event: %+v", e)
+	}
+}
+
+func TestHistBuckets(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4},
+		{1 << 19, 19}, {1<<19 + 1, 20}, {1 << 40, 20},
+	}
+	for _, c := range cases {
+		if got := histBucket(c.v); got != c.want {
+			t.Errorf("histBucket(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	var h Hist
+	h.Observe(3)
+	h.Observe(100)
+	if h.Count != 2 || h.Sum != 103 {
+		t.Fatalf("count=%d sum=%d, want 2/103", h.Count, h.Sum)
+	}
+}
+
+func TestMetricsEventDerivation(t *testing.T) {
+	var m Metrics
+	m.Event(&Event{Kind: EvAccess, Level: LevelDirRemote, Dur: 120, Flags: FlagTransparent})
+	m.Event(&Event{Kind: EvAccess, Level: LevelL2, Dur: 20})
+	m.Event(&Event{Kind: EvBarrier, Dur: 50})
+	m.Event(&Event{Kind: EvBarrier, Dur: 5, Note: "event"})
+	m.Event(&Event{Kind: EvLock, Dur: 7})
+	m.Event(&Event{Kind: EvToken, Dur: 0})
+	m.Event(&Event{Kind: EvTaskEnd, Dur: 100, BD: stats.Breakdown{Busy: 60, MemStall: 40}})
+	m.Event(&Event{Kind: EvResource, Note: "node0/l2port", Dur: 33, Count: 4})
+	m.Event(&Event{Kind: EvRunEnd, Dur: 500})
+
+	checks := map[string]int64{
+		"access.dir-remote":          1,
+		"access.l2":                  1,
+		"access.transparent":         1,
+		"task.count":                 1,
+		"task.cycles.busy":           60,
+		"task.cycles.memstall":       40,
+		"resource.busy.node0/l2port": 33,
+		"resource.uses.node0/l2port": 4,
+		"run.count":                  1,
+		"run.cycles":                 500,
+	}
+	for name, want := range checks {
+		if got := m.Counter(name); got != want {
+			t.Errorf("counter %s = %d, want %d", name, got, want)
+		}
+	}
+	if h := m.Histogram("wait.barrier"); h == nil || h.Count != 1 || h.Sum != 50 {
+		t.Errorf("wait.barrier histogram wrong: %+v", h)
+	}
+	if h := m.Histogram("wait.event"); h == nil || h.Count != 1 || h.Sum != 5 {
+		t.Errorf("wait.event histogram wrong: %+v", h)
+	}
+	if h := m.Histogram("wait.arsync"); h == nil || h.Count != 1 || h.Sum != 0 {
+		t.Errorf("wait.arsync histogram wrong: %+v", h)
+	}
+	if h := m.Histogram("mem.dir-remote"); h == nil || h.Sum != 120 {
+		t.Errorf("mem.dir-remote histogram wrong: %+v", h)
+	}
+}
+
+func TestMetricsWriteDeterministicAndMergeable(t *testing.T) {
+	build := func() *Metrics {
+		var m Metrics
+		m.Count("b", 2)
+		m.Count("a", 1)
+		m.Observe("h2", 10)
+		m.Observe("h1", 3)
+		return &m
+	}
+	var w1, w2 bytes.Buffer
+	if err := build().WriteText(&w1); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WriteText(&w2); err != nil {
+		t.Fatal(err)
+	}
+	if w1.String() != w2.String() {
+		t.Fatalf("text rendering not deterministic:\n%s\nvs\n%s", w1.String(), w2.String())
+	}
+	want := "counter a 1\ncounter b 2\nhist h1 count=1 sum=3 le4=1\nhist h2 count=1 sum=10 le16=1\n"
+	if w1.String() != want {
+		t.Fatalf("text rendering:\n%q\nwant\n%q", w1.String(), want)
+	}
+
+	// Merging in either order yields the same rendering.
+	y := build()
+	y.Count("c", 5)
+	var ab, ba bytes.Buffer
+	mx := build()
+	mx.Merge(y)
+	if err := mx.WriteText(&ab); err != nil {
+		t.Fatal(err)
+	}
+	my := &Metrics{}
+	my.Merge(y)
+	my.Merge(build())
+	if err := my.WriteText(&ba); err != nil {
+		t.Fatal(err)
+	}
+	if ab.String() != ba.String() {
+		t.Fatalf("merge order changed rendering:\n%s\nvs\n%s", ab.String(), ba.String())
+	}
+
+	var csv bytes.Buffer
+	if err := build().WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(csv.Bytes(), []byte("type,name,field,value\n")) {
+		t.Fatalf("csv missing header: %q", csv.String())
+	}
+}
+
+func TestChromeTraceJSONParses(t *testing.T) {
+	tr := &ChromeTrace{Pid: 3, Name: `spec "quoted"`}
+	tr.Event(&Event{Kind: EvTaskStart, Task: 0, CPU: 0, Role: RoleR})
+	tr.Event(&Event{Kind: EvTaskStart, Task: 0, CPU: 1, Role: RoleA, Flags: FlagRefork})
+	tr.Event(&Event{Kind: EvTaskEnd, Task: 0, CPU: 0, Time: 100, Dur: 100, Note: "R"})
+	tr.Event(&Event{Kind: EvAccess, CPU: 0, Time: 50, Dur: 30, Level: LevelDirRemote})
+	tr.Event(&Event{Kind: EvAccess, CPU: 0, Time: 10, Dur: 1, Level: LevelL1}) // dropped
+	tr.Event(&Event{Kind: EvBarrier, CPU: 0, Time: 80, Dur: 20})
+	tr.Event(&Event{Kind: EvBarrier, CPU: 0, Time: 85, Dur: 5, Note: "event"})
+	tr.Event(&Event{Kind: EvLock, CPU: 1, Time: 60, Dur: 12})
+	tr.Event(&Event{Kind: EvToken, CPU: 1, Time: 70, Dur: 0}) // dropped
+	tr.Event(&Event{Kind: EvToken, CPU: 1, Time: 75, Dur: 4})
+	tr.Event(&Event{Kind: EvSession, CPU: 0, Time: 40, Note: "barrier-entry"})
+	tr.Event(&Event{Kind: EvRecovery, CPU: 1, Time: 90})
+	tr.Event(&Event{Kind: EvPolicySwitch, CPU: 1, Time: 95, Note: "a-often"})
+	tr.Event(&Event{Kind: EvStep, Time: 1}) // ignored
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	// 1 process_name + 2 thread_name + 10 recorded records (the refork
+	// instant counts; the L1 access, zero token, and EvStep are dropped).
+	if want := 3 + 10; len(doc.TraceEvents) != want {
+		t.Fatalf("got %d trace events, want %d:\n%s", len(doc.TraceEvents), want, buf.String())
+	}
+
+	// Identical runs render byte-identically.
+	var again bytes.Buffer
+	if err := tr.WriteJSON(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("repeated rendering differs")
+	}
+}
+
+func TestChromeMinAccessFilters(t *testing.T) {
+	tr := &ChromeTrace{MinAccess: 50}
+	tr.Event(&Event{Kind: EvAccess, Time: 100, Dur: 49, Level: LevelL2})
+	if tr.Len() != 0 {
+		t.Fatalf("short access not filtered, len=%d", tr.Len())
+	}
+	tr.Event(&Event{Kind: EvAccess, Time: 100, Dur: 50, Level: LevelL2})
+	if tr.Len() != 1 {
+		t.Fatalf("qualifying access dropped, len=%d", tr.Len())
+	}
+}

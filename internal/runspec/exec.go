@@ -1,12 +1,14 @@
 package runspec
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"slipstream/internal/core"
+	"slipstream/internal/obs"
 )
 
 // Executor runs sets of RunSpecs on a bounded worker pool. Specs are
@@ -30,6 +32,13 @@ type Executor struct {
 	// cache hit). It may be called from Execute's caller goroutine only.
 	Lookup func(RunSpec) (*core.Result, bool)
 
+	// Observe, when set, supplies observation-bus subscribers for each
+	// freshly simulated spec (results served by Lookup are not observed —
+	// there is no run to observe). It is called from worker goroutines and
+	// must be safe for concurrent use; the observers it returns are used by
+	// one run only, so per-call state needs no locking.
+	Observe func(RunSpec) []obs.Observer
+
 	// Store, when set, receives each freshly simulated, verified result.
 	// Calls are serialized by the executor.
 	Store func(RunSpec, *core.Result)
@@ -51,7 +60,15 @@ const (
 // aborts scheduling of not-yet-started specs and is returned — always the
 // error of the earliest failing spec in plan order, so failures are
 // deterministic too. On error the result slice is nil.
-func (e *Executor) Execute(specs []RunSpec) ([]*core.Result, error) {
+//
+// Canceling ctx stops new work: queued specs are not started, in-flight
+// simulations finish but their results are discarded (never Stored), and
+// Execute returns ctx.Err() after the workers drain. A nil ctx behaves
+// like context.Background().
+func (e *Executor) Execute(ctx context.Context, specs []RunSpec) ([]*core.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	norm := make([]RunSpec, len(specs))
 	index := make(map[RunSpec]int)
 	var unique []RunSpec
@@ -113,20 +130,32 @@ func (e *Executor) Execute(specs []RunSpec) ([]*core.Result, error) {
 			go func() {
 				defer wg.Done()
 				for i := range jobs {
-					if aborted.Load() {
+					if aborted.Load() || ctx.Err() != nil {
 						continue
 					}
 					sp := unique[i]
-					res, err := sp.RunAudited(e.Audit)
+					var observers []obs.Observer
+					if e.Observe != nil {
+						observers = e.Observe(sp)
+					}
+					res, err := sp.RunObserved(e.Audit, observers...)
 					if err == nil && res.VerifyErr != nil {
 						err = fmt.Errorf("%v: verification: %w", sp, res.VerifyErr)
 					}
 					mu.Lock()
-					if err != nil {
+					switch {
+					case ctx.Err() != nil:
+						// Canceled while simulating: the result may be from a
+						// partially drained batch, so it must never be Stored
+						// or reported.
+						errs[i] = ctx.Err()
+						state[i] = stateFailed
+						aborted.Store(true)
+					case err != nil:
 						errs[i] = err
 						state[i] = stateFailed
 						aborted.Store(true)
-					} else {
+					default:
 						if e.Store != nil {
 							e.Store(sp, res)
 						}
@@ -138,13 +167,23 @@ func (e *Executor) Execute(specs []RunSpec) ([]*core.Result, error) {
 				}
 			}()
 		}
+	feed:
 		for _, i := range todo {
-			jobs <- i
+			select {
+			case jobs <- i:
+			case <-ctx.Done():
+				break feed
+			}
 		}
 		close(jobs)
 		wg.Wait()
 	}
 
+	// Cancellation takes precedence over per-spec errors: the batch was
+	// interrupted, not broken.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

@@ -15,6 +15,7 @@ import (
 	"slipstream/internal/core"
 	"slipstream/internal/kernels"
 	"slipstream/internal/memsys"
+	"slipstream/internal/obs"
 )
 
 // RunSpec fully determines one simulation: which benchmark at which size,
@@ -98,6 +99,14 @@ func (sp RunSpec) Run() (*core.Result, error) { return sp.RunAudited(false) }
 // that is why it is a run argument and not part of the spec (it must not
 // fork cache keys).
 func (sp RunSpec) RunAudited(audit bool) (*core.Result, error) {
+	return sp.RunObserved(audit)
+}
+
+// RunObserved is Run with the auditor optionally enabled and any number of
+// observation-bus subscribers attached (core.Options.Observers). Like
+// auditing, observation never changes the simulated result, so observed
+// runs share cache keys with unobserved ones.
+func (sp RunSpec) RunObserved(audit bool, observers ...obs.Observer) (*core.Result, error) {
 	sp = sp.Normalize()
 	k, err := kernels.New(sp.Kernel, sp.Size)
 	if err != nil {
@@ -105,6 +114,7 @@ func (sp RunSpec) RunAudited(audit bool) (*core.Result, error) {
 	}
 	opts := sp.Options()
 	opts.Audit = audit
+	opts.Observers = observers
 	res, err := core.Run(opts, k)
 	if err != nil {
 		return nil, fmt.Errorf("%v: %w", sp, err)

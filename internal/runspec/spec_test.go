@@ -1,6 +1,7 @@
 package runspec
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"strings"
@@ -10,6 +11,7 @@ import (
 	"slipstream/internal/core"
 	"slipstream/internal/kernels"
 	"slipstream/internal/memsys"
+	"slipstream/internal/obs"
 )
 
 func sorSpec(cmps int) RunSpec {
@@ -88,7 +90,7 @@ func TestExecutorDedupsAndOrders(t *testing.T) {
 		Store:   func(RunSpec, *core.Result) { ran.Add(1) },
 		OnDone:  func(sp RunSpec, _ *core.Result, _ bool) { order = append(order, sp) },
 	}
-	res, err := ex.Execute(specs)
+	res, err := ex.Execute(context.Background(), specs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +114,7 @@ func TestExecutorLookupShortCircuits(t *testing.T) {
 		Store:   func(RunSpec, *core.Result) { t.Error("Store called despite lookup hit") },
 		OnDone:  func(_ RunSpec, _ *core.Result, cached bool) { cachedSeen = cached },
 	}
-	res, err := ex.Execute([]RunSpec{sorSpec(2)})
+	res, err := ex.Execute(context.Background(), []RunSpec{sorSpec(2)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,8 +125,58 @@ func TestExecutorLookupShortCircuits(t *testing.T) {
 
 func TestExecutorReportsEarliestError(t *testing.T) {
 	bad := RunSpec{Kernel: "NOPE", Size: kernels.Tiny, Mode: core.ModeSingle, CMPs: 2}
-	_, err := (&Executor{Workers: 4}).Execute([]RunSpec{sorSpec(2), bad, sorSpec(4)})
+	_, err := (&Executor{Workers: 4}).Execute(context.Background(), []RunSpec{sorSpec(2), bad, sorSpec(4)})
 	if err == nil {
 		t.Fatal("bad spec did not fail Execute")
+	}
+}
+
+func TestExecutorCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ex := &Executor{
+		Workers: 2,
+		Store:   func(RunSpec, *core.Result) { t.Error("Store called under canceled context") },
+	}
+	res, err := ex.Execute(ctx, []RunSpec{sorSpec(2), sorSpec(4)})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Errorf("canceled Execute returned results: %v", res)
+	}
+}
+
+func TestExecutorNilContextRuns(t *testing.T) {
+	res, err := (&Executor{Workers: 1}).Execute(nil, []RunSpec{sorSpec(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].Cycles <= 0 {
+		t.Errorf("unexpected result: %+v", res)
+	}
+}
+
+func TestExecutorObserveSeesOnlySimulatedSpecs(t *testing.T) {
+	canned := &core.Result{Kernel: "SOR", Cycles: 42}
+	var observed atomic.Int32
+	ex := &Executor{
+		Workers: 2,
+		Lookup: func(sp RunSpec) (*core.Result, bool) {
+			return canned, sp == sorSpec(2).Normalize()
+		},
+		Observe: func(sp RunSpec) []obs.Observer {
+			if sp == sorSpec(2).Normalize() {
+				t.Error("Observe called for a Lookup hit")
+			}
+			observed.Add(1)
+			return []obs.Observer{&obs.Metrics{}}
+		},
+	}
+	if _, err := ex.Execute(context.Background(), []RunSpec{sorSpec(2), sorSpec(4)}); err != nil {
+		t.Fatal(err)
+	}
+	if got := observed.Load(); got != 1 {
+		t.Errorf("Observe called %d times, want 1 (cache hits skip it)", got)
 	}
 }

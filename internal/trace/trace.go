@@ -11,6 +11,8 @@ import (
 	"io"
 	"sort"
 	"strings"
+
+	"slipstream/internal/obs"
 )
 
 // Kind tags a trace event.
@@ -85,6 +87,54 @@ func (c *Collector) Add(e Event) {
 		return
 	}
 	c.events = append(c.events, e)
+}
+
+// Event implements obs.Observer: the collector is an observation-bus
+// subscriber, translating bus events into its legacy record shape. Access
+// events become EvSlowAccess records when SlowThreshold is set and
+// exceeded; zero-wait token consumes are dropped (only actual waits are
+// interesting); other kinds map one to one.
+func (c *Collector) Event(e *obs.Event) {
+	if c == nil {
+		return
+	}
+	rec := Event{
+		Time:    e.Time,
+		Task:    e.Task,
+		AStream: e.Role == obs.RoleA,
+		Session: e.Session,
+		Dur:     e.Dur,
+		Note:    e.Note,
+	}
+	switch e.Kind {
+	case obs.EvSession:
+		rec.Kind = EvSession
+	case obs.EvBarrier:
+		rec.Kind = EvBarrier
+	case obs.EvLock:
+		rec.Kind = EvLock
+		rec.Addr = e.Addr
+	case obs.EvToken:
+		if e.Dur <= 0 {
+			return
+		}
+		rec.Kind = EvToken
+	case obs.EvAccess:
+		if c.SlowThreshold <= 0 || e.Dur <= c.SlowThreshold {
+			return
+		}
+		rec.Kind = EvSlowAccess
+		rec.Time = e.Time - e.Dur // report the issue time, as Add callers did
+		rec.Addr = e.Addr
+		rec.Note = e.Op.String()
+	case obs.EvRecovery:
+		rec.Kind = EvRecovery
+	case obs.EvPolicySwitch:
+		rec.Kind = EvPolicySwitch
+	default:
+		return
+	}
+	c.events = append(c.events, rec)
 }
 
 // Events returns the recorded events in insertion order (which is

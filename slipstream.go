@@ -26,6 +26,7 @@ import (
 	"slipstream/internal/core"
 	"slipstream/internal/kernels"
 	"slipstream/internal/memsys"
+	"slipstream/internal/obs"
 	"slipstream/internal/stats"
 	"slipstream/internal/trace"
 )
@@ -59,6 +60,19 @@ type (
 	ReqBreakdown = stats.ReqBreakdown
 	// KernelSize is a benchmark size preset.
 	KernelSize = kernels.Size
+	// Observer receives the typed observation-event stream of a run when
+	// attached through Options.Observers. Implementations must treat events
+	// as read-only; see ObsEvent.
+	Observer = obs.Observer
+	// ObsEvent is one typed observation event (task lifecycle, classified
+	// memory access, synchronization wait, directory transition, ...).
+	ObsEvent = obs.Event
+	// ChromeTrace is an Observer that renders a run as Chrome trace-event
+	// JSON (chrome://tracing, Perfetto).
+	ChromeTrace = obs.ChromeTrace
+	// Metrics is an Observer that aggregates events into named counters
+	// and latency histograms with deterministic text/CSV output.
+	Metrics = obs.Metrics
 	// Trace collects structured run events when assigned to
 	// Options.Trace; see TraceSummary and TraceEvent.
 	Trace = trace.Collector

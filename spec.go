@@ -1,6 +1,8 @@
 package slipstream
 
 import (
+	"context"
+
 	"slipstream/internal/runspec"
 )
 
@@ -26,10 +28,13 @@ type RunSpec = runspec.RunSpec
 // identical at any worker count.
 //
 // A spec that fails to build, simulate, or verify aborts the batch and
-// returns the error of the earliest failing spec in input order. For
-// persistent caching and progress reporting, use cmd/experiments or the
-// internal harness; this entry point is the minimal parallel runner.
-func Execute(specs []RunSpec, workers int) ([]*Result, error) {
+// returns the error of the earliest failing spec in input order.
+// Canceling ctx stops scheduling new specs, lets in-flight simulations
+// drain, and returns ctx.Err(); a nil ctx behaves like
+// context.Background(). For persistent caching and progress reporting, use
+// cmd/experiments or the internal harness; this entry point is the minimal
+// parallel runner.
+func Execute(ctx context.Context, specs []RunSpec, workers int) ([]*Result, error) {
 	ex := &runspec.Executor{Workers: workers}
-	return ex.Execute(specs)
+	return ex.Execute(ctx, specs)
 }

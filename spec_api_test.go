@@ -1,6 +1,7 @@
 package slipstream_test
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -47,7 +48,7 @@ func TestPublicAPIRunSpecExecute(t *testing.T) {
 		{Kernel: "SOR", Size: slipstream.SizeTiny, Mode: slipstream.Slipstream, ARSync: slipstream.G0, CMPs: 2},
 		{Kernel: "SOR", Size: slipstream.SizeTiny, Mode: slipstream.Single, CMPs: 2}, // duplicate of the first
 	}
-	results, err := slipstream.Execute(specs, 4)
+	results, err := slipstream.Execute(context.Background(), specs, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
