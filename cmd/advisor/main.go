@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"slipstream"
+	"slipstream/internal/buildinfo"
 )
 
 type candidate struct {
@@ -30,11 +31,16 @@ type candidate struct {
 
 func main() {
 	var (
-		kernel = flag.String("kernel", "CG", "benchmark: "+strings.Join(slipstream.Kernels(), ", "))
-		cmps   = flag.Int("cmps", 16, "number of CMP nodes")
-		size   = flag.String("size", "small", "problem size preset: tiny, small, paper")
+		kernel  = flag.String("kernel", "CG", "benchmark: "+strings.Join(slipstream.Kernels(), ", "))
+		cmps    = flag.Int("cmps", 16, "number of CMP nodes")
+		size    = flag.String("size", "small", "problem size preset: tiny, small, paper")
+		version = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("advisor"))
+		return
+	}
 
 	ksize, err := slipstream.ParseKernelSize(*size)
 	if err != nil {

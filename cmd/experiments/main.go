@@ -30,6 +30,7 @@ import (
 	"strconv"
 	"strings"
 
+	"slipstream/internal/buildinfo"
 	"slipstream/internal/core"
 	"slipstream/internal/harness"
 	"slipstream/internal/kernels"
@@ -63,8 +64,13 @@ func main() {
 		chromeOut = flag.String("trace-out", "", "write a merged Chrome trace-event JSON timeline of every simulated run to this file")
 		metricOut = flag.String("metrics-out", "", "write merged counters and latency histograms of every simulated run to this file (.csv for CSV)")
 		quiet     = flag.Bool("q", false, "suppress per-run progress lines")
+		version   = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("experiments"))
+		return
+	}
 
 	ksize, err := kernels.ParseSize(*size)
 	if err != nil {

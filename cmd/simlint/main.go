@@ -22,16 +22,22 @@ import (
 	"strings"
 
 	"slipstream/internal/analysis"
+	"slipstream/internal/buildinfo"
 )
 
 func main() {
 	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
 			"usage: simlint [-json] [packages]\n\npackages are directory patterns (default ./...)\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("simlint"))
+		return
+	}
 	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}

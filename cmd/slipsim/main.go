@@ -6,9 +6,16 @@
 // Usage:
 //
 //	slipsim -kernel SOR -mode slipstream -arsync L1 -cmps 8 -size small -tl -si
+//
+// With -server the run is submitted to a slipsimd daemon instead of
+// simulating locally; the daemon multiplexes the same deterministic core,
+// so the report is identical either way:
+//
+//	slipsim -server http://127.0.0.1:8056 -kernel SOR -mode slipstream
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -16,6 +23,8 @@ import (
 	"strings"
 
 	"slipstream"
+	"slipstream/internal/buildinfo"
+	"slipstream/internal/service/client"
 )
 
 func main() {
@@ -32,9 +41,15 @@ func main() {
 		traceOut  = flag.String("trace", "", "write a TSV event trace to this file")
 		chromeOut = flag.String("trace-out", "", "write a Chrome trace-event JSON timeline to this file (open in Perfetto)")
 		metricOut = flag.String("metrics-out", "", "write aggregated counters and latency histograms to this file (.csv for CSV)")
+		server    = flag.String("server", "", "submit the run to the slipsimd daemon at this base URL instead of simulating locally")
 		verbose   = flag.Bool("v", false, "print per-task breakdowns")
+		version   = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("slipsim"))
+		return
+	}
 
 	opts := slipstream.Options{CMPs: *cmps, Audit: *auditRun}
 	parsedMode, err := slipstream.ParseMode(*mode)
@@ -59,6 +74,31 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
+
+	if *server != "" {
+		// Observation and auditing happen daemon-side: the exporters hook
+		// the simulating process, which is no longer this one.
+		if *auditRun || *traceOut != "" || *chromeOut != "" || *metricOut != "" {
+			fatalf("-audit, -trace, -trace-out, and -metrics-out are daemon-side options; start slipsimd with them instead of combining them with -server")
+		}
+		spec := slipstream.RunSpec{
+			Kernel: *kernel, Size: ksize, Mode: opts.Mode, ARSync: opts.ARSync,
+			CMPs: *cmps, TransparentLoads: opts.TransparentLoads,
+			SelfInvalidate: opts.SelfInvalidate, AdaptiveARSync: opts.AdaptiveARSync,
+		}
+		res, cached, err := client.New(*server).Run(context.Background(), spec)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		printReport(res, opts, ksize, *verbose)
+		if cached {
+			fmt.Println("served: cache")
+		} else {
+			fmt.Println("served: simulated")
+		}
+		return
+	}
+
 	k, err := slipstream.NewKernel(*kernel, ksize)
 	if err != nil {
 		fatalf("%v", err)
@@ -83,7 +123,46 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
+	printReport(res, opts, ksize, *verbose)
 
+	if tr != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := tr.WriteTSV(f); err != nil {
+			fatalf("%v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("%v", err)
+		}
+		sum := tr.Summarize()
+		fmt.Printf("trace: %d events -> %s (mean barrier %.0f, mean token %.0f, mean A-lead %.0f cycles)\n",
+			tr.Len(), *traceOut, sum.MeanBarrier, sum.MeanToken, sum.MeanLead)
+	}
+	if chrome != nil {
+		if err := writeFile(*chromeOut, chrome.WriteJSON); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("timeline: %d trace events -> %s (open in Perfetto / chrome://tracing)\n",
+			chrome.Len(), *chromeOut)
+	}
+	if metrics != nil {
+		write := metrics.WriteText
+		if strings.HasSuffix(*metricOut, ".csv") {
+			write = metrics.WriteCSV
+		}
+		if err := writeFile(*metricOut, write); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("metrics: -> %s\n", *metricOut)
+	}
+}
+
+// printReport renders the standard run report. It depends only on the
+// Result and the requested options, so local and daemon-served runs print
+// byte-identical reports. Exits non-zero on a verification failure.
+func printReport(res *slipstream.Result, opts slipstream.Options, ksize slipstream.KernelSize, verbose bool) {
 	fmt.Printf("%s  mode=%v", res.Kernel, res.Mode)
 	if res.Mode == slipstream.Slipstream {
 		fmt.Printf("/%v tl=%v si=%v", res.ARSync, opts.TransparentLoads, opts.SelfInvalidate)
@@ -120,39 +199,7 @@ func main() {
 				res.SI.HintsSent, res.SI.WrittenBack, res.SI.Invalidated)
 		}
 	}
-	if tr != nil {
-		f, err := os.Create(*traceOut)
-		if err != nil {
-			fatalf("%v", err)
-		}
-		if err := tr.WriteTSV(f); err != nil {
-			fatalf("%v", err)
-		}
-		if err := f.Close(); err != nil {
-			fatalf("%v", err)
-		}
-		sum := tr.Summarize()
-		fmt.Printf("trace: %d events -> %s (mean barrier %.0f, mean token %.0f, mean A-lead %.0f cycles)\n",
-			tr.Len(), *traceOut, sum.MeanBarrier, sum.MeanToken, sum.MeanLead)
-	}
-	if chrome != nil {
-		if err := writeFile(*chromeOut, chrome.WriteJSON); err != nil {
-			fatalf("%v", err)
-		}
-		fmt.Printf("timeline: %d trace events -> %s (open in Perfetto / chrome://tracing)\n",
-			chrome.Len(), *chromeOut)
-	}
-	if metrics != nil {
-		write := metrics.WriteText
-		if strings.HasSuffix(*metricOut, ".csv") {
-			write = metrics.WriteCSV
-		}
-		if err := writeFile(*metricOut, write); err != nil {
-			fatalf("%v", err)
-		}
-		fmt.Printf("metrics: -> %s\n", *metricOut)
-	}
-	if *verbose {
+	if verbose {
 		for i, bd := range res.Tasks {
 			fmt.Printf("  task %2d: %v\n", i, bd)
 		}

@@ -1,0 +1,120 @@
+// Command slipsimd serves simulations over HTTP: it accepts RunSpec
+// batches, admits them into a bounded job queue with backpressure,
+// coalesces identical in-flight requests into one simulation, answers
+// repeats from an in-memory memo and the shared persistent run cache, and
+// drains gracefully on SIGTERM — finishing accepted jobs while rejecting
+// new ones.
+//
+// Usage:
+//
+//	slipsimd -addr 127.0.0.1:8056 -j 8 -queue 64
+//
+// Endpoints:
+//
+//	POST /v1/run   {"specs":[{"kernel":"SOR","size":"tiny","mode":"slipstream","arsync":"L1","cmps":2}]}
+//	GET  /healthz  liveness, drain state, job counts
+//	GET  /metrics  deterministic text metrics
+//	GET  /runs     job table as NDJSON (?watch=1 streams changes)
+//
+// Results are bit-identical to local `slipsim` runs of the same spec: the
+// daemon multiplexes clients over the same deterministic core. Submit from
+// the CLI with `slipsim -server http://host:port`.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"slipstream/internal/buildinfo"
+	"slipstream/internal/core"
+	"slipstream/internal/runcache"
+	"slipstream/internal/service"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8056", "listen address")
+		workers    = flag.Int("j", 0, "max concurrent simulations (0: NumCPU)")
+		queue      = flag.Int("queue", service.DefaultQueueDepth, "max queued (not yet running) jobs; beyond this, submissions get 429")
+		cacheAt    = flag.String("cache", runcache.DefaultDir(), "persistent run cache directory (shared with the CLIs)")
+		noCache    = flag.Bool("no-cache", false, "disable the persistent run cache (in-memory memo still applies)")
+		auditRuns  = flag.Bool("audit", false, "cross-check every simulation against conservation and coherence invariants")
+		timeout    = flag.Duration("timeout", 0, "default per-job deadline when a request names none (0: none)")
+		maxTimeout = flag.Duration("max-timeout", 0, "cap on request-supplied per-job deadlines (0: uncapped)")
+		version    = flag.Bool("version", false, "print version and exit")
+	)
+	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("slipsimd"))
+		return
+	}
+
+	cfg := service.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		Audit:          *auditRuns,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+	}
+	if !*noCache {
+		cache, err := runcache.Open(*cacheAt, core.SimVersion)
+		if err != nil {
+			// A broken cache directory degrades to fresh simulation, as in
+			// the experiments CLI.
+			fmt.Fprintf(os.Stderr, "slipsimd: run cache unavailable (%v); serving without it\n", err)
+		} else {
+			cfg.Cache = cache
+			fmt.Fprintf(os.Stderr, "slipsimd: run cache at %s\n", cache.Dir())
+		}
+	}
+
+	srv := service.New(cfg)
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	httpDone := make(chan error, 1)
+	go func() { httpDone <- hs.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "slipsimd: serving on http://%s (sim-semantics v%s)\n", ln.Addr(), core.SimVersion)
+
+	// First SIGTERM/SIGINT: drain — stop admitting, finish accepted jobs.
+	// Second: hard stop — cancel in-flight simulations (results are
+	// discarded, never cached) and exit.
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-httpDone:
+		fatalf("serve: %v", err)
+	case sig := <-sigs:
+		fmt.Fprintf(os.Stderr, "slipsimd: %v: draining (again to abort in-flight jobs)\n", sig)
+	}
+	srv.StartDrain()
+	drained := make(chan struct{})
+	go func() { srv.Wait(); close(drained) }()
+	select {
+	case <-drained:
+	case <-sigs:
+		fmt.Fprintln(os.Stderr, "slipsimd: hard stop, canceling in-flight jobs")
+		srv.Close()
+	}
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "slipsimd: http shutdown: %v\n", err)
+	}
+	fmt.Fprintln(os.Stderr, "slipsimd: drained, bye")
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "slipsimd: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,26 @@
+// Package buildinfo renders the one-line version banner shared by every
+// CLI's -version flag: the module version the binary was built from
+// (runtime/debug.ReadBuildInfo) plus the simulator semantics version that
+// governs run-cache compatibility.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime/debug"
+
+	"slipstream/internal/core"
+)
+
+// String returns the version banner for the named command, e.g.
+//
+//	slipsim (devel) go1.22 sim-semantics v2
+func String(cmd string) string {
+	mod, goVersion := "(devel)", ""
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Version != "" {
+			mod = bi.Main.Version
+		}
+		goVersion = " " + bi.GoVersion
+	}
+	return fmt.Sprintf("%s %s%s sim-semantics v%s", cmd, mod, goVersion, core.SimVersion)
+}

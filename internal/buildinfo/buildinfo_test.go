@@ -1,0 +1,21 @@
+package buildinfo
+
+import (
+	"strings"
+	"testing"
+
+	"slipstream/internal/core"
+)
+
+func TestStringNamesCommandAndSemantics(t *testing.T) {
+	got := String("slipsimd")
+	if !strings.HasPrefix(got, "slipsimd ") {
+		t.Errorf("String = %q, want prefix %q", got, "slipsimd ")
+	}
+	if !strings.HasSuffix(got, "sim-semantics v"+core.SimVersion) {
+		t.Errorf("String = %q, want sim-semantics v%s suffix", got, core.SimVersion)
+	}
+	if strings.Contains(got, "\n") {
+		t.Errorf("String = %q, want a single line", got)
+	}
+}

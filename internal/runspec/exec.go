@@ -53,7 +53,37 @@ const (
 	statePending = iota
 	stateDone
 	stateFailed
+	stateCanceled
 )
+
+// Status classifies the outcome of one spec after ExecuteStatus. It lets
+// callers that interrupt a batch (drain, deadline) tell completed work
+// apart from work that never started.
+type Status uint8
+
+const (
+	// StatusNotRun marks a spec that was never simulated: scheduling
+	// stopped (cancellation or an earlier spec's failure) before it
+	// started.
+	StatusNotRun Status = iota
+	// StatusDone marks a spec with a result, from a fresh simulation or a
+	// Lookup hit.
+	StatusDone
+	// StatusFailed marks a spec whose simulation or verification failed.
+	StatusFailed
+	// StatusCanceled marks a spec whose simulation was in flight when the
+	// context was canceled; its result was discarded (never Stored).
+	StatusCanceled
+)
+
+var statusNames = [...]string{"not-run", "done", "failed", "canceled"}
+
+func (s Status) String() string {
+	if int(s) < len(statusNames) {
+		return statusNames[s]
+	}
+	return "?"
+}
 
 // Execute runs every spec and returns results in input order (duplicates
 // share one result). A simulation error or numeric verification failure
@@ -66,6 +96,22 @@ const (
 // Execute returns ctx.Err() after the workers drain. A nil ctx behaves
 // like context.Background().
 func (e *Executor) Execute(ctx context.Context, specs []RunSpec) ([]*core.Result, error) {
+	results, _, err := e.ExecuteStatus(ctx, specs)
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// ExecuteStatus is Execute, but on failure or cancellation it additionally
+// reports what happened to each spec instead of discarding everything: the
+// returned statuses align with specs (duplicates share a status), and the
+// result slice carries the per-spec results that did complete — non-nil
+// exactly where the status is StatusDone — so an interrupted caller (a
+// draining daemon, a deadline) can tell finished work from skipped work.
+// The error is as for Execute: ctx.Err() when canceled, else the earliest
+// failing spec's error in plan order, else nil.
+func (e *Executor) ExecuteStatus(ctx context.Context, specs []RunSpec) ([]*core.Result, []Status, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -149,7 +195,7 @@ func (e *Executor) Execute(ctx context.Context, specs []RunSpec) ([]*core.Result
 						// partially drained batch, so it must never be Stored
 						// or reported.
 						errs[i] = ctx.Err()
-						state[i] = stateFailed
+						state[i] = stateCanceled
 						aborted.Store(true)
 					case err != nil:
 						errs[i] = err
@@ -179,19 +225,34 @@ func (e *Executor) Execute(ctx context.Context, specs []RunSpec) ([]*core.Result
 		wg.Wait()
 	}
 
+	statuses := make([]Status, len(specs))
+	out := make([]*core.Result, len(specs))
+	for i, sp := range norm {
+		u := index[sp]
+		switch state[u] {
+		case stateDone:
+			statuses[i] = StatusDone
+			out[i] = results[u]
+		case stateFailed:
+			statuses[i] = StatusFailed
+		case stateCanceled:
+			statuses[i] = StatusCanceled
+		default:
+			statuses[i] = StatusNotRun
+		}
+	}
+
 	// Cancellation takes precedence over per-spec errors: the batch was
 	// interrupted, not broken.
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return out, statuses, err
 	}
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			// The earliest failure in plan order, as for Execute; later
+			// specs may still have completed and are reported as such.
+			return out, statuses, err
 		}
 	}
-	out := make([]*core.Result, len(specs))
-	for i, sp := range norm {
-		out[i] = results[index[sp]]
-	}
-	return out, nil
+	return out, statuses, nil
 }

@@ -1,0 +1,121 @@
+package runspec
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"slipstream/internal/core"
+	"slipstream/internal/obs"
+)
+
+// tinySpec returns a distinct tiny slipstream spec per seed so tests can
+// build batches of unique configurations cheaply.
+func tinySpec(cmps int) RunSpec {
+	return RunSpec{Kernel: "SOR", Size: 0 /* tiny */, Mode: core.ModeSlipstream, CMPs: cmps}
+}
+
+// TestExecuteStatusCancelAfterFirst pins the drain contract the daemon
+// depends on: cancelling after the first spec completes reports that spec
+// StatusDone with its result retained, and the never-started rest as
+// StatusNotRun.
+func TestExecuteStatusCancelAfterFirst(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	stored := 0
+	ex := &Executor{
+		Workers: 1,
+		// OnDone fires on the worker goroutine under the executor's lock as
+		// soon as the first spec completes, so the cancellation
+		// happens-before any later spec is picked up.
+		OnDone: func(RunSpec, *core.Result, bool) { cancel() },
+		Store:  func(RunSpec, *core.Result) { stored++ },
+	}
+	specs := []RunSpec{tinySpec(1), tinySpec(2), tinySpec(4)}
+	results, statuses, err := ex.ExecuteStatus(ctx, specs)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	want := []Status{StatusDone, StatusNotRun, StatusNotRun}
+	for i, st := range statuses {
+		if st != want[i] {
+			t.Errorf("statuses[%d] = %v, want %v", i, st, want[i])
+		}
+	}
+	if results[0] == nil {
+		t.Errorf("results[0] = nil, want the completed result")
+	}
+	if results[1] != nil || results[2] != nil {
+		t.Errorf("results for not-run specs = %v, %v, want nil", results[1], results[2])
+	}
+	// The completed spec was stored before the cancel; nothing after it.
+	if stored != 1 {
+		t.Errorf("Store called %d times, want 1", stored)
+	}
+}
+
+// TestExecuteStatusCancelMidRun cancels from the Observe hook, which the
+// executor invokes on the worker goroutine just before simulating, so the
+// first spec is deterministically in flight when the context dies: it must
+// be StatusCanceled, its result discarded and never Stored.
+func TestExecuteStatusCancelMidRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ex := &Executor{Workers: 1}
+	ex.Observe = func(RunSpec) []obs.Observer {
+		cancel()
+		return nil
+	}
+	ex.Store = func(sp RunSpec, _ *core.Result) {
+		t.Errorf("Store(%v) called for a canceled batch", sp)
+	}
+	specs := []RunSpec{tinySpec(1), tinySpec(2)}
+	results, statuses, err := ex.ExecuteStatus(ctx, specs)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if statuses[0] != StatusCanceled {
+		t.Errorf("statuses[0] = %v, want %v", statuses[0], StatusCanceled)
+	}
+	if statuses[1] != StatusNotRun {
+		t.Errorf("statuses[1] = %v, want %v", statuses[1], StatusNotRun)
+	}
+	if results[0] != nil || results[1] != nil {
+		t.Errorf("results = %v, want all nil after mid-run cancel", results)
+	}
+}
+
+// TestExecuteStatusDuplicatesShare verifies duplicate specs map to one
+// shared status and result.
+func TestExecuteStatusDuplicatesShare(t *testing.T) {
+	ex := &Executor{Workers: 2}
+	a, b := tinySpec(1), tinySpec(2)
+	results, statuses, err := ex.ExecuteStatus(context.Background(), []RunSpec{a, b, a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, st := range statuses {
+		if st != StatusDone {
+			t.Errorf("statuses[%d] = %v, want %v", i, st, StatusDone)
+		}
+	}
+	if results[0] != results[2] {
+		t.Errorf("duplicate specs returned distinct results")
+	}
+	if results[0] == results[1] {
+		t.Errorf("distinct specs shared one result")
+	}
+}
+
+// TestStatusString covers the status labels used in daemon job reports.
+func TestStatusString(t *testing.T) {
+	for st, want := range map[Status]string{
+		StatusNotRun: "not-run", StatusDone: "done",
+		StatusFailed: "failed", StatusCanceled: "canceled",
+		Status(99): "?",
+	} {
+		if got := st.String(); got != want {
+			t.Errorf("Status(%d).String() = %q, want %q", st, got, want)
+		}
+	}
+}

@@ -1,0 +1,285 @@
+package service_test
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"slipstream/internal/core"
+	"slipstream/internal/kernels"
+	"slipstream/internal/runcache"
+	"slipstream/internal/runspec"
+	"slipstream/internal/service"
+	"slipstream/internal/service/client"
+)
+
+func newServed(t *testing.T, cfg service.Config) (*service.Server, *client.Client) {
+	t.Helper()
+	s := service.New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.StartDrain()
+		s.Wait()
+	})
+	return s, client.New(ts.URL)
+}
+
+func specTL(cmps int) runspec.RunSpec {
+	return runspec.RunSpec{Kernel: "SOR", Size: kernels.Tiny, Mode: core.ModeSlipstream,
+		CMPs: cmps, TransparentLoads: true}
+}
+
+// TestCoalescingManyIdentical is the satellite coverage for in-flight
+// request coalescing: 32 goroutines submit the same spec and exactly one
+// simulation executes — pinned by the observation-bus run counter the
+// daemon merges into /metrics — while every caller receives a deep-equal
+// Result.
+func TestCoalescingManyIdentical(t *testing.T) {
+	s, c := newServed(t, service.Config{Workers: 2})
+	spec := specTL(2)
+
+	const callers = 32
+	results := make([]*core.Result, callers)
+	errs := make([]error, callers)
+	var wg sync.WaitGroup
+	wg.Add(callers)
+	for i := 0; i < callers; i++ {
+		go func(i int) {
+			defer wg.Done()
+			results[i], _, errs[i] = c.Run(context.Background(), spec)
+		}(i)
+	}
+	wg.Wait()
+
+	want, err := json.Marshal(results[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		got, err := json.Marshal(results[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("caller %d received a different result:\n%s\nvs\n%s", i, got, want)
+		}
+	}
+
+	// Exactly one core.Run executed: the per-run observation metrics merge
+	// into the service registry, so run.count counts simulations.
+	if got := s.CounterValue("run.count"); got != 1 {
+		t.Errorf("obs run.count = %d after %d identical submissions, want 1", got, callers)
+	}
+	if got := s.CounterValue("service.sim.count"); got != 1 {
+		t.Errorf("service.sim.count = %d, want 1", got)
+	}
+	metrics, err := c.Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(metrics, "counter run.count 1\n") {
+		t.Errorf("/metrics missing 'counter run.count 1':\n%s", metrics)
+	}
+}
+
+// TestServerMatchesLocal pins the end-to-end determinism guarantee the
+// serving layer advertises: a spec executed through the daemon returns a
+// Result byte-identical (JSON) to the same spec simulated locally, and a
+// repeat submission is answered from cache with the hit header.
+func TestServerMatchesLocal(t *testing.T) {
+	cache, err := runcache.Open(t.TempDir(), core.SimVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, c := newServed(t, service.Config{Workers: 2, Cache: cache})
+	spec := runspec.RunSpec{Kernel: "WATER-SP", Size: kernels.Tiny, Mode: core.ModeSlipstream,
+		CMPs: 2, TransparentLoads: true, SelfInvalidate: true}
+
+	local, err := spec.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, cached, err := c.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Errorf("first submission reported cached")
+	}
+	localJSON, err := json.Marshal(local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remoteJSON, err := json.Marshal(remote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(localJSON, remoteJSON) {
+		t.Fatalf("served result differs from local run:\nlocal:  %s\nserved: %s", localJSON, remoteJSON)
+	}
+
+	// The repeat is a cache hit end to end, and still byte-identical.
+	resp, disposition, err := c.RunBatch(context.Background(), []runspec.RunSpec{spec}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if disposition != service.CacheHit {
+		t.Errorf("second submission %s = %q, want %q", service.CacheHeader, disposition, service.CacheHit)
+	}
+	if !resp.Cached[0] {
+		t.Errorf("second submission Cached[0] = false, want true")
+	}
+	repeatJSON, err := json.Marshal(resp.Results[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(localJSON, repeatJSON) {
+		t.Fatalf("cached result differs from local run")
+	}
+}
+
+// TestBatchDispositions pins the cache header across hit/miss mixes and
+// job-id sharing for duplicate specs in one batch.
+func TestBatchDispositions(t *testing.T) {
+	_, c := newServed(t, service.Config{Workers: 2})
+	a, b := specTL(1), specTL(2)
+	ctx := context.Background()
+
+	resp, disp, err := c.RunBatch(ctx, []runspec.RunSpec{a, a}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if disp != service.CacheMiss {
+		t.Errorf("fresh duplicate batch disposition = %q, want %q", disp, service.CacheMiss)
+	}
+	if resp.Jobs[0] != resp.Jobs[1] {
+		t.Errorf("duplicate specs got distinct jobs %v", resp.Jobs)
+	}
+
+	if _, disp, err = c.RunBatch(ctx, []runspec.RunSpec{a, b}, 0); err != nil {
+		t.Fatal(err)
+	} else if disp != service.CachePartial {
+		t.Errorf("memoized+fresh batch disposition = %q, want %q", disp, service.CachePartial)
+	}
+
+	if _, disp, err = c.RunBatch(ctx, []runspec.RunSpec{a, b}, 0); err != nil {
+		t.Fatal(err)
+	} else if disp != service.CacheHit {
+		t.Errorf("fully memoized batch disposition = %q, want %q", disp, service.CacheHit)
+	}
+}
+
+// TestRunsAndHealth covers the status surfaces: /runs lists jobs in id
+// order with terminal states, /healthz reports counts and the semantics
+// version.
+func TestRunsAndHealth(t *testing.T) {
+	_, c := newServed(t, service.Config{Workers: 2})
+	ctx := context.Background()
+	if _, _, err := c.RunBatch(ctx, []runspec.RunSpec{specTL(1), specTL(2)}, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	jobs, err := c.Runs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 2 {
+		t.Fatalf("len(jobs) = %d, want 2", len(jobs))
+	}
+	for i, js := range jobs {
+		if js.ID != int64(i+1) {
+			t.Errorf("jobs[%d].ID = %d, want %d (id order)", i, js.ID, i+1)
+		}
+		if js.State != "done" {
+			t.Errorf("jobs[%d].State = %q, want done", i, js.State)
+		}
+		if js.Spec.Kernel != "SOR" {
+			t.Errorf("jobs[%d].Spec.Kernel = %q, want SOR", i, js.Spec.Kernel)
+		}
+	}
+
+	h, err := c.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" {
+		t.Errorf("health.Status = %q, want ok", h.Status)
+	}
+	if h.Version != core.SimVersion {
+		t.Errorf("health.Version = %q, want %q", h.Version, core.SimVersion)
+	}
+	if h.Counts.Done != 2 {
+		t.Errorf("health.Counts.Done = %d, want 2", h.Counts.Done)
+	}
+}
+
+// TestRunsWatchStreams exercises the streaming mode of /runs: a watcher
+// sees the job reach a terminal state and the stream ends when the server
+// drains.
+func TestRunsWatchStreams(t *testing.T) {
+	s := service.New(service.Config{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := client.New(ts.URL)
+
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/runs?watch=1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	if _, _, err := c.RunBatch(context.Background(), []runspec.RunSpec{specTL(1)}, 0); err != nil {
+		t.Fatal(err)
+	}
+	s.StartDrain()
+	s.Wait()
+
+	// The watch stream ends at drain; its lines must include the job's
+	// terminal state.
+	sawDone := false
+	scan := bufio.NewScanner(resp.Body)
+	deadline := time.After(10 * time.Second)
+	lines := make(chan string)
+	go func() {
+		defer close(lines)
+		for scan.Scan() {
+			lines <- scan.Text()
+		}
+	}()
+scan:
+	for {
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				break scan
+			}
+			var js service.JobStatus
+			if err := json.Unmarshal([]byte(line), &js); err != nil {
+				t.Fatalf("bad watch line %q: %v", line, err)
+			}
+			if js.State == "done" {
+				sawDone = true
+			}
+		case <-deadline:
+			t.Fatal("watch stream did not end after drain")
+		}
+	}
+	if !sawDone {
+		t.Errorf("watch stream never reported the job done")
+	}
+}

@@ -1,0 +1,190 @@
+// Package client is the typed Go client of the slipsimd HTTP API
+// (internal/service). It is used by the service tests, the CI smoke job,
+// and `slipsim -server`, which round-trips a CLI run through a daemon and
+// prints the byte-identical result.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"slipstream/internal/core"
+	"slipstream/internal/runspec"
+	"slipstream/internal/service"
+)
+
+// Client talks to one slipsimd daemon.
+type Client struct {
+	// Base is the daemon's base URL, e.g. "http://127.0.0.1:8056".
+	Base string
+	// HTTPClient overrides the transport; nil selects http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+// New returns a client for the daemon at base (trailing slash optional).
+func New(base string) *Client {
+	return &Client{Base: strings.TrimRight(base, "/")}
+}
+
+// APIError is a non-2xx daemon response: the status code, the server's
+// error message, and the Retry-After hint (seconds) when the server sent
+// one (backpressure rejections do).
+type APIError struct {
+	StatusCode int
+	Message    string
+	RetryAfter int
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("slipsimd: %s (HTTP %d)", e.Message, e.StatusCode)
+}
+
+// Temporary reports whether retrying later may succeed: queue-full
+// backpressure and gateway timeouts are temporary; validation and
+// simulation failures (and drain) are not.
+func (e *APIError) Temporary() bool {
+	return e.StatusCode == http.StatusTooManyRequests ||
+		e.StatusCode == http.StatusGatewayTimeout
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// RunBatch submits a spec batch and waits for every result. The returned
+// response aligns with specs; cache is the response's X-Slipsim-Cache
+// disposition ("hit", "miss", or "partial").
+func (c *Client) RunBatch(ctx context.Context, specs []runspec.RunSpec, timeout time.Duration) (*service.RunResponse, string, error) {
+	body, err := json.Marshal(service.RunRequest{Specs: specs, TimeoutMS: timeout.Milliseconds()})
+	if err != nil {
+		return nil, "", fmt.Errorf("client: encoding request: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/v1/run", bytes.NewReader(body))
+	if err != nil {
+		return nil, "", err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	httpResp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, "", err
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		return nil, "", decodeAPIError(httpResp)
+	}
+	var resp service.RunResponse
+	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+		return nil, "", fmt.Errorf("client: decoding response: %w", err)
+	}
+	if len(resp.Results) != len(specs) {
+		return nil, "", fmt.Errorf("client: %d results for %d specs", len(resp.Results), len(specs))
+	}
+	return &resp, httpResp.Header.Get(service.CacheHeader), nil
+}
+
+// Run submits one spec and returns its result, plus whether the daemon
+// served it from cache (memo or persistent) rather than a fresh or
+// coalesced simulation.
+func (c *Client) Run(ctx context.Context, spec runspec.RunSpec) (*core.Result, bool, error) {
+	resp, _, err := c.RunBatch(ctx, []runspec.RunSpec{spec}, 0)
+	if err != nil {
+		return nil, false, err
+	}
+	return resp.Results[0], resp.Cached[0], nil
+}
+
+// Health fetches the daemon's liveness and job counts.
+func (c *Client) Health(ctx context.Context) (*service.Health, error) {
+	var h service.Health
+	if err := c.getJSON(ctx, "/healthz", &h); err != nil {
+		return nil, err
+	}
+	return &h, nil
+}
+
+// Metrics fetches the daemon's deterministic text metrics.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", decodeAPIError(resp)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// Runs fetches the daemon's job table, in job-id order.
+func (c *Client) Runs(ctx context.Context) ([]service.JobStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/runs", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeAPIError(resp)
+	}
+	var jobs []service.JobStatus
+	dec := json.NewDecoder(resp.Body)
+	for dec.More() {
+		var js service.JobStatus
+		if err := dec.Decode(&js); err != nil {
+			return nil, fmt.Errorf("client: decoding job status: %w", err)
+		}
+		jobs = append(jobs, js)
+	}
+	return jobs, nil
+}
+
+func (c *Client) getJSON(ctx context.Context, path string, v any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeAPIError(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+func decodeAPIError(resp *http.Response) error {
+	apiErr := &APIError{StatusCode: resp.StatusCode}
+	if n, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
+		apiErr.RetryAfter = n
+	}
+	var body service.ErrorResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&body); err == nil && body.Error != "" {
+		apiErr.Message = body.Error
+	} else {
+		apiErr.Message = http.StatusText(resp.StatusCode)
+	}
+	return apiErr
+}

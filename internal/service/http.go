@@ -1,0 +1,305 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"slipstream/internal/core"
+	"slipstream/internal/runspec"
+)
+
+// Wire types of the slipsimd HTTP JSON API. RunSpec and Result keep their
+// symbolic JSON encodings (mode, policy, and size names), so requests are
+// hand-writable and responses byte-identical to local `slipsim` output.
+
+// RunRequest is the body of POST /v1/run: a batch of specs, optionally
+// with a per-job deadline. Specs equal after normalization share one job.
+type RunRequest struct {
+	Specs []runspec.RunSpec `json:"specs"`
+	// TimeoutMS bounds each fresh simulation this batch enqueues; zero
+	// selects the server default. Coalesced joins inherit the deadline of
+	// the flight they join.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// RunResponse is the success body of POST /v1/run. Results align with the
+// request's specs, as do Cached (served without simulating: memo or
+// persistent cache) and Jobs (the job id serving each spec; duplicates and
+// coalesced submissions share ids).
+type RunResponse struct {
+	Results []*core.Result `json:"results"`
+	Cached  []bool         `json:"cached"`
+	Jobs    []int64        `json:"jobs"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// JobStatus is one line of GET /runs: a job's spec and lifecycle state.
+type JobStatus struct {
+	ID      int64           `json:"id"`
+	Spec    runspec.RunSpec `json:"spec"`
+	State   string          `json:"state"`
+	Cached  bool            `json:"cached,omitempty"`
+	Waiters int64           `json:"waiters,omitempty"`
+	Error   string          `json:"error,omitempty"`
+}
+
+// Health is the body of GET /healthz.
+type Health struct {
+	Status     string `json:"status"` // "ok" or "draining"
+	Version    string `json:"version"`
+	Workers    int    `json:"workers"`
+	QueueDepth int    `json:"queue_depth"`
+	Counts     Counts `json:"counts"`
+}
+
+// Counts breaks the job table down by state.
+type Counts struct {
+	Queued   int64 `json:"queued"`
+	Running  int64 `json:"running"`
+	Done     int64 `json:"done"`
+	Failed   int64 `json:"failed"`
+	Canceled int64 `json:"canceled"`
+}
+
+// Cache-status header values (X-Slipsim-Cache) of POST /v1/run responses.
+const (
+	// CacheHeader names the response header carrying the batch's cache
+	// disposition.
+	CacheHeader = "X-Slipsim-Cache"
+	// CacheHit: every spec was served from memo or persistent cache.
+	CacheHit = "hit"
+	// CacheMiss: no spec was served from cache.
+	CacheMiss = "miss"
+	// CachePartial: a mix of hits and misses.
+	CachePartial = "partial"
+)
+
+// VersionHeader carries the simulator semantics version on every response.
+const VersionHeader = "X-Slipsim-Version"
+
+// maxRequestBytes bounds request bodies; a full batch of specs is a few
+// hundred bytes each.
+const maxRequestBytes = 1 << 20
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST /v1/run   submit a RunSpec batch, wait for results
+//	GET  /healthz  liveness, drain state, job counts
+//	GET  /metrics  deterministic text metrics (obs registry)
+//	GET  /runs     job table as NDJSON; ?watch=1 streams state changes
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/run", s.handleRun)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /runs", s.handleRuns)
+	return mux
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	attaches, err := s.submit(req.Specs, time.Duration(req.TimeoutMS)*time.Millisecond)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			w.Header().Set("Retry-After", "1")
+			s.httpError(w, http.StatusTooManyRequests, err)
+		case errors.Is(err, ErrDraining):
+			s.httpError(w, http.StatusServiceUnavailable, err)
+		default:
+			s.httpError(w, http.StatusBadRequest, err)
+		}
+		return
+	}
+
+	resp := RunResponse{
+		Results: make([]*core.Result, len(attaches)),
+		Cached:  make([]bool, len(attaches)),
+		Jobs:    make([]int64, len(attaches)),
+	}
+	hits := 0
+	for i, a := range attaches {
+		select {
+		case <-a.f.done:
+		case <-r.Context().Done():
+			// The client went away; accepted flights keep running for any
+			// other waiters and for the memo.
+			return
+		}
+		if a.f.err != nil {
+			s.httpError(w, flightErrStatus(a.f.err), fmt.Errorf("job %d (%v): %w", a.f.id, a.f.spec, a.f.err))
+			return
+		}
+		resp.Results[i] = a.f.res
+		resp.Cached[i] = a.hit
+		resp.Jobs[i] = a.f.id
+		if a.hit {
+			hits++
+		}
+	}
+	disposition := CachePartial
+	switch hits {
+	case len(attaches):
+		disposition = CacheHit
+	case 0:
+		disposition = CacheMiss
+	}
+	w.Header().Set(CacheHeader, disposition)
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// flightErrStatus maps a failed flight's error to a response code:
+// deadline 504, canceled (drain hard stop) 503, anything else — a
+// deterministic simulation or verification failure — 500.
+func flightErrStatus(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	h := Health{
+		Status:     "ok",
+		Version:    core.SimVersion,
+		Workers:    s.cfg.Workers,
+		QueueDepth: s.cfg.QueueDepth,
+		Counts: Counts{
+			Queued:   s.counts[jobQueued],
+			Running:  s.counts[jobRunning],
+			Done:     s.counts[jobDone],
+			Failed:   s.counts[jobFailed],
+			Canceled: s.counts[jobCanceled],
+		},
+	}
+	if s.draining {
+		h.Status = "draining"
+	}
+	s.mu.Unlock()
+	s.writeJSON(w, http.StatusOK, h)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var buf bytes.Buffer
+	if err := s.WriteMetrics(&buf); err != nil {
+		s.httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Header().Set(VersionHeader, core.SimVersion)
+	w.Write(buf.Bytes())
+}
+
+// status materializes a flight's JobStatus. Callers hold mu.
+func statusLocked(f *flight) JobStatus {
+	js := JobStatus{
+		ID:      f.id,
+		Spec:    f.spec,
+		State:   f.state.String(),
+		Cached:  f.cached,
+		Waiters: f.waiters,
+	}
+	if f.err != nil {
+		js.Error = f.err.Error()
+	}
+	return js
+}
+
+func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set(VersionHeader, core.SimVersion)
+	enc := json.NewEncoder(w)
+	watch := r.URL.Query().Get("watch") != ""
+
+	// Wake the cond loop when the client disconnects so a watch never
+	// outlives its request.
+	stop := context.AfterFunc(r.Context(), func() {
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	})
+	defer stop()
+
+	flusher, _ := w.(http.Flusher)
+	if watch {
+		// Commit the response immediately: a watcher on an idle server
+		// would otherwise see no headers until the first state change.
+		w.WriteHeader(http.StatusOK)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	var last int64
+	for {
+		s.mu.Lock()
+		if watch {
+			for s.seq <= last && r.Context().Err() == nil &&
+				!(s.draining && s.counts[jobQueued] == 0 && s.counts[jobRunning] == 0) {
+				s.cond.Wait()
+			}
+		}
+		var batch []JobStatus
+		for _, f := range s.jobs { // id order: deterministic snapshot
+			if f.upd > last {
+				batch = append(batch, statusLocked(f))
+			}
+		}
+		last = s.seq
+		drained := s.draining && s.counts[jobQueued] == 0 && s.counts[jobRunning] == 0
+		s.mu.Unlock()
+
+		if r.Context().Err() != nil {
+			return
+		}
+		for _, js := range batch {
+			if err := enc.Encode(js); err != nil {
+				return
+			}
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if !watch || drained {
+			return
+		}
+	}
+}
+
+func (s *Server) httpError(w http.ResponseWriter, code int, err error) {
+	s.writeJSON(w, code, ErrorResponse{Error: err.Error()})
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(VersionHeader, core.SimVersion)
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, strings.ReplaceAll(err.Error(), "\n", " "), http.StatusInternalServerError)
+		return
+	}
+	w.WriteHeader(code)
+	w.Write(buf.Bytes())
+}

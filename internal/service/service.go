@@ -1,0 +1,450 @@
+// Package service is the serving core of slipsimd: a long-lived server
+// that accepts RunSpec batches, admits them into a bounded job queue, and
+// executes them on a fixed worker pool through the runspec.Executor —
+// turning the deterministic one-shot simulator into an always-on service
+// with queueing, caching, backpressure, and graceful drain.
+//
+// The design leans on one property of the compute core: a simulation is a
+// pure function of its normalized RunSpec. That purity makes three serving
+// optimizations sound without any invalidation logic:
+//
+//   - In-flight request coalescing: submissions of a spec equal to one
+//     already queued or running attach to that flight instead of enqueuing
+//     new work; when it finishes, every waiter receives the same *Result.
+//   - In-memory memoization: completed flights stay in the flight table
+//     for the daemon's lifetime, so a spec ever simulated (or ever failed —
+//     failures are deterministic too) is answered without re-running.
+//   - Read-through persistent caching: admission probes the shared
+//     runcache before queueing, and fresh results are stored back, so
+//     daemon restarts and CLI runs share one result store.
+//
+// Admission control is strict and cache-aware: cached and coalesced
+// submissions are always admitted (they consume no queue slot), while a
+// batch needing N fresh simulations is admitted only if all N fit in the
+// queue — otherwise the whole batch is rejected with ErrQueueFull so a
+// client never blocks half-admitted. A draining server rejects every new
+// submission with ErrDraining but finishes all accepted jobs.
+//
+// The server is not simulation code: it may use goroutines, channels, and
+// wall-clock deadlines freely (simlint's nondeterminism rules scope to the
+// simulation packages). Determinism re-enters at the edges: results are
+// bit-identical to local runs, and /metrics renders through the sorted,
+// byte-stable obs.Metrics text format.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"slipstream/internal/core"
+	"slipstream/internal/obs"
+	"slipstream/internal/runcache"
+	"slipstream/internal/runspec"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Workers bounds concurrent simulations. Zero or negative selects
+	// runtime.NumCPU().
+	Workers int
+
+	// QueueDepth bounds jobs accepted but not yet running. Zero or
+	// negative selects DefaultQueueDepth. Submissions needing more fresh
+	// simulations than the queue has free slots are rejected with
+	// ErrQueueFull.
+	QueueDepth int
+
+	// Cache, when set, is probed read-through at admission and receives
+	// every freshly simulated result, sharing the on-disk result store
+	// with the CLIs.
+	Cache *runcache.Cache
+
+	// Audit enables the runtime invariant auditor on every simulation.
+	Audit bool
+
+	// DefaultTimeout is the per-job deadline applied when a request names
+	// none; zero means no deadline.
+	DefaultTimeout time.Duration
+
+	// MaxTimeout caps request-supplied deadlines; zero means uncapped.
+	MaxTimeout time.Duration
+}
+
+// DefaultQueueDepth is the job-queue bound when Config.QueueDepth is unset.
+const DefaultQueueDepth = 64
+
+// Admission errors. The HTTP layer maps these to 429 and 503.
+var (
+	// ErrQueueFull reports that the job queue lacks room for every fresh
+	// simulation a submission needs.
+	ErrQueueFull = errors.New("service: job queue full")
+	// ErrDraining reports that the server has stopped admitting work.
+	ErrDraining = errors.New("service: draining, not admitting new jobs")
+)
+
+// jobState is a flight's lifecycle position.
+type jobState uint8
+
+const (
+	jobQueued jobState = iota
+	jobRunning
+	jobDone
+	jobFailed
+	jobCanceled
+	numJobStates
+)
+
+var jobStateNames = [numJobStates]string{"queued", "running", "done", "failed", "canceled"}
+
+func (s jobState) String() string { return jobStateNames[s] }
+
+// terminal reports whether a flight in this state will never change again.
+func (s jobState) terminal() bool { return s >= jobDone }
+
+// retryable reports whether a terminal flight may be superseded by a new
+// one for the same spec. Deterministic outcomes (done, failed) are
+// memoized forever; cancellations (drain, hard stop, deadline) are
+// environmental and must not poison the spec.
+func (s jobState) retryable() bool { return s == jobCanceled }
+
+// flight is one admitted unit of work: a unique normalized spec moving
+// through queued → running → {done, failed, canceled}. All submissions of
+// an equal spec share one flight.
+type flight struct {
+	id   int64
+	spec runspec.RunSpec
+	// ctx carries the per-job deadline, counted from admission (queue wait
+	// is part of the job's latency budget); cancel releases its timer.
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	// Guarded by Server.mu.
+	state   jobState
+	cached  bool  // satisfied without simulating (memo or cache hit)
+	waiters int64 // submissions that attached to this flight
+	upd     int64 // Server.seq value at the last state change
+	res     *core.Result
+	err     error
+
+	done chan struct{} // closed on reaching a terminal state
+}
+
+// attach is one submission's view of one spec: the flight serving it and
+// whether it was a cache/memo hit at attach time.
+type attach struct {
+	f   *flight
+	hit bool
+}
+
+// Server owns the queue, the worker pool, the flight table, and the
+// service metrics registry.
+type Server struct {
+	cfg      Config
+	baseCtx  context.Context
+	hardStop context.CancelFunc
+
+	mu       sync.Mutex
+	cond     *sync.Cond // broadcast on every flight state change
+	flights  map[runspec.RunSpec]*flight
+	jobs     []*flight // id order; retained for /runs history
+	queue    chan *flight
+	draining bool
+	seq      int64
+	nextID   int64
+	counts   [numJobStates]int64
+	metrics  obs.Metrics
+
+	wg sync.WaitGroup
+
+	// runStarted, when set by a test, is called on the worker goroutine
+	// after a flight turns running and before it simulates, so tests can
+	// hold a job deterministically in flight.
+	runStarted func(runspec.RunSpec)
+}
+
+// New starts a server: its workers are live and accepting until Drain or
+// Close.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.NumCPU()
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:      cfg,
+		baseCtx:  ctx,
+		hardStop: cancel,
+		flights:  make(map[runspec.RunSpec]*flight),
+		queue:    make(chan *flight, cfg.QueueDepth),
+		nextID:   1,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// submit validates and admits a batch. On success every spec has an
+// attach; the caller waits on each flight's done channel. Validation
+// errors are reported before any admission, so a bad batch never occupies
+// queue slots.
+func (s *Server) submit(specs []runspec.RunSpec, timeout time.Duration) ([]attach, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("service: empty batch")
+	}
+	for i, sp := range specs {
+		if err := sp.Validate(); err != nil {
+			return nil, fmt.Errorf("spec %d (%v): %w", i, sp, err)
+		}
+	}
+	if timeout <= 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	if s.cfg.MaxTimeout > 0 && timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		s.metrics.Count("service.rejected.drain", 1)
+		return nil, ErrDraining
+	}
+
+	// Plan the batch before touching the queue: every spec resolves to a
+	// memo hit, a coalesce join, a cache hit, or a fresh flight. Fresh
+	// flights are admitted all-or-nothing.
+	attaches := make([]attach, len(specs))
+	var fresh []*flight
+	newFlights := make(map[runspec.RunSpec]*flight)
+	for i, sp := range specs {
+		sp = sp.Normalize()
+		if f, ok := newFlights[sp]; ok { // duplicate within this batch
+			f.waiters++
+			attaches[i] = attach{f: f}
+			continue
+		}
+		if f, ok := s.flights[sp]; ok && !(f.state.terminal() && f.state.retryable()) {
+			f.waiters++
+			hit := f.state.terminal()
+			if hit {
+				s.metrics.Count("service.memo.hit", 1)
+			} else {
+				s.metrics.Count("service.coalesced", 1)
+			}
+			attaches[i] = attach{f: f, hit: hit}
+			continue
+		}
+		f := &flight{id: s.nextID, spec: sp, waiters: 1, done: make(chan struct{})}
+		f.ctx, f.cancel = s.baseCtx, func() {}
+		if timeout > 0 {
+			f.ctx, f.cancel = context.WithTimeout(s.baseCtx, timeout)
+		}
+		s.nextID++
+		if s.cfg.Cache != nil {
+			if res, ok := s.cfg.Cache.Load(sp); ok {
+				s.metrics.Count("service.cache.hit", 1)
+				f.cancel() // no simulation: release the deadline timer
+				f.res = res
+				f.cached = true
+				s.registerLocked(f, jobDone)
+				close(f.done)
+				attaches[i] = attach{f: f, hit: true}
+				newFlights[sp] = f
+				continue
+			}
+		}
+		s.metrics.Count("service.cache.miss", 1)
+		fresh = append(fresh, f)
+		newFlights[sp] = f
+		attaches[i] = attach{f: f}
+	}
+
+	// Admission: the whole batch or none of it. len(queue) is stable here
+	// (only workers shrink it), so the non-blocking sends below cannot
+	// fail after this check passes.
+	if len(fresh) > cap(s.queue)-len(s.queue) {
+		s.metrics.Count("service.rejected.queue", 1)
+		for _, f := range fresh { // unadmitted: release deadline timers
+			f.cancel()
+		}
+		return nil, ErrQueueFull
+	}
+	for _, f := range fresh {
+		s.registerLocked(f, jobQueued)
+		s.queue <- f
+	}
+	s.metrics.Count("service.submissions", 1)
+	s.metrics.Count("service.specs", int64(len(specs)))
+	return attaches, nil
+}
+
+// registerLocked adds a flight to the table and history in state st.
+// Callers hold mu.
+func (s *Server) registerLocked(f *flight, st jobState) {
+	s.flights[f.spec] = f
+	s.jobs = append(s.jobs, f)
+	f.state = st
+	s.counts[st]++
+	s.seq++
+	f.upd = s.seq
+	s.cond.Broadcast()
+}
+
+// setState transitions a flight, maintaining counts and waking watchers.
+func (s *Server) setState(f *flight, st jobState) {
+	s.mu.Lock()
+	s.counts[f.state]--
+	s.counts[st]++
+	f.state = st
+	s.seq++
+	f.upd = s.seq
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// worker drains the job queue until it is closed (drain) and empty.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for f := range s.queue {
+		s.runFlight(f)
+	}
+}
+
+// runFlight executes one flight through the runspec Executor, honoring its
+// deadline, and publishes the terminal state.
+func (s *Server) runFlight(f *flight) {
+	s.setState(f, jobRunning)
+	if s.runStarted != nil {
+		s.runStarted(f.spec)
+	}
+	defer f.cancel()
+
+	// One executor invocation per flight: Lookup re-probes the shared
+	// cache (another process may have produced the result since
+	// admission), Store persists fresh verified results, and the per-run
+	// metrics registry merges into the service registry on completion.
+	m := &obs.Metrics{}
+	cached := false
+	ex := runspec.Executor{
+		Workers: 1,
+		Audit:   s.cfg.Audit,
+		Observe: func(runspec.RunSpec) []obs.Observer { return []obs.Observer{m} },
+		OnDone:  func(_ runspec.RunSpec, _ *core.Result, c bool) { cached = c },
+	}
+	if s.cfg.Cache != nil {
+		ex.Lookup = s.cfg.Cache.Load
+		ex.Store = func(sp runspec.RunSpec, res *core.Result) {
+			if err := s.cfg.Cache.Store(sp, res); err != nil {
+				s.mu.Lock()
+				s.metrics.Count("service.cache.storeerr", 1)
+				s.mu.Unlock()
+			}
+		}
+	}
+	results, statuses, err := ex.ExecuteStatus(f.ctx, []runspec.RunSpec{f.spec})
+
+	// Publish the terminal state in one critical section: result fields,
+	// metrics, and the state transition become visible together, and the
+	// done channel closes after, so both waiters and status readers see a
+	// complete flight.
+	s.mu.Lock()
+	s.metrics.Merge(m)
+	st := jobDone
+	switch {
+	case err == nil && statuses[0] == runspec.StatusDone:
+		f.res = results[0]
+		f.cached = cached
+		if cached {
+			s.metrics.Count("service.cache.hit", 1)
+		} else {
+			s.metrics.Count("service.sim.count", 1)
+		}
+		s.metrics.Count("service.jobs.done", 1)
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// Drain hard-stop or per-job deadline: environmental, retryable.
+		st = jobCanceled
+		f.err = err
+		s.metrics.Count("service.jobs.canceled", 1)
+	default:
+		st = jobFailed
+		f.err = err
+		s.metrics.Count("service.jobs.failed", 1)
+	}
+	s.counts[f.state]--
+	s.counts[st]++
+	f.state = st
+	s.seq++
+	f.upd = s.seq
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	close(f.done)
+}
+
+// StartDrain stops admitting new submissions; accepted jobs (queued and
+// running) continue to completion. Safe to call more than once.
+func (s *Server) StartDrain() {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue) // workers exit once the accepted backlog drains
+		s.seq++
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+}
+
+// Wait blocks until every worker has exited. Meaningful after StartDrain
+// or Close; a serving (non-draining) server never releases Wait.
+func (s *Server) Wait() { s.wg.Wait() }
+
+// Close hard-stops the server: in-flight simulations are canceled (their
+// results discarded, never cached) and workers drain. It implies
+// StartDrain.
+func (s *Server) Close() {
+	s.hardStop()
+	s.StartDrain()
+	s.Wait()
+}
+
+// Draining reports whether the server has stopped admitting work.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Idle reports whether no accepted job is queued or running.
+func (s *Server) Idle() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counts[jobQueued] == 0 && s.counts[jobRunning] == 0
+}
+
+// WriteMetrics renders the service metrics registry — service counters
+// plus every simulated run's merged observation metrics — in the sorted,
+// byte-stable obs text format.
+func (s *Server) WriteMetrics(w io.Writer) error {
+	// WriteText only reads the registry; holding mu keeps it consistent
+	// while racing workers merge their per-run metrics.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.metrics.WriteText(w)
+}
+
+// CounterValue returns one service metrics counter (for tests and smoke
+// checks).
+func (s *Server) CounterValue(name string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.metrics.Counter(name)
+}

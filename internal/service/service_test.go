@@ -1,0 +1,261 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"slipstream/internal/core"
+	"slipstream/internal/kernels"
+	"slipstream/internal/runcache"
+	"slipstream/internal/runspec"
+)
+
+// tinySpec returns a distinct, fast slipstream spec per CMP count.
+func tinySpec(cmps int) runspec.RunSpec {
+	return runspec.RunSpec{Kernel: "SOR", Size: kernels.Tiny, Mode: core.ModeSlipstream, CMPs: cmps}
+}
+
+// gate installs a test hook that reports each flight the moment it turns
+// running and holds it there until release is closed.
+func gate(s *Server) (started chan runspec.RunSpec, release chan struct{}) {
+	started = make(chan runspec.RunSpec, 16)
+	release = make(chan struct{})
+	s.runStarted = func(sp runspec.RunSpec) {
+		started <- sp
+		<-release
+	}
+	return started, release
+}
+
+func postRun(t *testing.T, url string, req RunRequest) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestDrainFinishesAcceptedRejectsNew pins the graceful-drain contract:
+// a drain started mid-batch lets the running job and the queued job
+// complete, answers their waiters, rejects new submissions with 503, and
+// leaves only complete verified entries in the run cache.
+func TestDrainFinishesAcceptedRejectsNew(t *testing.T) {
+	cache, err := runcache.Open(t.TempDir(), core.SimVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{Workers: 1, QueueDepth: 4, Cache: cache})
+	started, release := gate(s)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	specA, specB := tinySpec(1), tinySpec(2)
+	batchDone := make(chan *http.Response, 1)
+	go func() {
+		batchDone <- postRun(t, ts.URL, RunRequest{Specs: []runspec.RunSpec{specA, specB}})
+	}()
+
+	<-started // specA running (gated), specB queued
+	s.StartDrain()
+
+	// New submissions are turned away while accepted work continues.
+	resp := postRun(t, ts.URL, RunRequest{Specs: []runspec.RunSpec{tinySpec(4)}})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submission during drain: HTTP %d, want %d", resp.StatusCode, http.StatusServiceUnavailable)
+	}
+	resp.Body.Close()
+
+	var health Health
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(hresp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if health.Status != "draining" {
+		t.Errorf("health.Status = %q during drain, want %q", health.Status, "draining")
+	}
+
+	close(release)
+	<-started // specB runs to completion too (accepted before the drain)
+
+	batchResp := <-batchDone
+	defer batchResp.Body.Close()
+	if batchResp.StatusCode != http.StatusOK {
+		t.Fatalf("accepted batch: HTTP %d, want 200", batchResp.StatusCode)
+	}
+	var rr RunResponse
+	if err := json.NewDecoder(batchResp.Body).Decode(&rr); err != nil {
+		t.Fatal(err)
+	}
+	if len(rr.Results) != 2 || rr.Results[0] == nil || rr.Results[1] == nil {
+		t.Fatalf("accepted batch results = %+v, want 2 complete results", rr.Results)
+	}
+
+	s.Wait() // workers exit once the accepted backlog drains
+
+	// The cache holds exactly the two completed runs — atomically written,
+	// loadable, no partial or temporary files.
+	if n := cache.Len(); n != 2 {
+		t.Errorf("cache.Len() = %d after drain, want 2", n)
+	}
+	for _, sp := range []runspec.RunSpec{specA, specB} {
+		if _, ok := cache.Load(sp); !ok {
+			t.Errorf("cache.Load(%v) missed; drained run was not persisted completely", sp)
+		}
+	}
+	if got := s.CounterValue("service.rejected.drain"); got != 1 {
+		t.Errorf("service.rejected.drain = %d, want 1", got)
+	}
+	if got := s.CounterValue("service.sim.count"); got != 2 {
+		t.Errorf("service.sim.count = %d, want 2", got)
+	}
+}
+
+// TestAdmissionBackpressure pins queue-aware admission: fresh work beyond
+// the queue bound is rejected whole-batch with 429 + Retry-After, while
+// coalescing joins are always admitted because they consume no slot.
+func TestAdmissionBackpressure(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 1})
+	started, release := gate(s)
+	defer func() {
+		close(release)
+		s.StartDrain()
+		s.Wait()
+	}()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	attA, err := s.submit([]runspec.RunSpec{tinySpec(1)}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started // A running; queue empty again
+
+	if _, err := s.submit([]runspec.RunSpec{tinySpec(2)}, 0); err != nil {
+		t.Fatalf("second submission should queue: %v", err)
+	}
+	// Queue full: a fresh spec is rejected...
+	if _, err := s.submit([]runspec.RunSpec{tinySpec(4)}, 0); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("third submission err = %v, want ErrQueueFull", err)
+	}
+	// ...and over HTTP that is 429 with a Retry-After hint.
+	resp := postRun(t, ts.URL, RunRequest{Specs: []runspec.RunSpec{tinySpec(8)}})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("HTTP status = %d, want %d", resp.StatusCode, http.StatusTooManyRequests)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Errorf("429 response missing Retry-After")
+	}
+	resp.Body.Close()
+
+	// A join of the running spec needs no queue slot and is admitted.
+	attJoin, err := s.submit([]runspec.RunSpec{tinySpec(1)}, 0)
+	if err != nil {
+		t.Fatalf("coalescing join rejected: %v", err)
+	}
+	if attJoin[0].f != attA[0].f {
+		t.Errorf("join created a new flight instead of attaching")
+	}
+	if got := s.CounterValue("service.coalesced"); got != 1 {
+		t.Errorf("service.coalesced = %d, want 1", got)
+	}
+	if got := s.CounterValue("service.rejected.queue"); got != 2 {
+		t.Errorf("service.rejected.queue = %d, want 2", got)
+	}
+}
+
+// TestValidationRejectsBeforeAdmission pins that a bad spec is refused
+// with the typed Options.Validate error text and occupies no queue slot.
+func TestValidationRejectsBeforeAdmission(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 1})
+	defer func() {
+		s.StartDrain()
+		s.Wait()
+	}()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	bad := runspec.RunSpec{Kernel: "SOR", Size: kernels.Tiny, Mode: core.ModeSlipstream, CMPs: 2,
+		SelfInvalidate: true} // self-invalidation requires transparent loads
+	resp := postRun(t, ts.URL, RunRequest{Specs: []runspec.RunSpec{tinySpec(1), bad}})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("HTTP status = %d, want 400", resp.StatusCode)
+	}
+	var er ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(er.Error, core.ErrSelfInvalidateNeedsTL.Error()) {
+		t.Errorf("error %q does not carry the typed validation error %q", er.Error, core.ErrSelfInvalidateNeedsTL)
+	}
+	if !strings.Contains(er.Error, "spec 1") {
+		t.Errorf("error %q does not name the offending spec index", er.Error)
+	}
+	// Nothing was admitted: the unknown-kernel variant also reports cleanly.
+	if got := s.CounterValue("service.submissions"); got != 0 {
+		t.Errorf("service.submissions = %d after rejected batch, want 0", got)
+	}
+}
+
+// TestPerJobDeadline pins that a job still gated past its deadline is
+// reported 504 gateway-timeout, stays retryable, and never reaches the
+// cache.
+func TestPerJobDeadline(t *testing.T) {
+	cache, err := runcache.Open(t.TempDir(), core.SimVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{Workers: 1, QueueDepth: 2, Cache: cache})
+	started := make(chan runspec.RunSpec, 4)
+	s.runStarted = func(sp runspec.RunSpec) {
+		started <- sp
+		time.Sleep(80 * time.Millisecond) // hold past the 10ms deadline
+	}
+	defer func() {
+		s.StartDrain()
+		s.Wait()
+	}()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp := postRun(t, ts.URL, RunRequest{Specs: []runspec.RunSpec{tinySpec(1)}, TimeoutMS: 10})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("HTTP status = %d, want %d", resp.StatusCode, http.StatusGatewayTimeout)
+	}
+	<-started
+	if n := cache.Len(); n != 0 {
+		t.Errorf("cache.Len() = %d after deadline abort, want 0", n)
+	}
+
+	// The canceled flight must not poison the spec: resubmitting without a
+	// deadline succeeds with a fresh job.
+	s.runStarted = nil
+	resp2 := postRun(t, ts.URL, RunRequest{Specs: []runspec.RunSpec{tinySpec(1)}})
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("resubmission after deadline: HTTP %d, want 200", resp2.StatusCode)
+	}
+	var rr RunResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Results[0] == nil {
+		t.Fatalf("resubmission returned no result")
+	}
+}
