@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"slipstream"
+	"slipstream/internal/sim"
 	"slipstream/internal/stats"
 )
 
@@ -35,6 +36,7 @@ func benchRun(b *testing.B, kernel string, opts slipstream.Options) *slipstream.
 // latencies while measuring raw simulation throughput on a memory-bound
 // kernel.
 func BenchmarkTable1Latencies(b *testing.B) {
+	b.ReportAllocs()
 	m := slipstream.DefaultMachine(4)
 	if m.LocalMissLatency() != 170 || m.RemoteMissLatency() != 290 {
 		b.Fatalf("Table 1 latencies drifted: local=%d remote=%d",
@@ -55,6 +57,7 @@ func BenchmarkTable1Latencies(b *testing.B) {
 func BenchmarkFig1DoubleVsSingle(b *testing.B) {
 	for _, kernel := range []string{"CG", "MG", "SOR"} {
 		b.Run(kernel, func(b *testing.B) {
+			b.ReportAllocs()
 			var ratio float64
 			for i := 0; i < b.N; i++ {
 				single := benchRun(b, kernel, slipstream.Options{CMPs: 4, Mode: slipstream.Single})
@@ -71,6 +74,7 @@ func BenchmarkFig1DoubleVsSingle(b *testing.B) {
 func BenchmarkFig4SingleScaling(b *testing.B) {
 	for _, kernel := range []string{"SOR", "OCEAN", "FFT"} {
 		b.Run(kernel, func(b *testing.B) {
+			b.ReportAllocs()
 			var ratio float64
 			for i := 0; i < b.N; i++ {
 				seq := benchRun(b, kernel, slipstream.Options{Mode: slipstream.Sequential})
@@ -87,6 +91,7 @@ func BenchmarkFig4SingleScaling(b *testing.B) {
 func BenchmarkFig5Slipstream(b *testing.B) {
 	for _, ar := range slipstream.ARSyncs {
 		b.Run(ar.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			var ratio float64
 			for i := 0; i < b.N; i++ {
 				single := benchRun(b, "MG", slipstream.Options{CMPs: 4, Mode: slipstream.Single})
@@ -101,6 +106,7 @@ func BenchmarkFig5Slipstream(b *testing.B) {
 // BenchmarkFig6Breakdown reports the R-stream's execution-time breakdown
 // relative to single mode (Figure 6): stall and synchronization shares.
 func BenchmarkFig6Breakdown(b *testing.B) {
+	b.ReportAllocs()
 	var single, r, a slipstream.Breakdown
 	for i := 0; i < b.N; i++ {
 		sres := benchRun(b, "OCEAN", slipstream.Options{CMPs: 4, Mode: slipstream.Single})
@@ -119,6 +125,7 @@ func BenchmarkFig6Breakdown(b *testing.B) {
 func BenchmarkFig7RequestClasses(b *testing.B) {
 	for _, ar := range []slipstream.ARSync{slipstream.L1, slipstream.G0} {
 		b.Run(ar.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			var req slipstream.ReqBreakdown
 			for i := 0; i < b.N; i++ {
 				res := benchRun(b, "SOR", slipstream.Options{CMPs: 4, Mode: slipstream.Slipstream, ARSync: ar})
@@ -134,6 +141,7 @@ func BenchmarkFig7RequestClasses(b *testing.B) {
 // BenchmarkFig9TransparentLoads reports the transparent-load issue rate
 // and reply breakdown (Figure 9).
 func BenchmarkFig9TransparentLoads(b *testing.B) {
+	b.ReportAllocs()
 	var tl stats.TLStats
 	for i := 0; i < b.N; i++ {
 		res := benchRun(b, "WATER-NS", slipstream.Options{
@@ -149,6 +157,7 @@ func BenchmarkFig9TransparentLoads(b *testing.B) {
 // BenchmarkFig10SelfInvalidation reports the three Section 4
 // configurations relative to the best of single and double (Figure 10).
 func BenchmarkFig10SelfInvalidation(b *testing.B) {
+	b.ReportAllocs()
 	var pref, tl, tlsi float64
 	for i := 0; i < b.N; i++ {
 		single := benchRun(b, "CG", slipstream.Options{CMPs: 4, Mode: slipstream.Single})
@@ -179,6 +188,7 @@ func BenchmarkAblationStoreBuffer(b *testing.B) {
 			name = "buffered"
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			var ratio float64
 			for i := 0; i < b.N; i++ {
 				single := benchRun(b, "SOR", slipstream.Options{CMPs: 4, Mode: slipstream.Single, StoreBuffer: depth})
@@ -197,6 +207,7 @@ func BenchmarkAblationStoreBuffer(b *testing.B) {
 func BenchmarkAblationDCBanks(b *testing.B) {
 	for _, banks := range []int{1, 4} {
 		b.Run(map[int]string{1: "single-queue", 4: "banked"}[banks], func(b *testing.B) {
+			b.ReportAllocs()
 			m := slipstream.DefaultMachine(4)
 			m.DCBanks = banks
 			var ratio float64
@@ -215,9 +226,32 @@ func BenchmarkAblationDCBanks(b *testing.B) {
 func BenchmarkAblationSkewQuantum(b *testing.B) {
 	for _, q := range []int64{1, 200, 2000} {
 		b.Run(map[int64]string{1: "tight", 200: "default", 2000: "loose"}[q], func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				benchRun(b, "SOR", slipstream.Options{CMPs: 4, Mode: slipstream.Single, SkewQuantum: q})
 			}
 		})
+	}
+}
+
+// BenchmarkEngineInnerLoop measures the simulator's event-dispatch inner
+// loop (the hot path behind every benchmark above) and enforces its
+// zero-alloc contract: a steady-state Step must not allocate. The
+// per-path breakdown lives in internal/microbench / cmd/microbench.
+func BenchmarkEngineInnerLoop(b *testing.B) {
+	b.ReportAllocs()
+	eng := sim.NewEngine()
+	var fn func()
+	fn = func() { eng.After(1, fn) }
+	eng.After(1, fn)
+	for i := 0; i < 64; i++ { // reach steady state
+		eng.Step()
+	}
+	if avg := testing.AllocsPerRun(100, func() { eng.Step() }); avg != 0 {
+		b.Fatalf("engine inner loop allocates %.2f per op at steady state, want 0", avg)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Step()
 	}
 }

@@ -30,10 +30,11 @@
 // The auditor subscribes to the observation bus (internal/obs): core.Run
 // attaches it like any other observer, and its Event method dispatches to
 // the rule checks. Production runs leave the bus nil and pay one branch per
-// emission site. The pre-bus hook interfaces (memsys.AuditHook,
-// sim.Monitor) are still implemented for direct users. The auditor only
-// observes: an audited run produces bit-identical results to an unaudited
-// one.
+// emission site. The bus is the auditor's only attachment point — the
+// pre-bus direct hooks (memsys.AuditHook, System.Audit) are gone — though
+// the per-rule methods remain exported so tests can drive individual
+// checks. The auditor only observes: an audited run produces bit-identical
+// results to an unaudited one.
 package audit
 
 import (
@@ -42,7 +43,6 @@ import (
 
 	"slipstream/internal/memsys"
 	"slipstream/internal/obs"
-	"slipstream/internal/sim"
 	"slipstream/internal/stats"
 )
 
@@ -73,10 +73,9 @@ func (v Violation) String() string {
 // first (diagnostic) entries and the run's memory.
 const MaxViolations = 64
 
-// Auditor checks one run. Create it with New, install it as the system's
-// AuditHook and the engine's Monitor, feed it task completions via
-// TaskDone, and call FinishRun after memsys.System.Finalize; then read
-// Violations.
+// Auditor checks one run. Create it with New, attach it to the system's
+// observation bus (obs.Bus), and read Violations after the run's EvRunEnd
+// event has driven FinishRun.
 type Auditor struct {
 	sys *memsys.System
 
@@ -151,13 +150,8 @@ func (a *Auditor) violate(rule string, line memsys.Addr, format string, args ...
 	})
 }
 
-// Interface assertions: the auditor rides the observation bus, and still
-// implements the deprecated direct hooks.
-var (
-	_ obs.Observer     = (*Auditor)(nil)
-	_ memsys.AuditHook = (*Auditor)(nil)
-	_ sim.Monitor      = (*Auditor)(nil)
-)
+// Interface assertion: the auditor rides the observation bus.
+var _ obs.Observer = (*Auditor)(nil)
 
 // Event implements obs.Observer, dispatching bus events to the rule
 // checks. The auditor inspects live simulation state, so it relies on the
@@ -198,14 +192,15 @@ func (a *Auditor) req(e *obs.Event) memsys.Req {
 	}
 }
 
-// Step implements sim.Monitor: the engine clock must never run backwards.
+// Step checks the clock invariant: the engine clock must never run
+// backwards (driven by EvStep events).
 func (a *Auditor) Step(prev, now int64) {
 	if now < prev {
 		a.violate(RuleTime, 0, "engine clock moved backwards: %d -> %d", prev, now)
 	}
 }
 
-// BeforeAccess implements memsys.AuditHook. For accesses predicted as
+// BeforeAccess runs at access issue (EvAccessStart). For accesses predicted as
 // private L1 hits it snapshots every piece of globally visible state the
 // hit path must leave untouched.
 func (a *Auditor) BeforeAccess(r memsys.Req, now int64) {
@@ -228,7 +223,7 @@ func (a *Auditor) BeforeAccess(r memsys.Req, now int64) {
 	a.pre.req = sys.Req
 }
 
-// AfterAccess implements memsys.AuditHook: completion must not precede
+// AfterAccess runs at access completion (EvAccess): completion must not precede
 // issue, and a predicted private hit must have charged exactly L1Hit
 // cycles and mutated nothing but the L1Hits counter and the private L1.
 func (a *Auditor) AfterAccess(r memsys.Req, now, done int64) {
@@ -277,7 +272,7 @@ func (a *Auditor) AfterAccess(r memsys.Req, now, done int64) {
 	}
 }
 
-// LineEvent implements memsys.AuditHook: every coherence-state change is
+// LineEvent runs on every coherence-state change (EvLine): each one is
 // followed by a full consistency check of the touched line.
 func (a *Auditor) LineEvent(line memsys.Addr) { a.checkLine(line) }
 

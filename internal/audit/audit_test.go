@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"slipstream/internal/memsys"
+	"slipstream/internal/obs"
 	"slipstream/internal/sim"
 	"slipstream/internal/stats"
 )
@@ -63,7 +64,7 @@ func install(sys *memsys.System, node int, line memsys.Addr, state memsys.LineSt
 func TestCleanAccessSequenceNoViolations(t *testing.T) {
 	sys := newSys(t, 2)
 	a := New(sys)
-	sys.Audit = a
+	sys.Bus = obs.NewBus(a)
 	cpu := sys.Nodes[0].CPUs[0]
 	now := int64(0)
 	for i := 0; i < 8; i++ {
@@ -177,7 +178,7 @@ func TestDetectsClockRegression(t *testing.T) {
 func TestDetectsCounterCorruption(t *testing.T) {
 	sys := newSys(t, 2)
 	a := New(sys)
-	sys.Audit = a
+	sys.Bus = obs.NewBus(a)
 	cpu := sys.Nodes[0].CPUs[0]
 	sys.Access(memsys.Req{CPU: cpu, Kind: memsys.Read, Addr: 0}, 0)
 	sys.MS.L1Hits++ // double-count

@@ -215,7 +215,7 @@ func (s *Session) Execute(specs []runspec.RunSpec) error {
 			s.progressLine(verb, sp, res)
 		},
 	}
-	_, err := ex.Execute(s.cfg.Context, specs)
+	_, _, err := ex.Execute(s.cfg.Context, specs)
 	if err != nil {
 		return fmt.Errorf("harness: %w", err)
 	}

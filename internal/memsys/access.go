@@ -2,7 +2,6 @@ package memsys
 
 import (
 	"fmt"
-	"math/bits"
 
 	"slipstream/internal/obs"
 	"slipstream/internal/stats"
@@ -77,40 +76,34 @@ func (s *System) IsL1Hit(r Req) bool {
 // completion time. State (caches, directory) is updated at issue time;
 // per-line fill times provide request merging for later arrivals.
 func (s *System) Access(r Req, now int64) int64 {
-	if s.Audit == nil && s.Bus == nil {
+	if s.Bus == nil {
 		return s.access(r, now)
 	}
 	return s.observedAccess(r, now)
 }
 
-// observedAccess wraps access with the observation and audit hooks; the
-// fast path above keeps the unobserved cost at two pointer tests.
+// observedAccess wraps access with bus emission; the fast path above keeps
+// the unobserved cost at one pointer test. The emitted events live in
+// System scratch space (observers must not retain them — see obs.Observer),
+// so observation adds no allocations to the access path.
 func (s *System) observedAccess(r Req, now int64) int64 {
-	if s.Audit != nil {
-		s.Audit.BeforeAccess(r, now)
-	}
-	var pre stats.MemStats
-	if s.Bus != nil {
-		pre = s.MS
-		e := accessEvent(obs.EvAccessStart, r, now)
-		s.Bus.Emit(&e)
-	}
+	pre := s.MS
+	s.setAccessEvent(obs.EvAccessStart, r, now)
+	s.Bus.Emit(&s.evAccess)
 	done := s.access(r, now)
-	if s.Bus != nil {
-		e := accessEvent(obs.EvAccess, r, done)
-		e.Dur = done - now
-		e.Level = s.classify(&pre)
-		s.Bus.Emit(&e)
-	}
-	if s.Audit != nil {
-		s.Audit.AfterAccess(r, now, done)
-	}
+	s.setAccessEvent(obs.EvAccess, r, done)
+	s.evAccess.Dur = done - now
+	s.evAccess.Level = s.classify(&pre)
+	s.Bus.Emit(&s.evAccess)
 	return done
 }
 
-// accessEvent builds the common fields of an access observation.
-func accessEvent(k obs.Kind, r Req, t int64) obs.Event {
-	e := obs.Event{
+// setAccessEvent fills the scratch access event. A dedicated scratch slot
+// is safe against the line events access emits in between: those use
+// evLine, and by the time the completion event is built here, the start
+// event has been fully delivered.
+func (s *System) setAccessEvent(k obs.Kind, r Req, t int64) {
+	s.evAccess = obs.Event{
 		Kind:    k,
 		Time:    t,
 		Task:    r.Task,
@@ -121,12 +114,11 @@ func accessEvent(k obs.Kind, r Req, t int64) obs.Event {
 		Addr:    uint64(r.Addr),
 	}
 	if r.Transparent {
-		e.Flags |= obs.FlagTransparent
+		s.evAccess.Flags |= obs.FlagTransparent
 	}
 	if r.InCS {
-		e.Flags |= obs.FlagInCS
+		s.evAccess.Flags |= obs.FlagInCS
 	}
-	return e
 }
 
 // classify derives where the access just simulated was satisfied from the
@@ -145,20 +137,18 @@ func (s *System) classify(pre *stats.MemStats) obs.Level {
 	}
 }
 
-// lineEvent notifies the audit hook and the bus that the coherence state
-// of line changed.
+// lineEvent notifies the bus that the coherence state of line changed. The
+// event reuses System scratch space, as in observedAccess.
 func (s *System) lineEvent(line Addr) {
-	if s.Audit != nil {
-		s.Audit.LineEvent(line)
+	if s.Bus == nil {
+		return
 	}
-	if s.Bus != nil {
-		e := obs.Event{Kind: obs.EvLine, Time: s.Eng.Now(), Task: -1, CPU: -1, Addr: uint64(line)}
-		if de := s.Home(line).Dir.Peek(line); de != nil {
-			e.Dir = obs.DirState(de.State)
-			e.Sharers = de.Sharers
-		}
-		s.Bus.Emit(&e)
+	s.evLine = obs.Event{Kind: obs.EvLine, Time: s.Eng.Now(), Task: -1, CPU: -1, Addr: uint64(line)}
+	if de := s.Home(line).Dir.Peek(line); de != nil {
+		s.evLine.Dir = obs.DirState(de.State)
+		s.evLine.Sharers = de.Sharers
 	}
+	s.Bus.Emit(&s.evLine)
 }
 
 func (s *System) access(r Req, now int64) int64 {
@@ -426,17 +416,16 @@ func (s *System) dirReadX(node, home *Node, line Addr, e *DirEntry, t int64, upg
 	case DirShared:
 		cnt := int64(0)
 		anyRemote := false
-		for m := e.Sharers; m != 0; m &= m - 1 {
-			sh := bits.TrailingZeros64(m)
+		e.ForEachSharer(func(sh int) {
 			if sh == node.ID {
-				continue
+				return
 			}
 			s.invalidateNode(s.Nodes[sh], line)
 			cnt++
 			if sh != home.ID {
 				anyRemote = true
 			}
-		}
+		})
 		s.MS.Invalidations += cnt
 		// Data fetch (if needed) overlaps invalidation/acknowledgment.
 		tData := t

@@ -175,7 +175,10 @@ func (c *Cache) ForEachValid(fn func(*Line)) {
 	}
 }
 
-// clearLine resets a frame to Invalid, preserving nothing.
+// clearLine resets a frame to Invalid. LRU state and the (emptied)
+// classification-record slice survive: keeping the slice's capacity lets a
+// frame that cycles through residencies reuse one backing array instead of
+// reallocating records on every refill.
 func clearLine(l *Line) {
-	*l = Line{lru: l.lru}
+	*l = Line{lru: l.lru, recs: l.recs[:0]}
 }

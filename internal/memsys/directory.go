@@ -1,6 +1,9 @@
 package memsys
 
-import "sort"
+import (
+	"math/bits"
+	"sort"
+)
 
 // DirState is the coherence state of a line at its home directory.
 type DirState uint8
@@ -43,13 +46,17 @@ func (e *DirEntry) AddSharer(n int) { e.Sharers |= 1 << uint(n) }
 // RemoveSharer removes node n from the sharer list.
 func (e *DirEntry) RemoveSharer(n int) { e.Sharers &^= 1 << uint(n) }
 
-// SharerCount returns the number of sharers.
-func (e *DirEntry) SharerCount() int {
-	n := 0
+// SharerCount returns the number of sharers (one popcount instruction).
+func (e *DirEntry) SharerCount() int { return bits.OnesCount64(e.Sharers) }
+
+// ForEachSharer calls fn for every sharer node id in ascending order. The
+// scan is flat bitmap selection — count-trailing-zeros per set bit, no
+// per-node conditional walk — so invalidation fan-out costs exactly one
+// iteration per actual sharer.
+func (e *DirEntry) ForEachSharer(fn func(node int)) {
 	for m := e.Sharers; m != 0; m &= m - 1 {
-		n++
+		fn(bits.TrailingZeros64(m))
 	}
-	return n
 }
 
 // HasFuture reports whether node n is marked as a future sharer.

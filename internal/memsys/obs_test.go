@@ -1,7 +1,6 @@
 package memsys
 
 import (
-	"fmt"
 	"reflect"
 	"testing"
 
@@ -10,8 +9,8 @@ import (
 )
 
 // TestObsEnumsMirrorMemsys pins the ordinal mirroring that lets observation
-// events carry memsys enums without conversion tables (HookObserver and the
-// access-event builder both rely on it).
+// events carry memsys enums without conversion tables (the access-event
+// builder and the auditor's event decoding both rely on it).
 func TestObsEnumsMirrorMemsys(t *testing.T) {
 	ops := []struct {
 		m AccessKind
@@ -42,30 +41,20 @@ func TestObsEnumsMirrorMemsys(t *testing.T) {
 	}
 }
 
-// hookRecorder logs every AuditHook call as a comparable string.
-type hookRecorder struct {
-	calls []string
+// busRecorder copies every event off the bus. Copying (not retaining the
+// pointer) is the documented observer contract: emission sites reuse
+// scratch events, so this recorder also exercises that reuse is safe.
+type busRecorder struct {
+	events []obs.Event
 }
 
-func (h *hookRecorder) BeforeAccess(r Req, now int64) {
-	h.calls = append(h.calls, fmt.Sprintf("before cpu=%d %v %#x role=%v t=%v cs=%v task=%d sess=%d now=%d",
-		r.CPU.ID, r.Kind, r.Addr, r.Role, r.Transparent, r.InCS, r.Task, r.Session, now))
-}
+func (r *busRecorder) Event(e *obs.Event) { r.events = append(r.events, *e) }
 
-func (h *hookRecorder) AfterAccess(r Req, now, done int64) {
-	h.calls = append(h.calls, fmt.Sprintf("after cpu=%d %v %#x role=%v t=%v cs=%v task=%d sess=%d now=%d done=%d",
-		r.CPU.ID, r.Kind, r.Addr, r.Role, r.Transparent, r.InCS, r.Task, r.Session, now, done))
-}
-
-func (h *hookRecorder) LineEvent(line Addr) {
-	h.calls = append(h.calls, fmt.Sprintf("line %#x", line))
-}
-
-// driveAccesses exercises L1 hits, L2 hits, local and remote directory
-// transactions, a transparent load, and an eviction-free mixed workload.
-func driveAccesses(s *System) {
-	now := int64(0)
-	reqs := []Req{
+// accessReqs is the workload of the bus-fidelity test: L1 hits, L2 hits,
+// local and remote directory transactions, a transparent load, and an
+// in-CS store.
+func accessReqs(s *System) []Req {
+	return []Req{
 		{CPU: s.CPUByID(0), Kind: Read, Addr: 0x40, Role: RoleR, Task: 0, Session: 1},
 		{CPU: s.CPUByID(0), Kind: Read, Addr: 0x40, Role: RoleR, Task: 0, Session: 1}, // L1 hit
 		{CPU: s.CPUByID(1), Kind: Read, Addr: 0x40, Role: RoleR, Task: 1, Session: 1}, // L2 hit
@@ -74,49 +63,129 @@ func driveAccesses(s *System) {
 		{CPU: s.CPUByID(0), Kind: Read, Addr: 0x1c0, Role: RoleA, Transparent: true, Task: 0, Session: 2},
 		{CPU: s.CPUByID(3), Kind: Write, Addr: 0x200, Role: RoleA, InCS: true, Task: 3, Session: 2},
 	}
-	for _, r := range reqs {
-		now = s.Access(r, now)
+}
+
+// reqFromEvent reconstructs the memsys request an access event describes —
+// the same decoding the auditor performs.
+func reqFromEvent(s *System, e *obs.Event) Req {
+	return Req{
+		CPU:         s.CPUByID(e.CPU),
+		Kind:        AccessKind(e.Op),
+		Addr:        Addr(e.Addr),
+		Role:        Role(e.Role),
+		Transparent: e.Flags&obs.FlagTransparent != 0,
+		InCS:        e.Flags&obs.FlagInCS != 0,
+		Task:        e.Task,
+		Session:     e.Session,
 	}
 }
 
-// TestHookObserverMatchesDirectHook pins the deprecated-adapter equivalence:
-// an AuditHook subscribed through the bus (via HookObserver) sees the same
-// call sequence, with the same arguments, as one installed on System.Audit.
-func TestHookObserverMatchesDirectHook(t *testing.T) {
-	build := func() *System {
+// TestBusAccessEventFidelity pins the bus emission path directly: every
+// Access call produces exactly one EvAccessStart and one EvAccess whose
+// decoded request round-trips to the issued one, whose times bracket the
+// access, and interleaved so the start of access i precedes its completion
+// which precedes the start of access i+1 (synchronous delivery).
+func TestBusAccessEventFidelity(t *testing.T) {
+	s, err := NewSystem(sim.NewEngine(), DefaultParams(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &busRecorder{}
+	s.Bus = obs.NewBus(rec)
+
+	reqs := accessReqs(s)
+	issues := make([]int64, len(reqs))
+	dones := make([]int64, len(reqs))
+	now := int64(0)
+	for i, r := range reqs {
+		issues[i] = now
+		now = s.Access(r, now)
+		dones[i] = now
+	}
+	s.Finalize()
+
+	var starts, completions []obs.Event
+	lineEvents := 0
+	for _, e := range rec.events {
+		switch e.Kind {
+		case obs.EvAccessStart:
+			starts = append(starts, e)
+		case obs.EvAccess:
+			completions = append(completions, e)
+		case obs.EvLine:
+			lineEvents++
+		}
+	}
+	if len(starts) != len(reqs) || len(completions) != len(reqs) {
+		t.Fatalf("got %d starts, %d completions; want %d each", len(starts), len(completions), len(reqs))
+	}
+	if lineEvents == 0 {
+		t.Fatal("no EvLine events; directory transactions must emit line events")
+	}
+	for i, want := range reqs {
+		if got := reqFromEvent(s, &starts[i]); !reflect.DeepEqual(got, want) {
+			t.Errorf("access %d: start event decodes to %+v, want %+v", i, got, want)
+		}
+		if got := reqFromEvent(s, &completions[i]); !reflect.DeepEqual(got, want) {
+			t.Errorf("access %d: completion event decodes to %+v, want %+v", i, got, want)
+		}
+		if starts[i].Time != issues[i] {
+			t.Errorf("access %d: start time %d, want issue time %d", i, starts[i].Time, issues[i])
+		}
+		if completions[i].Time != dones[i] {
+			t.Errorf("access %d: completion time %d, want done time %d", i, completions[i].Time, dones[i])
+		}
+		if got := completions[i].Time - completions[i].Dur; got != issues[i] {
+			t.Errorf("access %d: Time-Dur = %d, want issue time %d", i, got, issues[i])
+		}
+		if completions[i].Level == obs.LevelNone {
+			t.Errorf("access %d: completion event not level-classified", i)
+		}
+	}
+
+	// Synchronous, in-order delivery: start(i) < completion(i) < start(i+1)
+	// in stream position.
+	pos := make(map[obs.Kind][]int)
+	for idx, e := range rec.events {
+		if e.Kind == obs.EvAccessStart || e.Kind == obs.EvAccess {
+			pos[e.Kind] = append(pos[e.Kind], idx)
+		}
+	}
+	for i := range reqs {
+		if pos[obs.EvAccessStart][i] > pos[obs.EvAccess][i] {
+			t.Errorf("access %d: completion delivered before start", i)
+		}
+		if i+1 < len(reqs) && pos[obs.EvAccess][i] > pos[obs.EvAccessStart][i+1] {
+			t.Errorf("access %d: completion delivered after access %d started", i, i+1)
+		}
+	}
+}
+
+// TestObservationIsPure pins that attaching a bus changes no simulated
+// state: counters after an observed run equal those of an unobserved one.
+func TestObservationIsPure(t *testing.T) {
+	run := func(observe bool) *System {
 		s, err := NewSystem(sim.NewEngine(), DefaultParams(2))
 		if err != nil {
 			t.Fatal(err)
 		}
+		if observe {
+			s.Bus = obs.NewBus(&busRecorder{})
+		}
+		now := int64(0)
+		for _, r := range accessReqs(s) {
+			now = s.Access(r, now)
+		}
+		s.Finalize()
 		return s
 	}
-
-	direct := &hookRecorder{}
-	s1 := build()
-	s1.Audit = direct
-	driveAccesses(s1)
-	s1.Finalize()
-
-	bused := &hookRecorder{}
-	s2 := build()
-	s2.Bus = obs.NewBus(&HookObserver{Sys: s2, Hook: bused})
-	driveAccesses(s2)
-	s2.Finalize()
-
-	if len(direct.calls) == 0 {
-		t.Fatal("direct hook recorded nothing; workload too small")
+	plain := run(false)
+	observed := run(true)
+	if plain.MS != observed.MS {
+		t.Errorf("observation changed MemStats:\nplain    %+v\nobserved %+v", plain.MS, observed.MS)
 	}
-	if !reflect.DeepEqual(direct.calls, bused.calls) {
-		t.Errorf("call sequences differ:\ndirect (%d calls): %v\nbus    (%d calls): %v",
-			len(direct.calls), direct.calls, len(bused.calls), bused.calls)
-	}
-
-	// Observation must not change timing or counters.
-	s3 := build()
-	driveAccesses(s3)
-	s3.Finalize()
-	if s1.MS != s3.MS || s2.MS != s3.MS {
-		t.Errorf("observation changed MemStats:\nplain   %+v\naudited %+v\nbused   %+v", s3.MS, s1.MS, s2.MS)
+	if plain.TL != observed.TL || plain.SIst != observed.SIst {
+		t.Error("observation changed TL/SI stats")
 	}
 }
 

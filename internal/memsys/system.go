@@ -87,18 +87,19 @@ type System struct {
 	// for slipstream-mode runs, where accesses carry stream roles.
 	Classify bool
 
-	// Audit, when non-nil, receives invariant-checking hooks (see
-	// AuditHook). It must only observe.
-	//
-	// Deprecated: new consumers should subscribe to Bus instead; the field
-	// remains for direct users of the memory system and is honored alongside
-	// the bus.
-	Audit AuditHook
-
 	// Bus, when non-nil, receives observation events (internal/obs): access
 	// start/completion with level classification, coherence-line changes,
-	// and end-of-run resource occupancy. Subscribers must only observe.
+	// and end-of-run resource occupancy. It is the sole observation
+	// surface — runtime auditing (internal/audit) subscribes here too.
+	// Subscribers must only observe and must not retain events: emission
+	// reuses the scratch values below, so the unobserved hot path pays one
+	// nil test and the observed one allocates nothing.
 	Bus *obs.Bus
+
+	// evAccess and evLine are the reused emission scratch events
+	// (observedAccess, lineEvent).
+	evAccess obs.Event
+	evLine   obs.Event
 
 	MS   stats.MemStats
 	Req  stats.ReqBreakdown
@@ -243,5 +244,5 @@ func (s *System) closeRecs(node *Node, l *Line) {
 			}
 		}
 	}
-	l.recs = nil
+	l.recs = l.recs[:0] // keep capacity: the frame's next residency reuses it
 }

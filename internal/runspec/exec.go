@@ -56,7 +56,7 @@ const (
 	stateCanceled
 )
 
-// Status classifies the outcome of one spec after ExecuteStatus. It lets
+// Status classifies the outcome of one spec after Execute. It lets
 // callers that interrupt a batch (drain, deadline) tell completed work
 // apart from work that never started.
 type Status uint8
@@ -85,33 +85,24 @@ func (s Status) String() string {
 	return "?"
 }
 
-// Execute runs every spec and returns results in input order (duplicates
-// share one result). A simulation error or numeric verification failure
-// aborts scheduling of not-yet-started specs and is returned — always the
-// error of the earliest failing spec in plan order, so failures are
-// deterministic too. On error the result slice is nil.
+// Execute runs every spec and returns results and per-spec statuses in
+// input order (duplicates share one result and status). A simulation error
+// or numeric verification failure aborts scheduling of not-yet-started
+// specs; the returned error is always that of the earliest failing spec in
+// plan order, so failures are deterministic too.
+//
+// On failure or cancellation the statuses report what happened to each
+// spec instead of discarding everything, and the result slice carries the
+// per-spec results that did complete — non-nil exactly where the status is
+// StatusDone — so an interrupted caller (a draining daemon, a deadline)
+// can tell finished work from skipped work.
 //
 // Canceling ctx stops new work: queued specs are not started, in-flight
 // simulations finish but their results are discarded (never Stored), and
-// Execute returns ctx.Err() after the workers drain. A nil ctx behaves
-// like context.Background().
-func (e *Executor) Execute(ctx context.Context, specs []RunSpec) ([]*core.Result, error) {
-	results, _, err := e.ExecuteStatus(ctx, specs)
-	if err != nil {
-		return nil, err
-	}
-	return results, nil
-}
-
-// ExecuteStatus is Execute, but on failure or cancellation it additionally
-// reports what happened to each spec instead of discarding everything: the
-// returned statuses align with specs (duplicates share a status), and the
-// result slice carries the per-spec results that did complete — non-nil
-// exactly where the status is StatusDone — so an interrupted caller (a
-// draining daemon, a deadline) can tell finished work from skipped work.
-// The error is as for Execute: ctx.Err() when canceled, else the earliest
-// failing spec's error in plan order, else nil.
-func (e *Executor) ExecuteStatus(ctx context.Context, specs []RunSpec) ([]*core.Result, []Status, error) {
+// Execute returns ctx.Err() after the workers drain — cancellation takes
+// precedence over per-spec errors. A nil ctx behaves like
+// context.Background().
+func (e *Executor) Execute(ctx context.Context, specs []RunSpec) ([]*core.Result, []Status, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}

@@ -90,7 +90,7 @@ func TestExecutorDedupsAndOrders(t *testing.T) {
 		Store:   func(RunSpec, *core.Result) { ran.Add(1) },
 		OnDone:  func(sp RunSpec, _ *core.Result, _ bool) { order = append(order, sp) },
 	}
-	res, err := ex.Execute(context.Background(), specs)
+	res, _, err := ex.Execute(context.Background(), specs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +114,7 @@ func TestExecutorLookupShortCircuits(t *testing.T) {
 		Store:   func(RunSpec, *core.Result) { t.Error("Store called despite lookup hit") },
 		OnDone:  func(_ RunSpec, _ *core.Result, cached bool) { cachedSeen = cached },
 	}
-	res, err := ex.Execute(context.Background(), []RunSpec{sorSpec(2)})
+	res, _, err := ex.Execute(context.Background(), []RunSpec{sorSpec(2)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +125,7 @@ func TestExecutorLookupShortCircuits(t *testing.T) {
 
 func TestExecutorReportsEarliestError(t *testing.T) {
 	bad := RunSpec{Kernel: "NOPE", Size: kernels.Tiny, Mode: core.ModeSingle, CMPs: 2}
-	_, err := (&Executor{Workers: 4}).Execute(context.Background(), []RunSpec{sorSpec(2), bad, sorSpec(4)})
+	_, _, err := (&Executor{Workers: 4}).Execute(context.Background(), []RunSpec{sorSpec(2), bad, sorSpec(4)})
 	if err == nil {
 		t.Fatal("bad spec did not fail Execute")
 	}
@@ -138,17 +138,20 @@ func TestExecutorCanceledContext(t *testing.T) {
 		Workers: 2,
 		Store:   func(RunSpec, *core.Result) { t.Error("Store called under canceled context") },
 	}
-	res, err := ex.Execute(ctx, []RunSpec{sorSpec(2), sorSpec(4)})
+	res, statuses, err := ex.Execute(ctx, []RunSpec{sorSpec(2), sorSpec(4)})
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
-	if res != nil {
-		t.Errorf("canceled Execute returned results: %v", res)
+	for i := range res {
+		if res[i] != nil || statuses[i] != StatusNotRun {
+			t.Errorf("spec %d after pre-canceled Execute: result %v status %v, want nil/not-run",
+				i, res[i], statuses[i])
+		}
 	}
 }
 
 func TestExecutorNilContextRuns(t *testing.T) {
-	res, err := (&Executor{Workers: 1}).Execute(nil, []RunSpec{sorSpec(2)})
+	res, _, err := (&Executor{Workers: 1}).Execute(nil, []RunSpec{sorSpec(2)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +176,7 @@ func TestExecutorObserveSeesOnlySimulatedSpecs(t *testing.T) {
 			return []obs.Observer{&obs.Metrics{}}
 		},
 	}
-	if _, err := ex.Execute(context.Background(), []RunSpec{sorSpec(2), sorSpec(4)}); err != nil {
+	if _, _, err := ex.Execute(context.Background(), []RunSpec{sorSpec(2), sorSpec(4)}); err != nil {
 		t.Fatal(err)
 	}
 	if got := observed.Load(); got != 1 {

@@ -15,11 +15,11 @@ func tinySpec(cmps int) RunSpec {
 	return RunSpec{Kernel: "SOR", Size: 0 /* tiny */, Mode: core.ModeSlipstream, CMPs: cmps}
 }
 
-// TestExecuteStatusCancelAfterFirst pins the drain contract the daemon
+// TestExecuteCancelAfterFirst pins the drain contract the daemon
 // depends on: cancelling after the first spec completes reports that spec
 // StatusDone with its result retained, and the never-started rest as
 // StatusNotRun.
-func TestExecuteStatusCancelAfterFirst(t *testing.T) {
+func TestExecuteCancelAfterFirst(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	stored := 0
@@ -32,7 +32,7 @@ func TestExecuteStatusCancelAfterFirst(t *testing.T) {
 		Store:  func(RunSpec, *core.Result) { stored++ },
 	}
 	specs := []RunSpec{tinySpec(1), tinySpec(2), tinySpec(4)}
-	results, statuses, err := ex.ExecuteStatus(ctx, specs)
+	results, statuses, err := ex.Execute(ctx, specs)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
@@ -54,11 +54,11 @@ func TestExecuteStatusCancelAfterFirst(t *testing.T) {
 	}
 }
 
-// TestExecuteStatusCancelMidRun cancels from the Observe hook, which the
+// TestExecuteCancelMidRun cancels from the Observe hook, which the
 // executor invokes on the worker goroutine just before simulating, so the
 // first spec is deterministically in flight when the context dies: it must
 // be StatusCanceled, its result discarded and never Stored.
-func TestExecuteStatusCancelMidRun(t *testing.T) {
+func TestExecuteCancelMidRun(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	ex := &Executor{Workers: 1}
@@ -70,7 +70,7 @@ func TestExecuteStatusCancelMidRun(t *testing.T) {
 		t.Errorf("Store(%v) called for a canceled batch", sp)
 	}
 	specs := []RunSpec{tinySpec(1), tinySpec(2)}
-	results, statuses, err := ex.ExecuteStatus(ctx, specs)
+	results, statuses, err := ex.Execute(ctx, specs)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
@@ -85,12 +85,12 @@ func TestExecuteStatusCancelMidRun(t *testing.T) {
 	}
 }
 
-// TestExecuteStatusDuplicatesShare verifies duplicate specs map to one
+// TestExecuteDuplicatesShare verifies duplicate specs map to one
 // shared status and result.
-func TestExecuteStatusDuplicatesShare(t *testing.T) {
+func TestExecuteDuplicatesShare(t *testing.T) {
 	ex := &Executor{Workers: 2}
 	a, b := tinySpec(1), tinySpec(2)
-	results, statuses, err := ex.ExecuteStatus(context.Background(), []RunSpec{a, b, a})
+	results, statuses, err := ex.Execute(context.Background(), []RunSpec{a, b, a})
 	if err != nil {
 		t.Fatal(err)
 	}

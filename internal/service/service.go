@@ -351,7 +351,7 @@ func (s *Server) runFlight(f *flight) {
 			}
 		}
 	}
-	results, statuses, err := ex.ExecuteStatus(f.ctx, []runspec.RunSpec{f.spec})
+	results, statuses, err := ex.Execute(f.ctx, []runspec.RunSpec{f.spec})
 
 	// Publish the terminal state in one critical section: result fields,
 	// metrics, and the state transition become visible together, and the

@@ -7,14 +7,11 @@
 // deterministic and free of data races without locks.
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Monitor observes engine progress. It exists for runtime auditing
 // (internal/audit): the engine calls Step after executing each event, so a
-// monitor can cross-check clock monotonicity independently of the heap
+// monitor can cross-check clock monotonicity independently of the queue
 // ordering that is supposed to guarantee it. Implementations must not
 // mutate simulation state.
 type Monitor interface {
@@ -28,16 +25,23 @@ type Monitor interface {
 type Engine struct {
 	now     int64
 	seq     uint64
-	events  eventHeap
+	events  eventQueue
 	yield   chan struct{}
 	procs   []*Proc
 	monitor Monitor
 }
 
-// NewEngine returns an engine with the clock at zero.
-func NewEngine() *Engine {
+// NewEngine returns an engine with the clock at zero, scheduling through
+// the default calendar queue.
+func NewEngine() *Engine { return NewEngineQueue(QueueCalendar) }
+
+// NewEngineQueue returns an engine using the given event-queue
+// implementation. All queue kinds pop in identical (time, sequence) order —
+// pinned by differential tests — so the choice affects simulator speed
+// only, never results. QueueHeap exists for those tests and benchmarks.
+func NewEngineQueue(kind QueueKind) *Engine {
 	//simlint:ignore nondeterminism yield implements strict handoff: exactly one goroutine ever runs, so scheduling cannot vary
-	return &Engine{yield: make(chan struct{})}
+	return &Engine{events: newEventQueue(kind), yield: make(chan struct{})}
 }
 
 // Now returns the current simulated time in cycles.
@@ -50,7 +54,7 @@ func (e *Engine) At(t int64, fn func()) {
 		panic(fmt.Sprintf("sim: event scheduled in the past: %d < now %d", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+	e.events.push(event{at: t, seq: e.seq, fn: fn})
 }
 
 // After schedules fn to run d cycles from now.
@@ -63,10 +67,10 @@ func (e *Engine) SetMonitor(m Monitor) { e.monitor = m }
 // Step executes the next pending event, advancing the clock. It reports
 // whether an event was executed.
 func (e *Engine) Step() bool {
-	if e.events.Len() == 0 {
+	ev, ok := e.events.pop()
+	if !ok {
 		return false
 	}
-	ev := heap.Pop(&e.events).(event)
 	prev := e.now
 	e.now = ev.at
 	ev.fn()
@@ -85,17 +89,20 @@ func (e *Engine) Run() {
 // RunUntil executes events with time <= deadline. It reports whether the
 // queue drained (true) or the deadline was hit with events pending (false).
 func (e *Engine) RunUntil(deadline int64) bool {
-	for e.events.Len() > 0 {
-		if e.events[0].at > deadline {
+	for {
+		t, ok := e.events.peekTime()
+		if !ok {
+			return true
+		}
+		if t > deadline {
 			return false
 		}
 		e.Step()
 	}
-	return true
 }
 
 // Pending returns the number of queued events.
-func (e *Engine) Pending() int { return e.events.Len() }
+func (e *Engine) Pending() int { return e.events.len() }
 
 // Blocked returns the processes that have neither finished nor been killed
 // but are parked with no pending wake event. A non-empty result after Run
@@ -108,29 +115,4 @@ func (e *Engine) Blocked() []*Proc {
 		}
 	}
 	return b
-}
-
-type event struct {
-	at  int64
-	seq uint64
-	fn  func()
-}
-
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	*h = old[:n-1]
-	return ev
 }

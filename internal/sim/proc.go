@@ -15,6 +15,11 @@ type Proc struct {
 	done   bool
 	parked bool
 	killed bool
+
+	// dispatchFn is the bound dispatch method, created once at Go so the
+	// wait/wake hot paths (WaitUntil, Wake, Kill) schedule it without
+	// allocating a fresh method value per call.
+	dispatchFn func()
 }
 
 // Go starts a new simulated process running fn. The process begins at the
@@ -26,6 +31,7 @@ type Proc struct {
 func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
 	//simlint:ignore nondeterminism strict handoff: resume carries control to exactly one parked goroutine
 	p := &Proc{eng: e, resume: make(chan struct{}), name: name}
+	p.dispatchFn = p.dispatch
 	e.procs = append(e.procs, p)
 	e.After(0, func() {
 		//simlint:ignore nondeterminism strict handoff: the new goroutine blocks on resume before running
@@ -99,7 +105,7 @@ func (p *Proc) WaitUntil(t int64) {
 		p.checkKilled()
 		return
 	}
-	p.eng.At(t, p.dispatch)
+	p.eng.At(t, p.dispatchFn)
 	p.yield()
 }
 
@@ -115,7 +121,7 @@ func (p *Proc) Park() {
 // Wake schedules parked process p to resume at absolute time t. It is safe
 // to call from any simulation context (the event loop or another process).
 func (p *Proc) Wake(t int64) {
-	p.eng.At(t, p.dispatch)
+	p.eng.At(t, p.dispatchFn)
 }
 
 // Kill marks the process as killed and, if it is parked, wakes it so that
@@ -126,6 +132,6 @@ func (p *Proc) Kill() {
 	}
 	p.killed = true
 	if p.parked {
-		p.eng.At(p.eng.now, p.dispatch)
+		p.eng.At(p.eng.now, p.dispatchFn)
 	}
 }

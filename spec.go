@@ -36,5 +36,9 @@ type RunSpec = runspec.RunSpec
 // parallel runner.
 func Execute(ctx context.Context, specs []RunSpec, workers int) ([]*Result, error) {
 	ex := &runspec.Executor{Workers: workers}
-	return ex.Execute(ctx, specs)
+	results, _, err := ex.Execute(ctx, specs)
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
 }
