@@ -7,10 +7,20 @@
 // dependence, float accumulation over map ranges, and core.Options values
 // that reach a Run/Execute sink unvalidated.
 //
+// The v2 analyzers reason over a program call graph (see callgraph.go)
+// and enforce the simulator's structural contracts: hotpathalloc forbids
+// heap allocation reachable from //simlint:hotpath roots, obspurity
+// proves Bus subscribers never write simulation state, sharedstate
+// inventories the shared mutable state and cross-LP writes that stand
+// between the sequential engine and PDES, and suppressaudit flags
+// suppression directives that no longer suppress anything.
+//
 // Findings are suppressed with justification comments:
 //
 //	//simlint:ignore <analyzer[,analyzer]|all> <reason>   same line or line above
 //	//simlint:ordered <reason>                            map range proven commutative/pre-sorted
+//	//simlint:lp-owned <reason>                           sharedstate: ownership/conversion story
+//	//simlint:hotpath [reason]                            root marker (doc comment), not a suppression
 //
 // A directive without a reason is malformed: it suppresses nothing and is
 // itself reported.
@@ -74,6 +84,10 @@ type Program struct {
 	All []*Package
 
 	validating map[string]bool // initialized by validatingFuncs
+	graph      *CallGraph      // initialized by callGraph
+	hot        *hotFacts       // initialized by hotReachability
+	simWrites  map[*CGNode][]simWrite
+	paramW     map[paramKey]bool
 }
 
 // allPkgs returns the fact-computation package set.
@@ -86,7 +100,10 @@ func (prog *Program) allPkgs() []*Package {
 
 // Analyzers returns the full suite in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{Nondeterminism, MapOrder, FloatSum, OptValidate}
+	return []*Analyzer{
+		Nondeterminism, MapOrder, FloatSum, OptValidate,
+		HotPathAlloc, ObsPurity, SharedState, SuppressAudit,
+	}
 }
 
 // Run executes the analyzers over every package, applies suppression
@@ -104,7 +121,7 @@ func (prog *Program) Run(analyzers []*Analyzer) []Diagnostic {
 			pass := &Pass{Prog: prog, Pkg: pkg, analyzer: a, diags: &diags}
 			a.Run(pass)
 		}
-		out = append(out, filterSuppressed(pkg, diags, analyzers)...)
+		out = append(out, prog.filterSuppressed(pkg, diags, analyzers)...)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]

@@ -48,6 +48,30 @@ func TestOptValidateFixture(t *testing.T) {
 	checkExpectations(t, pkg, diags)
 }
 
+func TestHotPathAllocFixture(t *testing.T) {
+	pkg, diags := loadFixture(t, "hotpathalloc", "fixtures/hotpathalloc", nil)
+	checkExpectations(t, pkg, diags)
+}
+
+func TestObsPurityFixture(t *testing.T) {
+	pkg, diags := loadFixture(t, "obspurity", "fixtures/obspurity", map[string]string{
+		"obspurity/obs":                filepath.Join("testdata", "src", "obspurity", "obs"),
+		"obspurity/internal/sim/state": filepath.Join("testdata", "src", "obspurity", "internal", "sim", "state"),
+	})
+	checkExpectations(t, pkg, diags)
+}
+
+func TestSharedStateFixture(t *testing.T) {
+	// Loaded under a synthetic internal/sim path so the analyzer applies.
+	pkg, diags := loadFixture(t, "sharedstate", "slipstream/internal/sim/fixture", nil)
+	checkExpectations(t, pkg, diags)
+}
+
+func TestSuppressAuditFixture(t *testing.T) {
+	pkg, diags := loadFixture(t, "suppressaudit", "fixtures/suppressaudit", nil)
+	checkExpectations(t, pkg, diags)
+}
+
 // TestRunIsDeterministic asserts two independent loads of the same
 // fixture produce byte-identical diagnostics — the suite must hold
 // itself to the invariant it enforces.
@@ -68,11 +92,18 @@ func TestExpandPatterns(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := []string{
+		filepath.Join("testdata", "src", "callgraph"),
 		filepath.Join("testdata", "src", "floatsum"),
+		filepath.Join("testdata", "src", "hotpathalloc"),
 		filepath.Join("testdata", "src", "maporder"),
 		filepath.Join("testdata", "src", "nondeterminism"),
+		filepath.Join("testdata", "src", "obspurity"),
+		filepath.Join("testdata", "src", "obspurity", "internal", "sim", "state"),
+		filepath.Join("testdata", "src", "obspurity", "obs"),
 		filepath.Join("testdata", "src", "optvalidate"),
 		filepath.Join("testdata", "src", "optvalidate", "core"),
+		filepath.Join("testdata", "src", "sharedstate"),
+		filepath.Join("testdata", "src", "suppressaudit"),
 	}
 	got := make(map[string]bool, len(dirs))
 	for _, d := range dirs {
@@ -97,16 +128,31 @@ type lineKey struct {
 //
 //	code() // want `substring` `another substring`
 //	// want-above `substring`   (attaches to the previous line)
+//	// want-below `substring`   (attaches to the next line)
 //
+// want-below exists for findings reported on a standalone directive line,
+// where a trailing comment would become part of the directive itself; it
+// skips blank comment lines, because gofmt separates directives from the
+// rest of a doc comment with one.
 // Each backtick-delimited pattern must be a substring of some diagnostic
 // reported on that line, and every diagnostic must match some pattern.
 func parseWants(pkg *Package) map[lineKey][]string {
 	wants := make(map[lineKey][]string)
 	for name, src := range pkg.Src {
-		for i, line := range strings.Split(string(src), "\n") {
+		lines := strings.Split(string(src), "\n")
+		for i, line := range lines {
 			n := i + 1
 			if idx := strings.Index(line, "// want-above "); idx >= 0 {
 				k := lineKey{name, n - 1}
+				wants[k] = append(wants[k], backtickPatterns(line[idx:])...)
+				continue
+			}
+			if idx := strings.Index(line, "// want-below "); idx >= 0 {
+				j := i + 1
+				for j < len(lines) && strings.TrimSpace(lines[j]) == "//" {
+					j++
+				}
+				k := lineKey{name, j + 1}
 				wants[k] = append(wants[k], backtickPatterns(line[idx:])...)
 				continue
 			}

@@ -1,0 +1,375 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// HotPathAlloc enforces the zero-alloc contract on the simulator's hot
+// paths statically. Functions annotated //simlint:hotpath (in their doc
+// comment) are call-graph roots — the engine inner loop, the event-queue
+// hold path, the memory-system access path, observation emission — and
+// every function reachable from a root (through static calls, interface
+// dispatch, and stored closures) must not heap-allocate: no growing
+// append, no map/slice literals or make/new, no escaping closure
+// creation, no interface boxing at call sites, no fmt calls or string
+// building. PR 6 pinned these paths zero-alloc dynamically
+// (AllocsPerRun); this analyzer turns one innocent append from a silent
+// perf regression into a build break. Findings are suppressed with
+// //simlint:ignore hotpathalloc <reason> — the reason should say why the
+// allocation is amortized, steady-state-free, or off the production path.
+//
+// Observer Event methods are a deliberate boundary: reachability does not
+// descend into a Bus subscriber. The contract is that *emission* is free
+// — an unobserved run allocates nothing, and attaching an observer pays
+// only that observer's own cost. Subscribers are governed by obspurity
+// (they must not write simulation state), not by allocation-freedom.
+var HotPathAlloc = &Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "forbid heap allocation reachable from //simlint:hotpath roots",
+	Run:  runHotPathAlloc,
+}
+
+// hotFacts is the program-level hot-reachability result.
+type hotFacts struct {
+	// parent maps every hot node to its BFS parent (nil for roots).
+	parent map[*CGNode]*CGNode
+	// rootless holds misplaced //simlint:hotpath directives.
+	rootless []directive
+}
+
+// hotReachability computes (and memoizes) the set of call-graph nodes
+// reachable from //simlint:hotpath roots across all loaded packages.
+func (prog *Program) hotReachability() *hotFacts {
+	if prog.hot != nil {
+		return prog.hot
+	}
+	g := prog.callGraph()
+	var roots []*CGNode
+	for _, pkg := range prog.allPkgs() {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || !hasHotPathDoc(fd) {
+					continue
+				}
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					if n := g.NodeFor(fn); n != nil {
+						roots = append(roots, n)
+					}
+				}
+			}
+		}
+	}
+	facts := &hotFacts{parent: hotReachable(roots)}
+	prog.hot = facts
+	return facts
+}
+
+// hotReachable is Reachable with the observer boundary: edges into a Bus
+// subscriber's Event method are not followed (see the HotPathAlloc doc).
+func hotReachable(roots []*CGNode) map[*CGNode]*CGNode {
+	parent := make(map[*CGNode]*CGNode, len(roots))
+	queue := make([]*CGNode, 0, len(roots))
+	for _, r := range roots {
+		if _, ok := parent[r]; !ok {
+			parent[r] = nil
+			queue = append(queue, r)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, e := range n.Out {
+			if _, ok := parent[e.Callee]; ok {
+				continue
+			}
+			if fn := e.Callee.Func; fn != nil && isObserverEvent(fn) {
+				continue
+			}
+			parent[e.Callee] = n
+			queue = append(queue, e.Callee)
+		}
+	}
+	return parent
+}
+
+// hasHotPathDoc reports whether the declaration's doc comment carries a
+// //simlint:hotpath directive.
+func hasHotPathDoc(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if isHotPathComment(c.Text) {
+			return true
+		}
+	}
+	return false
+}
+
+func isHotPathComment(text string) bool {
+	if !strings.HasPrefix(text, hotpathPrefix) {
+		return false
+	}
+	rest := text[len(hotpathPrefix):]
+	return rest == "" || rest[0] == ' ' || rest[0] == '\t'
+}
+
+func runHotPathAlloc(p *Pass) {
+	facts := p.Prog.hotReachability()
+	g := p.Prog.callGraph()
+	// Misplaced directives: a //simlint:hotpath comment that is not the
+	// doc comment of a function declaration marks nothing.
+	reportStrayHotPath(p)
+	for _, n := range g.Nodes {
+		if n.Pkg != p.Pkg || n.Body == nil {
+			continue
+		}
+		if _, hot := facts.parent[n]; !hot {
+			continue
+		}
+		chain := pathString(Path(facts.parent, n))
+		scanAllocs(p, n, chain)
+	}
+}
+
+// reportStrayHotPath flags hotpath directives in the package that do not
+// annotate a function declaration.
+func reportStrayHotPath(p *Pass) {
+	docPos := make(map[token.Pos]bool)
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Doc != nil {
+				for _, c := range fd.Doc.List {
+					docPos[c.Pos()] = true
+				}
+			}
+		}
+	}
+	for _, f := range p.Pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if isHotPathComment(c.Text) && !docPos[c.Pos()] {
+					p.Report(c.Pos(), "//simlint:hotpath must be part of a function declaration's doc comment; it marks nothing here")
+				}
+			}
+		}
+	}
+}
+
+// scanAllocs walks one hot function's own statements reporting heap
+// allocation sites. Nested function literals are separate call-graph
+// nodes (reported only if themselves hot); panic arguments are exempt
+// (the path is terminal).
+func scanAllocs(p *Pass, n *CGNode, chain string) {
+	info := n.Pkg.Info
+	report := func(pos token.Pos, what string) {
+		p.Report(pos, fmt.Sprintf("%s on hot path %s", what, chain))
+	}
+	var walk func(c ast.Node) bool
+	walk = func(c ast.Node) bool {
+		switch c := c.(type) {
+		case *ast.FuncLit:
+			if capturesOuter(info, c) {
+				report(c.Pos(), "closure allocates (captured variables escape to the heap)")
+			}
+			return false
+		case *ast.CallExpr:
+			if isPanicCall(info, c) {
+				return false // terminal path; allocation there is fine
+			}
+			checkCallAlloc(p, info, c, report)
+		case *ast.CompositeLit:
+			t := typeOf(info, c)
+			if t == nil {
+				return true
+			}
+			switch deref(t).Underlying().(type) {
+			case *types.Slice:
+				report(c.Pos(), "slice literal allocates")
+				return false
+			case *types.Map:
+				report(c.Pos(), "map literal allocates")
+				return false
+			}
+		case *ast.UnaryExpr:
+			if c.Op == token.AND {
+				if _, ok := unparen(c.X).(*ast.CompositeLit); ok {
+					report(c.Pos(), "&composite literal allocates")
+					// Still descend: nested literals may allocate too.
+				}
+			}
+		case *ast.BinaryExpr:
+			if c.Op == token.ADD && isStringType(typeOf(info, c)) {
+				report(c.Pos(), "string concatenation allocates")
+			}
+		}
+		return true
+	}
+	ast.Inspect(n.Body, func(c ast.Node) bool {
+		if c == nil {
+			return false
+		}
+		return walk(c)
+	})
+}
+
+// checkCallAlloc flags allocating calls: growing append, make, new,
+// allocating string conversions, fmt.*, and interface boxing of concrete
+// non-pointer arguments at any call site.
+func checkCallAlloc(p *Pass, info *types.Info, call *ast.CallExpr, report func(token.Pos, string)) {
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		// Conversion: string(bytes) and friends allocate.
+		if isStringType(tv.Type) && len(call.Args) == 1 {
+			if !isStringType(typeOf(info, call.Args[0])) {
+				report(call.Pos(), "conversion to string allocates")
+			}
+		}
+		return
+	}
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "append":
+				report(call.Pos(), "append may grow its backing array (allocation)")
+			case "make":
+				report(call.Pos(), "make allocates")
+			case "new":
+				report(call.Pos(), "new allocates")
+			}
+			return
+		}
+	}
+	callee := staticCallee(info, call)
+	if callee != nil && callee.Pkg() != nil && callee.Pkg().Path() == "fmt" {
+		report(call.Pos(), "fmt."+callee.Name()+" allocates")
+		return // boxing into its ...any args is implied
+	}
+	// Interface boxing: a concrete non-pointer argument passed to an
+	// interface-typed parameter allocates at the conversion.
+	sig := callSignature(info, call)
+	if sig == nil {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		j := i
+		if sig.Variadic() && j >= params.Len()-1 {
+			j = params.Len() - 1
+			if call.Ellipsis != token.NoPos {
+				continue // slice passed through, no per-element boxing
+			}
+		}
+		if j < 0 || j >= params.Len() {
+			continue
+		}
+		pt := params.At(j).Type()
+		if sig.Variadic() && j == params.Len()-1 {
+			if sl, ok := pt.Underlying().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		at := typeOf(info, arg)
+		if at == nil || types.IsInterface(at) {
+			continue // interface-to-interface: no new allocation
+		}
+		switch at.Underlying().(type) {
+		case *types.Pointer, *types.Signature, *types.Chan, *types.Map:
+			continue // pointer-shaped: the data word is the pointer itself
+		}
+		report(arg.Pos(), fmt.Sprintf("interface conversion of %s boxes (allocates)",
+			types.TypeString(at, func(*types.Package) string { return "" })))
+	}
+}
+
+// staticCallee resolves a call's static target, including methods.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// callSignature returns the signature a call invokes, if known.
+func callSignature(info *types.Info, call *ast.CallExpr) *types.Signature {
+	if callee := staticCallee(info, call); callee != nil {
+		sig, _ := callee.Type().(*types.Signature)
+		return sig
+	}
+	t := typeOf(info, call.Fun)
+	if t == nil {
+		return nil
+	}
+	sig, _ := t.Underlying().(*types.Signature)
+	return sig
+}
+
+// isPanicCall reports whether the call is to the builtin panic.
+func isPanicCall(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "panic"
+}
+
+// capturesOuter reports whether the literal references variables declared
+// outside itself (captured variables force a heap allocation for the
+// closure).
+func capturesOuter(info *types.Info, lit *ast.FuncLit) bool {
+	captured := false
+	ast.Inspect(lit.Body, func(c ast.Node) bool {
+		if captured {
+			return false
+		}
+		id, ok := c.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Parent() == nil {
+			return true
+		}
+		// Package-level variables are not captures.
+		if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return true
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			captured = true
+			return false
+		}
+		return true
+	})
+	return captured
+}
+
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

@@ -1,0 +1,221 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ObsPurity proves PR 4's "observation is cycle-pure" invariant
+// statically: a Bus subscriber — any type with an Event(*obs.Event)
+// method — must never write simulation state. The analyzer finds every
+// observer Event method in the package and checks, transitively over the
+// call graph, that no reachable function writes a field of a type
+// declared in internal/sim or internal/memsys, writes a package-level
+// variable of those packages, or calls a method that does. A subscriber
+// that mutates memsys state would silently change simulated timing the
+// moment an observer is attached, breaking the contract that observed and
+// unobserved runs are cycle-identical.
+var ObsPurity = &Analyzer{
+	Name: "obspurity",
+	Doc:  "Bus subscribers must not write internal/sim or internal/memsys state",
+	Run:  runObsPurity,
+}
+
+// simWrite is one direct write of simulation state found in a function
+// body.
+type simWrite struct {
+	pos  token.Pos
+	desc string
+}
+
+// simStatePath reports whether a package path names coherence/engine
+// state: internal/sim, internal/memsys, or a subpackage.
+func simStatePath(path string) bool {
+	segs := strings.Split(path, "/")
+	for i := 0; i+1 < len(segs); i++ {
+		if segs[i] == "internal" && (segs[i+1] == "sim" || segs[i+1] == "memsys") {
+			return true
+		}
+	}
+	return false
+}
+
+// simStateWrites computes (and memoizes) the direct simulation-state
+// writes of every call-graph node.
+func (prog *Program) simStateWrites() map[*CGNode][]simWrite {
+	if prog.simWrites != nil {
+		return prog.simWrites
+	}
+	g := prog.callGraph()
+	writes := make(map[*CGNode][]simWrite)
+	for _, n := range g.Nodes {
+		if n.Body == nil {
+			continue
+		}
+		if ws := directSimWrites(n); len(ws) > 0 {
+			writes[n] = ws
+		}
+	}
+	prog.simWrites = writes
+	return writes
+}
+
+// directSimWrites scans one node's own statements for writes to sim or
+// memsys state.
+func directSimWrites(n *CGNode) []simWrite {
+	info := n.Pkg.Info
+	var out []simWrite
+	check := func(lhs ast.Expr) {
+		if desc, bad := simStateLHS(info, lhs); bad {
+			out = append(out, simWrite{pos: lhs.Pos(), desc: desc})
+		}
+	}
+	inspectOwn(n.Body, func(c ast.Node) {
+		switch c := c.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range c.Lhs {
+				check(lhs)
+			}
+		case *ast.IncDecStmt:
+			check(c.X)
+		}
+	})
+	return out
+}
+
+// simStateLHS classifies an assignment target as simulation state: a
+// field selected from a sim/memsys-typed value, an element or pointee
+// reached through one, or a package-level variable of those packages.
+func simStateLHS(info *types.Info, lhs ast.Expr) (string, bool) {
+	for {
+		switch x := lhs.(type) {
+		case *ast.Ident:
+			v, ok := info.Uses[x].(*types.Var)
+			if ok && !v.IsField() && v.Pkg() != nil && simStatePath(v.Pkg().Path()) &&
+				v.Parent() == v.Pkg().Scope() {
+				return fmt.Sprintf("writes package-level %s.%s", v.Pkg().Name(), v.Name()), true
+			}
+			return "", false
+		case *ast.SelectorExpr:
+			if sel, ok := info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+				if named := namedOf(sel.Recv()); named != nil {
+					if pkg := named.Obj().Pkg(); pkg != nil && simStatePath(pkg.Path()) {
+						return fmt.Sprintf("writes %s.%s field %s",
+							pkg.Name(), named.Obj().Name(), x.Sel.Name), true
+					}
+				}
+			}
+			lhs = x.X
+		case *ast.IndexExpr:
+			lhs = x.X
+		case *ast.StarExpr:
+			if named := namedOf(typeOf(info, x.X)); named != nil {
+				if pkg := named.Obj().Pkg(); pkg != nil && simStatePath(pkg.Path()) {
+					return fmt.Sprintf("writes through *%s.%s", pkg.Name(), named.Obj().Name()), true
+				}
+			}
+			lhs = x.X
+		case *ast.ParenExpr:
+			lhs = x.X
+		default:
+			return "", false
+		}
+	}
+}
+
+// namedOf unwraps a type to its named form, looking through pointers.
+func namedOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// inspectOwn walks a body, skipping nested function literals (they are
+// their own call-graph nodes).
+func inspectOwn(body ast.Node, fn func(ast.Node)) {
+	first := true
+	ast.Inspect(body, func(c ast.Node) bool {
+		if c == nil {
+			return false
+		}
+		if _, ok := c.(*ast.FuncLit); ok && !first {
+			return false
+		}
+		first = false
+		fn(c)
+		return true
+	})
+}
+
+// isObserverEvent reports whether fn is an Event method with exactly one
+// parameter of type *Event from a package named "obs" — the structural
+// obs.Observer contract.
+func isObserverEvent(fn *types.Func) bool {
+	if fn.Name() != "Event" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || sig.Params().Len() != 1 || sig.Results().Len() != 0 {
+		return false
+	}
+	ptr, ok := sig.Params().At(0).Type().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Event" && obj.Pkg() != nil && obj.Pkg().Name() == "obs"
+}
+
+func runObsPurity(p *Pass) {
+	g := p.Prog.callGraph()
+	writes := p.Prog.simStateWrites()
+	for _, n := range g.Nodes {
+		if n.Pkg != p.Pkg || n.Func == nil || n.Body == nil || !isObserverEvent(n.Func) {
+			continue
+		}
+		reportImpurity(p, g, n, writes)
+	}
+}
+
+// reportImpurity checks one observer Event method: any reachable direct
+// write of sim/memsys state is a violation. Direct writes in the method
+// itself are reported at the write; transitive ones at the method with
+// the offending call chain.
+func reportImpurity(p *Pass, g *CallGraph, event *CGNode, writes map[*CGNode][]simWrite) {
+	parent := g.Reachable([]*CGNode{event})
+	// Deterministic order: iterate nodes in graph order.
+	for _, n := range g.Nodes {
+		if _, ok := parent[n]; !ok {
+			continue
+		}
+		ws, ok := writes[n]
+		if !ok {
+			continue
+		}
+		if n == event {
+			for _, w := range ws {
+				p.Report(w.pos, fmt.Sprintf(
+					"observer %s %s: observation must be cycle-pure (subscribers never mutate simulation state)",
+					event.Name, w.desc))
+			}
+			continue
+		}
+		w := ws[0]
+		pos := p.Pkg.Fset.Position(w.pos)
+		p.Report(event.Pos, fmt.Sprintf(
+			"observer %s reaches a simulation-state write: %s %s (%s:%d); observation must be cycle-pure",
+			event.Name, pathString(Path(parent, n)), w.desc, pos.Filename, pos.Line))
+	}
+}

@@ -1,0 +1,65 @@
+package analysis
+
+import "sort"
+
+// PDESEntry is one line of the PDES-readiness report: a sharedstate
+// finding plus its suppression status. Unlike the lint view, the report
+// keeps suppressed findings — an //simlint:lp-owned annotation documents
+// the ownership story, it does not shrink the conversion worklist.
+type PDESEntry struct {
+	Diagnostic
+	Suppressed bool   `json:"suppressed"`
+	Reason     string `json:"reason,omitempty"`
+}
+
+// PDESReport runs the sharedstate analyzer over every applicable package
+// and returns the full inventory, suppressed entries included, sorted by
+// position. This is the worklist for ROADMAP item 1 (one LP per CMP
+// node): every entry either becomes a scheduled event, moves into
+// per-run state, or carries a documented ownership justification.
+func (prog *Program) PDESReport() []PDESEntry {
+	var out []PDESEntry
+	for _, pkg := range prog.Pkgs {
+		if SharedState.AppliesTo != nil && !SharedState.AppliesTo(pkg.Path) {
+			continue
+		}
+		var diags []Diagnostic
+		pass := &Pass{Prog: prog, Pkg: pkg, analyzer: SharedState, diags: &diags}
+		SharedState.Run(pass)
+		known := make(map[string]bool)
+		for _, a := range Analyzers() {
+			known[a.Name] = true
+		}
+		dirs := parseDirectives(pkg, known)
+		for _, diag := range diags {
+			entry := PDESEntry{Diagnostic: diag}
+			for _, d := range dirs {
+				if d.bad != "" || d.file != diag.File || diag.Line < d.line || diag.Line > d.endLine {
+					continue
+				}
+				covers := d.kind == "lp-owned" ||
+					(d.kind == "ignore" && (d.analyzers == nil || d.analyzers[SharedState.Name]))
+				if covers {
+					entry.Suppressed = true
+					entry.Reason = d.reason
+					break
+				}
+			}
+			out = append(out, entry)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Message < b.Message
+	})
+	return out
+}

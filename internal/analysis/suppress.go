@@ -1,16 +1,36 @@
 package analysis
 
 import (
+	"go/ast"
 	"go/token"
 	"strings"
 )
 
+// SuppressAudit keeps the suppression inventory honest: a well-formed
+// //simlint:ignore, //simlint:ordered, or //simlint:lp-owned directive
+// that no longer suppresses any finding is stale — the code it excused
+// was fixed or moved — and stale directives are worse than none, because
+// they claim a violation that is not there and will silently swallow the
+// next real one introduced on that line. Staleness is only judged when
+// every analyzer the directive targets is enabled in the current run, so
+// partial runs (-disable flags) never produce false staleness.
+//
+// The analyzer itself is a no-op; the detection lives in the suppression
+// filter, which knows which directives matched.
+var SuppressAudit = &Analyzer{
+	Name: "suppressaudit",
+	Doc:  "flag suppression directives that no longer suppress anything",
+	Run:  func(*Pass) {},
+}
+
 // directive is one parsed //simlint: comment.
 type directive struct {
-	kind      string          // "ignore" or "ordered"
+	kind      string          // "ignore", "ordered", "hotpath", or "lp-owned"
 	analyzers map[string]bool // ignore only; nil means all
+	reason    string          // the justification text
 	file      string
-	line      int // line the directive suppresses findings on
+	line      int // first line the directive suppresses findings on
+	endLine   int // last line (== line except doc-comment lp-owned)
 	pos       token.Position
 	bad       string // non-empty if malformed (the reason it is)
 }
@@ -18,14 +38,48 @@ type directive struct {
 const (
 	ignorePrefix  = "//simlint:ignore"
 	orderedPrefix = "//simlint:ordered"
+	hotpathPrefix = "//simlint:hotpath"
+	lpOwnedPrefix = "//simlint:lp-owned"
 	prefixAny     = "//simlint:"
+
+	malformedWant = "unknown directive (want //simlint:ignore, //simlint:ordered, //simlint:hotpath, or //simlint:lp-owned)"
 )
 
 // parseDirectives extracts every simlint directive from a package's
 // comments. A directive that stands alone on its line applies to the next
-// line; a trailing directive applies to its own line.
+// line that is not itself a standalone directive — so directives stack,
+// each suppressing its own analyzers on the line they jointly annotate —
+// while a trailing directive applies to its own line. An lp-owned
+// directive in a function declaration's doc comment covers the whole
+// function — LP ownership is a property of the transaction, not of one
+// statement.
 func parseDirectives(pkg *Package, known map[string]bool) []directive {
-	var out []directive
+	type span struct{ first, last int }
+	docSpan := make(map[token.Pos]span)
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			s := span{
+				first: pkg.Fset.Position(fd.Pos()).Line,
+				last:  pkg.Fset.Position(fd.End()).Line,
+			}
+			for _, c := range fd.Doc.List {
+				docSpan[c.Pos()] = s
+			}
+		}
+	}
+	// aloneLines records which lines hold a standalone directive, per file,
+	// so a stacked directive can skip over the ones below it.
+	aloneLines := make(map[string]map[int]bool)
+	type rawDir struct {
+		c     *ast.Comment
+		pos   token.Position
+		alone bool
+	}
+	var raw []rawDir
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -33,15 +87,37 @@ func parseDirectives(pkg *Package, known map[string]bool) []directive {
 					continue
 				}
 				pos := pkg.Fset.Position(c.Pos())
-				d := parseDirective(c.Text, pos, known)
-				d.file = pos.Filename
-				d.line = pos.Line
-				if standsAlone(pkg.Src[pos.Filename], pos) {
-					d.line = pos.Line + 1
+				alone := standsAlone(pkg.Src[pos.Filename], pos)
+				if alone {
+					m := aloneLines[pos.Filename]
+					if m == nil {
+						m = make(map[int]bool)
+						aloneLines[pos.Filename] = m
+					}
+					m[pos.Line] = true
 				}
-				out = append(out, d)
+				raw = append(raw, rawDir{c: c, pos: pos, alone: alone})
 			}
 		}
+	}
+	var out []directive
+	for _, r := range raw {
+		d := parseDirective(r.c.Text, r.pos, known)
+		d.file = r.pos.Filename
+		d.line = r.pos.Line
+		if r.alone {
+			d.line = r.pos.Line + 1
+			for aloneLines[d.file][d.line] {
+				d.line++
+			}
+		}
+		d.endLine = d.line
+		if d.kind == "lp-owned" && d.bad == "" {
+			if s, ok := docSpan[r.c.Pos()]; ok {
+				d.line, d.endLine = s.first, s.last
+			}
+		}
+		out = append(out, d)
 	}
 	return out
 }
@@ -57,19 +133,39 @@ func parseDirective(text string, pos token.Position, known map[string]bool) dire
 	case strings.HasPrefix(text, orderedPrefix):
 		d.kind = "ordered"
 		rest = strings.TrimPrefix(text, orderedPrefix)
+	case strings.HasPrefix(text, lpOwnedPrefix):
+		d.kind = "lp-owned"
+		rest = strings.TrimPrefix(text, lpOwnedPrefix)
+	case strings.HasPrefix(text, hotpathPrefix):
+		d.kind = "hotpath"
+		rest = strings.TrimPrefix(text, hotpathPrefix)
 	default:
-		d.bad = "unknown directive (want //simlint:ignore or //simlint:ordered)"
+		d.bad = malformedWant
 		return d
 	}
 	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
-		d.bad = "unknown directive (want //simlint:ignore or //simlint:ordered)"
+		d.bad = malformedWant
 		return d
 	}
 	fields := strings.Fields(rest)
-	if d.kind == "ordered" {
+	switch d.kind {
+	case "hotpath":
+		// A root marker, not a suppression; the reason is optional.
+		d.reason = strings.Join(fields, " ")
+		return d
+	case "ordered":
 		if len(fields) == 0 {
 			d.bad = "//simlint:ordered needs a justification: //simlint:ordered <reason>"
+			return d
 		}
+		d.reason = strings.Join(fields, " ")
+		return d
+	case "lp-owned":
+		if len(fields) == 0 {
+			d.bad = "//simlint:lp-owned needs an ownership justification: //simlint:lp-owned <reason>"
+			return d
+		}
+		d.reason = strings.Join(fields, " ")
 		return d
 	}
 	// ignore: first field names the analyzers (or "all"), the rest is the
@@ -90,7 +186,9 @@ func parseDirective(text string, pos token.Position, known map[string]bool) dire
 	}
 	if len(fields) < 2 {
 		d.bad = "//simlint:ignore needs a justification after the analyzer list"
+		return d
 	}
+	d.reason = strings.Join(fields[1:], " ")
 	return d
 }
 
@@ -112,22 +210,46 @@ func standsAlone(src []byte, pos token.Position) bool {
 	return true
 }
 
-// filterSuppressed drops diagnostics covered by a well-formed directive
-// and appends a "simlint" finding for every malformed directive.
-func filterSuppressed(pkg *Package, diags []Diagnostic, analyzers []*Analyzer) []Diagnostic {
-	known := make(map[string]bool, len(analyzers))
+// filterSuppressed drops diagnostics covered by a well-formed directive,
+// appends a "simlint" finding for every malformed directive, and — when
+// suppressaudit is enabled — a staleness finding for every well-formed
+// suppression that matched nothing.
+func (prog *Program) filterSuppressed(pkg *Package, diags []Diagnostic, analyzers []*Analyzer) []Diagnostic {
+	enabled := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
+		enabled[a.Name] = true
+	}
+	// Directive well-formedness is judged against the full suite, not the
+	// enabled subset: disabling an analyzer must not turn its directives
+	// into "unknown analyzer" findings.
+	known := make(map[string]bool)
+	for _, a := range Analyzers() {
 		known[a.Name] = true
 	}
+	for name := range enabled {
+		known[name] = true
+	}
 	dirs := parseDirectives(pkg, known)
+	used := make([]bool, len(dirs))
 	var out []Diagnostic
 	for _, diag := range diags {
-		if !suppressed(diag, dirs) {
+		if !markSuppressed(diag, dirs, used) {
 			out = append(out, diag)
 		}
 	}
-	for _, d := range dirs {
-		if d.bad == "" {
+	for i, d := range dirs {
+		if d.bad != "" {
+			out = append(out, Diagnostic{
+				Pos:      d.pos,
+				File:     d.pos.Filename,
+				Line:     d.pos.Line,
+				Col:      d.pos.Column,
+				Analyzer: "simlint",
+				Message:  "malformed directive: " + d.bad,
+			})
+			continue
+		}
+		if used[i] || !enabled[SuppressAudit.Name] || !staleEligible(d, enabled) {
 			continue
 		}
 		out = append(out, Diagnostic{
@@ -135,29 +257,68 @@ func filterSuppressed(pkg *Package, diags []Diagnostic, analyzers []*Analyzer) [
 			File:     d.pos.Filename,
 			Line:     d.pos.Line,
 			Col:      d.pos.Column,
-			Analyzer: "simlint",
-			Message:  "malformed directive: " + d.bad,
+			Analyzer: SuppressAudit.Name,
+			Message:  "stale //simlint:" + d.kind + " directive: it suppresses no finding; delete it (or fix its placement)",
 		})
 	}
 	return out
 }
 
-// suppressed reports whether a well-formed directive covers the finding.
-func suppressed(diag Diagnostic, dirs []directive) bool {
-	for _, d := range dirs {
-		if d.bad != "" || d.file != diag.File || d.line != diag.Line {
+// markSuppressed reports whether a well-formed directive covers the
+// finding, marking every matching directive as used.
+func markSuppressed(diag Diagnostic, dirs []directive, used []bool) bool {
+	hit := false
+	for i, d := range dirs {
+		if d.bad != "" || d.file != diag.File || diag.Line < d.line || diag.Line > d.endLine {
 			continue
 		}
 		switch d.kind {
 		case "ignore":
 			if d.analyzers == nil || d.analyzers[diag.Analyzer] {
-				return true
+				used[i] = true
+				hit = true
 			}
 		case "ordered":
 			if diag.Analyzer == MapOrder.Name || diag.Analyzer == FloatSum.Name {
-				return true
+				used[i] = true
+				hit = true
+			}
+		case "lp-owned":
+			if diag.Analyzer == SharedState.Name {
+				used[i] = true
+				hit = true
 			}
 		}
+	}
+	return hit
+}
+
+// staleEligible reports whether an unused directive can be called stale
+// under the enabled analyzer set: every analyzer the directive could
+// suppress must actually have run, so -disable flags never fabricate
+// staleness. Hotpath markers are roots, not suppressions; misplacement is
+// hotpathalloc's job.
+func staleEligible(d directive, enabled map[string]bool) bool {
+	switch d.kind {
+	case "ignore":
+		if d.analyzers == nil {
+			for _, a := range Analyzers() {
+				if !enabled[a.Name] {
+					return false
+				}
+			}
+			return true
+		}
+		for name := range d.analyzers { //simlint:ordered all-quantifier over a set; any order yields the same answer
+			if !enabled[name] {
+				return false
+			}
+		}
+		return true
+	case "ordered":
+		return enabled[MapOrder.Name] && enabled[FloatSum.Name]
+	case "lp-owned":
+		return enabled[SharedState.Name]
 	}
 	return false
 }

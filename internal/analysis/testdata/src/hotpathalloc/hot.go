@@ -1,0 +1,64 @@
+// Package hotpathalloc exercises the static zero-alloc contract: every
+// allocation reachable from a //simlint:hotpath root is a finding, even
+// when the path goes through an interface call, while the same code off
+// the hot path is fine.
+package hotpathalloc
+
+// Sink is dispatched through at the root, so every implementation's Put
+// is hot.
+type Sink interface {
+	Put(v int)
+}
+
+type listSink struct{ buf []int }
+
+func (s *listSink) Put(v int) {
+	s.buf = append(s.buf, v) // want `append may grow its backing array`
+}
+
+type nullSink struct{}
+
+func (nullSink) Put(v int) {}
+
+// step is the fixture's engine inner loop: the hot root.
+//
+//simlint:hotpath fixture root: the per-event inner loop
+func step(s Sink, v int) {
+	s.Put(v)
+	note(v)
+}
+
+// note is hot transitively (step calls it).
+func note(v int) {
+	record(v) // want `interface conversion of int boxes`
+}
+
+func record(x any) { _ = x }
+
+// emit is a hot root whose closure creation escapes.
+//
+//simlint:hotpath fixture root: per-event callback construction
+func emit(v int) func() int {
+	f := func() int { return v } // want `closure allocates`
+	return f
+}
+
+// warm is a hot root with a justified, suppressed allocation.
+//
+//simlint:hotpath fixture root: warmup path
+func warm(s *listSink, v int) {
+	//simlint:ignore hotpathalloc capacity is reserved at construction; the append is in place
+	s.buf = append(s.buf, v)
+}
+
+// cold is not reachable from any root: its allocations are fine.
+func cold() []int {
+	out := make([]int, 8)
+	return append(out, 1)
+}
+
+func stray() {
+	// want-below `must be part of a function declaration's doc comment`
+	//simlint:hotpath inside a body this marks nothing
+	_ = 0
+}

@@ -54,6 +54,8 @@ func missingJustification() {
 }
 
 func wrongAnalyzerScope() {
+	// The misscoped directive suppresses nothing, so it is also stale.
+	// want-below `stale //simlint:ignore directive`
 	//simlint:ignore maporder scoped to a different analyzer, so this does not suppress
 	_ = time.Now() // want `time.Now in simulation code`
 }

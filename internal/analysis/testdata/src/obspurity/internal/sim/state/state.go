@@ -1,0 +1,9 @@
+// Package state stands in for engine state: its import path passes
+// through internal/sim, so writes to its types are simulation-state
+// writes.
+package state
+
+// Engine is a stand-in for the event-driven engine.
+type Engine struct {
+	Now int64
+}

@@ -1,0 +1,10 @@
+// Package obs is a stand-in for the simulator's observation layer: the
+// analyzer recognizes observers structurally, as Event(*obs.Event)
+// methods of any package named obs.
+package obs
+
+// Event is one observation record.
+type Event struct {
+	Kind int
+	Time int64
+}

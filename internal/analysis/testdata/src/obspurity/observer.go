@@ -1,0 +1,39 @@
+// Package obspurity exercises the observer-purity contract: a Bus
+// subscriber must never write internal/sim or internal/memsys state,
+// directly or through any call chain.
+package obspurity
+
+import (
+	"obspurity/internal/sim/state"
+	"obspurity/obs"
+)
+
+// BadObserver writes engine state directly from its Event hook.
+type BadObserver struct {
+	Eng *state.Engine
+}
+
+func (o *BadObserver) Event(e *obs.Event) {
+	o.Eng.Now++ // want `writes state.Engine field Now`
+}
+
+// DeepObserver reaches the same write through a helper.
+type DeepObserver struct {
+	Eng *state.Engine
+}
+
+func (o *DeepObserver) Event(e *obs.Event) { // want `reaches a simulation-state write`
+	bump(o.Eng)
+}
+
+func bump(e *state.Engine) { e.Now++ }
+
+// GoodObserver only reads simulation state and mutates its own.
+type GoodObserver struct {
+	Eng  *state.Engine
+	seen int64
+}
+
+func (o *GoodObserver) Event(e *obs.Event) {
+	o.seen += o.Eng.Now
+}

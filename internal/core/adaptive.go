@@ -76,9 +76,10 @@ func (r *Runner) switchPolicy(p *pair, next ARSync) {
 		if p.r != nil {
 			cpu = p.r.cpu.ID
 		}
-		r.bus.Emit(&obs.Event{
+		r.ev = obs.Event{
 			Kind: obs.EvPolicySwitch, Time: r.eng.Now(), Task: p.id, CPU: cpu,
 			Note: next.String(),
-		})
+		}
+		r.bus.Emit(&r.ev)
 	}
 }

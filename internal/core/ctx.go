@@ -349,6 +349,7 @@ func (c *Ctx) barrierWait() {
 	tArr := home.DC(0).Acquire(tmsg, r.opts.SyncOcc) + r.opts.SyncOcc
 	b.arrived++
 	if b.arrived < b.n {
+		//simlint:ignore hotpathalloc waiter list is bounded by the task count; capacity is stable after the first barrier
 		b.waiters = append(b.waiters, syncWaiter{c.proc, c.cpu.Node})
 		c.park("barrier")
 	} else {
@@ -439,6 +440,7 @@ func (c *Ctx) Lock(id int) {
 		ls.held = true
 		c.proc.WaitUntil(tAt + r.transit(home, c.cpu.Node))
 	} else {
+		//simlint:ignore hotpathalloc lock queue is bounded by the task count; capacity is stable after first contention
 		ls.queue = append(ls.queue, syncWaiter{c.proc, c.cpu.Node})
 		c.park("lock")
 	}
@@ -515,6 +517,7 @@ func (c *Ctx) WaitEvent(id int) {
 	es := r.event(id)
 	t0 := c.engNow()
 	if !es.signaled {
+		//simlint:ignore hotpathalloc waiter list is bounded by the task count; capacity is stable after the first wait
 		es.waiters = append(es.waiters, syncWaiter{c.proc, c.cpu.Node})
 		c.park("event")
 	} else {
@@ -589,6 +592,7 @@ func (c *Ctx) Once(f func() int64) int64 {
 	c.drainStores()
 	v := f()
 	if c.pr != nil {
+		//simlint:ignore hotpathalloc once-value log capacity is reused across sessions; grows only until the deepest R-A lead is reached
 		c.pr.onceVals = append(c.pr.onceVals, v)
 		if c.pr.onceWait != nil {
 			c.pr.onceWait.Wake(c.engNow())

@@ -125,6 +125,7 @@ func (a ARSync) String() string {
 	case ZeroTokenGlobal:
 		return "G0"
 	}
+	//simlint:ignore hotpathalloc defensive default for invalid values; the four real policies return constants
 	return fmt.Sprintf("ARSync(%d)", int(a))
 }
 

@@ -83,6 +83,8 @@ type pair struct {
 	// the A-stream enqueues fetched line addresses, the R-stream's side
 	// drains them as L2-to-L1 pushes. Overflow drops the oldest entry.
 	fq []memsys.Addr
+	// popBuf is fqPop's reusable result buffer (≤ fqCap entries).
+	popBuf []memsys.Addr
 }
 
 // fqCap bounds the forwarding queue (a small hardware FIFO).
@@ -97,15 +99,19 @@ func (p *pair) fqPush(line memsys.Addr) {
 		copy(p.fq, p.fq[1:])
 		p.fq = p.fq[:fqCap-1]
 	}
+	//simlint:ignore hotpathalloc queue is capped at fqCap; capacity is stable after warmup
 	p.fq = append(p.fq, line)
 }
 
-// fqPop dequeues up to n addresses.
+// fqPop dequeues up to n addresses into a scratch buffer reused across
+// calls; the result is only valid until the next fqPop on this pair.
 func (p *pair) fqPop(n int) []memsys.Addr {
 	if len(p.fq) < n {
 		n = len(p.fq)
 	}
-	out := p.fq[:n:n]
-	p.fq = append([]memsys.Addr(nil), p.fq[n:]...)
-	return out
+	//simlint:ignore hotpathalloc scratch reaches fqCap capacity after warmup; the append is then in place
+	p.popBuf = append(p.popBuf[:0], p.fq[:n]...)
+	rest := copy(p.fq, p.fq[n:])
+	p.fq = p.fq[:rest]
+	return p.popBuf
 }

@@ -31,6 +31,11 @@ type Runner struct {
 	bus *obs.Bus       // observation bus; nil when nothing is attached
 	aud *audit.Auditor // non-nil when the run is audited
 
+	// ev is the scratch event reused by every Runner emission, mirroring
+	// the memsys idiom: observers must not retain the pointer past Event,
+	// so emitting costs no allocation.
+	ev obs.Event
+
 	barrier barrierState
 	locks   map[int]*lockState
 	events  map[int]*eventState
@@ -152,10 +157,11 @@ func (r *Runner) emitTaskEnd(c *Ctx, end, measured int64) {
 	if r.bus == nil {
 		return
 	}
-	r.bus.Emit(&obs.Event{
+	r.ev = obs.Event{
 		Kind: obs.EvTaskEnd, Time: end, Dur: measured, Task: c.id, CPU: c.cpu.ID,
 		Session: c.session, Role: obs.Role(c.role), BD: c.bd, Note: c.role.String(),
-	})
+	}
+	r.bus.Emit(&r.ev)
 }
 
 // spawnTasks creates the task processes according to the execution mode.
@@ -213,11 +219,13 @@ func (r *Runner) spawnTask(id int, cpu *memsys.CPU, role memsys.Role, p *pair) *
 // spawnA starts an A-stream incarnation. Reforked incarnations fast-forward
 // functionally to ffTarget sessions before resuming timed execution.
 func (r *Runner) spawnA(p *pair, cpu *memsys.CPU, refork bool, ffTarget int) *Ctx {
+	//simlint:ignore hotpathalloc one context per A-stream incarnation, amortized over the incarnation's simulated lifetime
 	c := &Ctx{
 		run: r, cpu: cpu, id: p.id, role: memsys.RoleA, pr: p,
 		fastForward: refork, ffTarget: ffTarget,
 	}
 	r.emitTaskStart(c, refork)
+	//simlint:ignore hotpathalloc one name and one body closure per incarnation, amortized over its simulated lifetime
 	c.proc = r.eng.Go(fmt.Sprintf("task%d(A)", p.id), func(proc *sim.Proc) {
 		c.proc = proc
 		if refork {
@@ -245,10 +253,11 @@ func (r *Runner) reforkA(p *pair, rCtx *Ctx) {
 	old.finished = true
 	r.recoveries++
 	if r.bus != nil {
-		r.bus.Emit(&obs.Event{
+		r.ev = obs.Event{
 			Kind: obs.EvRecovery, Time: r.eng.Now(), Task: p.id, CPU: old.cpu.ID,
 			Session: rCtx.session, Role: obs.RoleA,
-		})
+		}
+		r.bus.Emit(&r.ev)
 	}
 	p.sem.reset(p.policy.InitialTokens())
 	p.onceWait = nil

@@ -46,6 +46,7 @@ func (r *Runner) transit(a, b *memsys.Node) int64 {
 func (r *Runner) lock(id int) *lockState {
 	ls := r.locks[id]
 	if ls == nil {
+		//simlint:ignore hotpathalloc one state record per lock id, first use only
 		ls = &lockState{}
 		r.locks[id] = ls
 	}
@@ -56,6 +57,7 @@ func (r *Runner) lock(id int) *lockState {
 func (r *Runner) event(id int) *eventState {
 	es := r.events[id]
 	if es == nil {
+		//simlint:ignore hotpathalloc one state record per event id, first use only
 		es = &eventState{}
 		r.events[id] = es
 	}

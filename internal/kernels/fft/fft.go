@@ -93,6 +93,7 @@ func (k *Kernel) Task(c *core.Ctx) {
 	x := simBuf{c, k.x}
 	y := simBuf{c, k.y}
 	w := simBuf{c, k.w}
+	//simlint:ignore hotpathalloc per-task functional-emulation setup, amortized over the task's simulated execution
 	sixStep(x, y, w, k.n1, k.n2, c.ID(), c.NumTasks(), func(cy int64) { c.Compute(cy) }, c.Barrier)
 }
 

@@ -89,6 +89,7 @@ func (k *Kernel) owner(bi, bj int) int {
 func (k *Kernel) Task(c *core.Ctx) {
 	n, b, nb := k.cfg.N, k.cfg.B, k.nb
 	me := c.ID()
+	//simlint:ignore hotpathalloc per-task functional-emulation setup, amortized over the task's simulated execution
 	at := func(i, j int) int { return i*n + j }
 
 	for kb := 0; kb < nb; kb++ {

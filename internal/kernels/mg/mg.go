@@ -126,6 +126,7 @@ func (k *Kernel) smooth(c *core.Ctx, l int) {
 	lv := k.levels[l]
 	n := lv.n
 	zlo, zhi := planeRange(n, c.ID(), c.NumTasks())
+	//simlint:ignore hotpathalloc per-task functional-emulation setup, amortized over the task's simulated execution
 	idx := func(z, y, x int) int { return (z*n+y)*n + x }
 	for z := zlo; z < zhi; z++ {
 		for y := 1; y < n-1; y++ {
@@ -157,6 +158,7 @@ func (k *Kernel) smooth(c *core.Ctx, l int) {
 func (k *Kernel) restrictResidual(c *core.Ctx, l int) {
 	fine, coarse := k.levels[l], k.levels[l+1]
 	n, nc := fine.n, coarse.n
+	//simlint:ignore hotpathalloc per-task functional-emulation setup, amortized over the task's simulated execution
 	idx := func(z, y, x int) int { return (z*n+y)*n + x }
 	zlo, zhi := planeRange(nc, c.ID(), c.NumTasks())
 	for zc := zlo; zc < zhi; zc++ {
@@ -183,6 +185,7 @@ func (k *Kernel) restrictResidual(c *core.Ctx, l int) {
 func (k *Kernel) prolongate(c *core.Ctx, l int) {
 	fine, coarse := k.levels[l], k.levels[l+1]
 	n, nc := fine.n, coarse.n
+	//simlint:ignore hotpathalloc per-task functional-emulation setup, amortized over the task's simulated execution
 	idx := func(z, y, x int) int { return (z*n+y)*n + x }
 	zlo, zhi := planeRange(nc, c.ID(), c.NumTasks())
 	for zc := zlo; zc < zhi; zc++ {

@@ -77,6 +77,7 @@ func initForcing(n int, set func(int, float64)) {
 // constant-coefficient system of length m (pure private computation,
 // identical in every task and in the replay).
 func cprime(m int) []float64 {
+	//simlint:ignore hotpathalloc per-task functional-emulation setup, amortized over the task's simulated execution
 	cp := make([]float64, m)
 	cp[0] = coefC / coefB
 	for i := 1; i < m; i++ {
@@ -91,6 +92,7 @@ func (k *Kernel) Task(c *core.Ctx) {
 	nt := c.NumTasks()
 	me := c.ID()
 	zlo, zhi := kutil.Block(n, me, nt)
+	//simlint:ignore hotpathalloc per-task functional-emulation setup, amortized over the task's simulated execution
 	idx := func(z, y, x int) int { return (z*n+y)*n + x }
 	cp := cprime(n)
 

@@ -103,6 +103,7 @@ func (k *Kernel) Task(c *core.Ctx) {
 		// per-molecule locks — the migratory lock-guarded sharing that
 		// characterizes Water-NS.
 		localPot := 0.0
+		//simlint:ignore hotpathalloc per-task functional-emulation setup, amortized over the task's simulated execution
 		local := make([]float64, 3*n)
 		for i := lo; i < hi; i++ {
 			xi := k.pos.Load(c, 3*i)

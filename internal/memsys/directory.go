@@ -84,6 +84,7 @@ func NewDirectory() *Directory {
 func (d *Directory) Entry(line Addr) *DirEntry {
 	e := d.entries[line]
 	if e == nil {
+		//simlint:ignore hotpathalloc one entry per touched line, amortized over the run
 		e = &DirEntry{}
 		d.entries[line] = e
 	}

@@ -130,6 +130,7 @@ func NewSystem(eng *sim.Engine, p Params) (*System, error) {
 				L1:   NewCache(p.L1Size, p.L1Assoc, p.LineSize),
 			}
 		}
+		//simlint:lp-owned construction: runs before the clock starts, no LP exists yet
 		s.Nodes[i] = n
 	}
 	return s, nil
@@ -188,6 +189,7 @@ func (s *System) addRec(l *Line, role Role, excl bool, fillDone int64) {
 	if !s.Classify || role == RoleNone {
 		return
 	}
+	//simlint:ignore hotpathalloc record capacity is reused after closeRecs truncates to recs[:0]
 	l.recs = append(l.recs, reqRec{role: role, excl: excl, fillDone: fillDone})
 }
 

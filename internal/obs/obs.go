@@ -256,6 +256,8 @@ func (b *Bus) Attach(o Observer) *Bus {
 
 // Emit delivers e to every observer, synchronously and in attachment
 // order. Safe on a nil bus (drops the event).
+//
+//simlint:hotpath observation emission: runs once per event on observed runs and must stay allocation-free
 func (b *Bus) Emit(e *Event) {
 	if b == nil {
 		return

@@ -51,6 +51,7 @@ func (q *calQueue) len() int { return q.size }
 func (q *calQueue) width() int64 { return 1 << q.shift }
 
 func (q *calQueue) setBuckets(n int) {
+	//simlint:ignore hotpathalloc bucket-array sizing is amortized doubling; the steady-state hold is pinned zero-alloc dynamically
 	q.buckets = make([]calBucket, n)
 	q.mask = n - 1
 }
@@ -76,6 +77,7 @@ func (q *calQueue) push(ev event) {
 		q.setCursor(ev.at)
 	}
 	b := q.bucketFor(ev.at)
+	//simlint:ignore hotpathalloc bucket append is in place once capacity warms up; pinned zero-alloc dynamically
 	evs := append(b.evs, ev)
 	// Insert from the back: same-day events almost always arrive in order,
 	// so this loop body rarely runs.
@@ -181,6 +183,7 @@ func (q *calQueue) resize(n int) {
 	for i := range q.buckets {
 		b := &q.buckets[i]
 		for _, ev := range b.evs[b.head:] {
+			//simlint:ignore hotpathalloc resize is amortized doubling, not the steady-state path
 			q.scratch = append(q.scratch, ev)
 			if first || ev.at < minAt {
 				minAt = ev.at
@@ -208,6 +211,7 @@ func (q *calQueue) resize(n int) {
 	size := len(q.scratch)
 	for j, ev := range q.scratch {
 		b := q.bucketFor(ev.at)
+		//simlint:ignore hotpathalloc resize is amortized doubling, not the steady-state path
 		evs := append(b.evs, ev)
 		i := len(evs) - 1
 		for i > 0 && eventLess(ev, evs[i-1]) {

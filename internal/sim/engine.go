@@ -49,6 +49,8 @@ func (e *Engine) Now() int64 { return e.now }
 
 // At schedules fn to run at absolute time t. Scheduling in the past is an
 // error that indicates a model bug, so it panics.
+//
+//simlint:hotpath event-queue hold path: every scheduled event is pushed through here
 func (e *Engine) At(t int64, fn func()) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: event scheduled in the past: %d < now %d", t, e.now))
@@ -66,6 +68,8 @@ func (e *Engine) SetMonitor(m Monitor) { e.monitor = m }
 
 // Step executes the next pending event, advancing the clock. It reports
 // whether an event was executed.
+//
+//simlint:hotpath engine inner loop: every simulated event passes through here
 func (e *Engine) Step() bool {
 	ev, ok := e.events.pop()
 	if !ok {

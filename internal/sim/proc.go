@@ -30,12 +30,17 @@ type Proc struct {
 // any moment and the interleaving is fully determined by the event queue.
 func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
 	//simlint:ignore nondeterminism strict handoff: resume carries control to exactly one parked goroutine
+	//simlint:ignore hotpathalloc one process record and channel per spawned task, amortized over its simulated lifetime
 	p := &Proc{eng: e, resume: make(chan struct{}), name: name}
 	p.dispatchFn = p.dispatch
+	//simlint:ignore hotpathalloc process table is bounded by the spawned task count
 	e.procs = append(e.procs, p)
+	//simlint:ignore hotpathalloc one trampoline closure per spawned process, amortized over its lifetime
 	e.After(0, func() {
 		//simlint:ignore nondeterminism strict handoff: the new goroutine blocks on resume before running
+		//simlint:ignore hotpathalloc one goroutine-body closure per spawned process, amortized over its lifetime
 		go func() {
+			//simlint:ignore hotpathalloc one deferred-cleanup closure per spawned process, amortized over its lifetime
 			defer func() {
 				p.done = true
 				p.parked = false

@@ -62,6 +62,7 @@ type heapQueue struct {
 	h eventHeap
 }
 
+//simlint:ignore hotpathalloc legacy comparison queue: allocates per push by design; it exists to pin the calendar queue's order and anchor benchmarks
 func (q *heapQueue) push(ev event) { heap.Push(&q.h, ev) }
 
 func (q *heapQueue) pop() (event, bool) {
