@@ -34,6 +34,7 @@ func main() {
 		short     = flag.Bool("short", false, "quick run: 50ms per benchmark instead of 1s")
 		benchtime = flag.String("benchtime", "", "override time per benchmark (e.g. 200ms, 100x)")
 		runList   = flag.String("run", "", "comma-separated exact benchmark names to run (default all)")
+		best      = flag.Int("best", 3, "attempts per benchmark; the fastest is reported (noise only slows benchmarks down)")
 		warnPct   = flag.Float64("warn", 10, "compare: warn at this ns/op regression percent")
 		failPct   = flag.Float64("fail", 25, "compare: fail at this ns/op regression percent")
 	)
@@ -63,7 +64,7 @@ func main() {
 	if *runList != "" {
 		filter = strings.Split(*runList, ",")
 	}
-	rep := microbench.Run(func(r microbench.Result) {
+	rep := microbench.RunN(*best, func(r microbench.Result) {
 		fmt.Fprintf(os.Stderr, "%-28s %12.2f ns/op %6d allocs/op %8d B/op %10d iters\n",
 			r.Name, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp, r.Iterations)
 	}, filter...)

@@ -46,6 +46,7 @@ func main() {
 		cacheAt    = flag.String("cache", runcache.DefaultDir(), "persistent run cache directory (shared with the CLIs)")
 		noCache    = flag.Bool("no-cache", false, "disable the persistent run cache (in-memory memo still applies)")
 		auditRuns  = flag.Bool("audit", false, "cross-check every simulation against conservation and coherence invariants")
+		cores      = flag.Int("cores", 0, "intra-run parallel workers per simulation; results are bit-identical at any count (0 = classic sequential event loop)")
 		timeout    = flag.Duration("timeout", 0, "default per-job deadline when a request names none (0: none)")
 		maxTimeout = flag.Duration("max-timeout", 0, "cap on request-supplied per-job deadlines (0: uncapped)")
 		version    = flag.Bool("version", false, "print version and exit")
@@ -60,6 +61,7 @@ func main() {
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		Audit:          *auditRuns,
+		Cores:          *cores,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 	}

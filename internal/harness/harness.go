@@ -42,6 +42,11 @@ type Config struct {
 	// Workers bounds concurrent simulations. Zero selects
 	// runtime.NumCPU().
 	Workers int
+	// Cores, when positive, runs each simulation on the engine's
+	// conservative parallel mode with that many intra-run workers.
+	// Results stay bit-identical to sequential execution at any count, so
+	// Cores — like Workers and Audit — never affects the cache.
+	Cores int
 	// Cache, when set, persists completed runs across sessions.
 	Cache *runcache.Cache
 	// Audit enables the runtime invariant auditor on every simulated run
@@ -204,6 +209,7 @@ func (s *Session) Execute(specs []runspec.RunSpec) error {
 	ex := &runspec.Executor{
 		Workers: s.cfg.Workers,
 		Audit:   s.cfg.Audit,
+		Cores:   s.cfg.Cores,
 		Lookup:  s.lookup,
 		Observe: s.observersFor,
 		Store:   s.store,
@@ -251,7 +257,7 @@ func (s *Session) result(sp runspec.RunSpec) (*core.Result, error) {
 	if res, ok := s.lookup(sp); ok {
 		return res, nil
 	}
-	res, err := sp.RunObserved(s.cfg.Audit, s.observersFor(sp)...)
+	res, err := sp.RunObservedCores(s.cfg.Audit, s.cfg.Cores, s.observersFor(sp)...)
 	if err != nil {
 		return nil, fmt.Errorf("harness: %w", err)
 	}

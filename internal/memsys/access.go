@@ -617,7 +617,14 @@ func (s *System) markSI(node *Node, l *Line) {
 }
 
 // sendSIHint delivers a self-invalidation hint from the home directory to
-// the current exclusive owner, after the network transit.
+// the current exclusive owner, after the network transit. The delivery is
+// scheduled as an LP-local event on the owner node: it reads and marks
+// only the owner's L2 line and SI list and schedules nothing, so under
+// the engine's conservative parallel mode hint deliveries execute
+// concurrently across nodes. The delay is at least the bus time, which is
+// within the lookahead window only because AfterLP events are pushed from
+// coordinator context — the hint's (time, seq) key is identical to the
+// classic engine's, keeping results bit-identical.
 func (s *System) sendSIHint(home, owner *Node, line Addr) {
 	s.SIst.HintsSent++
 	delay := s.P.NetTime
@@ -625,7 +632,7 @@ func (s *System) sendSIHint(home, owner *Node, line Addr) {
 		delay = s.P.BusTime
 	}
 	//simlint:ignore hotpathalloc one scheduled hint event per SI hint; event scheduling is the miss path
-	s.Eng.After(delay, func() {
+	s.Eng.AfterLP(owner.ID, delay, func() {
 		l := owner.L2.Lookup(line)
 		if l != nil && l.State == Exclusive {
 			s.markSI(owner, l)

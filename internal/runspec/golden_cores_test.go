@@ -1,0 +1,119 @@
+package runspec
+
+import (
+	"encoding/json"
+	"os"
+	"strconv"
+	"testing"
+
+	"slipstream/internal/core"
+	"slipstream/internal/kernels"
+)
+
+// goldenCores returns the intra-run worker counts the golden suite
+// compares against the sequential engine. SLIPSIM_CORES overrides the
+// high count, so CI can sweep a worker-count matrix over one test.
+func goldenCores(t *testing.T) []int {
+	t.Helper()
+	high := 8
+	if v := os.Getenv("SLIPSIM_CORES"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			t.Fatalf("SLIPSIM_CORES=%q: want a positive integer", v)
+		}
+		high = n
+	}
+	if high == 1 {
+		return []int{1}
+	}
+	return []int{1, high}
+}
+
+// TestGoldenParallelCoresIdentical is the parallel engine's golden suite:
+// for every kernel, a run on the conservative parallel core at any worker
+// count must be byte-identical (full Result JSON) to the retained
+// sequential engine. It runs the richest configuration — slipstream with
+// transparent loads and self-invalidation, the mode that actually
+// schedules LP-local events — on an 8-node machine, plus a sweep of the
+// other modes on one kernel. SLIPSIM_AUDIT=1 exercises the same
+// comparison with the auditor attached (the merged serialized schedule).
+func TestGoldenParallelCoresIdentical(t *testing.T) {
+	cores := goldenCores(t)
+	baseline := func(t *testing.T, sp RunSpec) []byte {
+		t.Helper()
+		res, err := sp.RunObservedCores(false, 0)
+		if err != nil {
+			t.Fatalf("sequential %v: %v", sp, err)
+		}
+		b, err := json.Marshal(res)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		return b
+	}
+	check := func(t *testing.T, sp RunSpec, want []byte) {
+		t.Helper()
+		for _, c := range cores {
+			res, err := sp.RunObservedCores(false, c)
+			if err != nil {
+				t.Fatalf("cores=%d %v: %v", c, sp, err)
+			}
+			got, err := json.Marshal(res)
+			if err != nil {
+				t.Fatalf("marshal: %v", err)
+			}
+			if string(got) != string(want) {
+				t.Errorf("cores=%d %v: result diverged from sequential engine\n got: %s\nwant: %s", c, sp, got, want)
+			}
+		}
+	}
+
+	for _, name := range kernels.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			sp := RunSpec{
+				Kernel: name, Size: kernels.Tiny, Mode: core.ModeSlipstream,
+				CMPs: 8, TransparentLoads: true, SelfInvalidate: true,
+			}
+			check(t, sp, baseline(t, sp))
+		})
+	}
+
+	t.Run("modes", func(t *testing.T) {
+		for _, sp := range []RunSpec{
+			{Kernel: "sor", Size: kernels.Tiny, Mode: core.ModeSequential, CMPs: 1},
+			{Kernel: "sor", Size: kernels.Tiny, Mode: core.ModeSingle, CMPs: 4},
+			{Kernel: "sor", Size: kernels.Tiny, Mode: core.ModeDouble, CMPs: 4},
+			{Kernel: "sor", Size: kernels.Tiny, Mode: core.ModeSlipstream, CMPs: 4,
+				TransparentLoads: true, SelfInvalidate: true, AdaptiveARSync: true},
+		} {
+			check(t, sp, baseline(t, sp))
+		}
+	})
+}
+
+// TestGoldenParallelAudited pins the audited parallel path explicitly,
+// independent of the SLIPSIM_AUDIT environment: with the auditor attached
+// the parallel engine runs the merged serialized schedule, and both the
+// result and the audit verdict must match the sequential engine's.
+func TestGoldenParallelAudited(t *testing.T) {
+	sp := RunSpec{
+		Kernel: "sor", Size: kernels.Tiny, Mode: core.ModeSlipstream,
+		CMPs: 8, TransparentLoads: true, SelfInvalidate: true,
+	}
+	seq, err := sp.RunObservedCores(true, 0)
+	if err != nil {
+		t.Fatalf("sequential audited: %v", err)
+	}
+	for _, c := range goldenCores(t) {
+		par, err := sp.RunObservedCores(true, c)
+		if err != nil {
+			t.Fatalf("cores=%d audited: %v", c, err)
+		}
+		a, _ := json.Marshal(seq)
+		b, _ := json.Marshal(par)
+		if string(a) != string(b) {
+			t.Errorf("cores=%d: audited result diverged from sequential engine", c)
+		}
+	}
+}

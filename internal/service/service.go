@@ -67,6 +67,12 @@ type Config struct {
 	// Audit enables the runtime invariant auditor on every simulation.
 	Audit bool
 
+	// Cores, when positive, runs each simulation on the engine's
+	// conservative parallel mode with that many intra-run workers.
+	// Results stay bit-identical to sequential execution, so Cores never
+	// affects the shared result cache.
+	Cores int
+
 	// DefaultTimeout is the per-job deadline applied when a request names
 	// none; zero means no deadline.
 	DefaultTimeout time.Duration
@@ -233,16 +239,25 @@ func (s *Server) submit(specs []runspec.RunSpec, timeout time.Duration) ([]attac
 			attaches[i] = attach{f: f}
 			continue
 		}
-		if f, ok := s.flights[sp]; ok && !(f.state.terminal() && f.state.retryable()) {
-			f.waiters++
-			hit := f.state.terminal()
-			if hit {
-				s.metrics.Count("service.memo.hit", 1)
-			} else {
-				s.metrics.Count("service.coalesced", 1)
+		if f, ok := s.flights[sp]; ok {
+			// A non-terminal flight whose deadline already expired is
+			// doomed to a canceled verdict; joining it would time out the
+			// new waiter on a result that will never materialize. Admit a
+			// replacement instead — the doomed flight removes itself from
+			// the table when it publishes (identity-checked, so it cannot
+			// evict the replacement).
+			doomed := !f.state.terminal() && f.ctx.Err() != nil
+			if !doomed && !(f.state.terminal() && f.state.retryable()) {
+				f.waiters++
+				hit := f.state.terminal()
+				if hit {
+					s.metrics.Count("service.memo.hit", 1)
+				} else {
+					s.metrics.Count("service.coalesced", 1)
+				}
+				attaches[i] = attach{f: f, hit: hit}
+				continue
 			}
-			attaches[i] = attach{f: f, hit: hit}
-			continue
 		}
 		f := &flight{id: s.nextID, spec: sp, waiters: 1, done: make(chan struct{})}
 		f.ctx, f.cancel = s.baseCtx, func() {}
@@ -338,6 +353,7 @@ func (s *Server) runFlight(f *flight) {
 	ex := runspec.Executor{
 		Workers: 1,
 		Audit:   s.cfg.Audit,
+		Cores:   s.cfg.Cores,
 		Observe: func(runspec.RunSpec) []obs.Observer { return []obs.Observer{m} },
 		OnDone:  func(_ runspec.RunSpec, _ *core.Result, c bool) { cached = c },
 	}
@@ -375,6 +391,13 @@ func (s *Server) runFlight(f *flight) {
 		st = jobCanceled
 		f.err = err
 		s.metrics.Count("service.jobs.canceled", 1)
+		// Leave the coalesce table so the next identical spec starts a
+		// fresh flight rather than finding this dead one. The identity
+		// check protects a replacement flight admitted after this one's
+		// deadline expired.
+		if s.flights[f.spec] == f {
+			delete(s.flights, f.spec)
+		}
 	default:
 		st = jobFailed
 		f.err = err

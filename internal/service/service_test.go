@@ -2,11 +2,13 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -257,5 +259,83 @@ func TestPerJobDeadline(t *testing.T) {
 	}
 	if rr.Results[0] == nil {
 		t.Fatalf("resubmission returned no result")
+	}
+}
+
+// TestExpiredFlightDetachesAndReruns pins the flight-table fix for
+// deadline expiry: once a coalesced job's deadline has expired mid-run,
+// (a) a follower submitting the identical spec must get a fresh flight
+// rather than joining the doomed one, (b) the fresh flight completes
+// while the dead one is still in flight, and (c) the dead flight removes
+// itself from the coalesce table without evicting its replacement.
+func TestExpiredFlightDetachesAndReruns(t *testing.T) {
+	s := New(Config{Workers: 2, QueueDepth: 8})
+	firstRunning := make(chan struct{})
+	releaseFirst := make(chan struct{})
+	first := true
+	var mu sync.Mutex
+	s.runStarted = func(runspec.RunSpec) {
+		mu.Lock()
+		hold := first
+		first = false
+		mu.Unlock()
+		if hold {
+			close(firstRunning)
+			<-releaseFirst
+		}
+	}
+	defer func() {
+		s.StartDrain()
+		s.Wait()
+	}()
+
+	sp := tinySpec(1)
+	att1, err := s.submit([]runspec.RunSpec{sp}, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1 := att1[0].f
+	<-firstRunning
+	<-f1.ctx.Done() // the held flight's deadline expires
+
+	att2, err := s.submit([]runspec.RunSpec{sp}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2 := att2[0].f
+	if f2 == f1 {
+		t.Fatal("follower joined a flight whose deadline had expired")
+	}
+	if got := s.CounterValue("service.coalesced"); got != 0 {
+		t.Fatalf("service.coalesced = %d, want 0", got)
+	}
+
+	<-f2.done // the replacement completes while the dead flight is held
+	if f2.err != nil || f2.res == nil {
+		t.Fatalf("replacement flight: err=%v res=%v, want a complete result", f2.err, f2.res)
+	}
+
+	// A third submission memo-hits the completed replacement.
+	att3, err := s.submit([]runspec.RunSpec{sp}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if att3[0].f != f2 || !att3[0].hit {
+		t.Fatalf("third submission: f==f2=%t hit=%t, want memo hit on the replacement", att3[0].f == f2, att3[0].hit)
+	}
+
+	close(releaseFirst)
+	<-f1.done // the dead flight publishes its canceled verdict
+	if !errors.Is(f1.err, context.DeadlineExceeded) {
+		t.Fatalf("dead flight err = %v, want context.DeadlineExceeded", f1.err)
+	}
+	s.mu.Lock()
+	cur := s.flights[f2.spec]
+	s.mu.Unlock()
+	if cur != f2 {
+		t.Fatalf("coalesce table holds %p after cancel, want the replacement %p", cur, f2)
+	}
+	if got := s.CounterValue("service.sim.count"); got != 1 {
+		t.Errorf("service.sim.count = %d, want 1 (only the replacement simulated)", got)
 	}
 }

@@ -1,0 +1,295 @@
+package sim
+
+import (
+	"sort"
+	"sync"
+)
+
+// This file drives the engine's conservative parallel mode: LPs advance
+// concurrently in rounds bounded by a safe horizon, synchronize at a
+// quantum barrier, and the coordinator interleaves the global timeline
+// between rounds.
+//
+// The horizon of a round is the least of three keys:
+//
+//   - the next global event's (at, seq) — LP events ordered after it may
+//     depend on its effects, so they wait for the coordinator to run it;
+//   - the quantum bound minLocalAt + lookahead — any cross-LP send fired
+//     during the round arrives at or after this time (Send enforces
+//     arrival >= sender's clock + lookahead, and every sender's clock is
+//     >= minLocalAt), so events strictly below it can run concurrently;
+//   - the caller's deadline (exclusive at deadline+1).
+//
+// Every LP executes exactly its events strictly below the horizon, in
+// local (at, seq) order; events of different LPs touch disjoint state by
+// the AtLP contract, so their relative order is unobservable. At the
+// barrier the coordinator drains the outboxes in (cycle, sender, send
+// order) and assigns fresh global sequence numbers — a pure function of
+// queue content, so the schedule is bit-identical at any worker count.
+
+// RunParallelUntil executes events with time <= deadline across the
+// configured LPs using the given number of concurrent workers (LPs are
+// pinned to workers by index). It reports whether every queue drained
+// (true) or the deadline was hit with events pending (false), exactly as
+// RunUntil. With a step monitor attached it falls back to the merged
+// serialized schedule so the monitor observes the classic total order;
+// on an engine without configured LPs it is RunUntil.
+func (e *Engine) RunParallelUntil(deadline int64, workers int) bool {
+	if e.lps == nil {
+		return e.RunUntil(deadline)
+	}
+	if e.monitor != nil {
+		return e.runMergedUntil(deadline)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(e.lps) {
+		workers = len(e.lps)
+	}
+	var pool *roundPool
+	if workers > 1 {
+		pool = e.startPool(workers)
+		defer pool.stop()
+	}
+	for {
+		if e.localCount == 0 {
+			// No LP work pending: this is the classic sequential loop, so
+			// simulations that never schedule LP events pay only this
+			// counter check over the sequential engine.
+			t, ok := e.events.peekTime()
+			if !ok {
+				return true
+			}
+			if t > deadline {
+				return false
+			}
+			e.Step()
+			continue
+		}
+
+		// Compute the round horizon (exclusive bound key).
+		bAt, bSeq := deadline+1, uint64(0)
+		gEv, gok := e.events.peek()
+		if gok && gEv.at < bAt {
+			bAt, bSeq = gEv.at, gEv.seq
+		}
+		minAt, minSeq, haveLocal := int64(0), uint64(0), false
+		for _, lp := range e.lps {
+			ev, ok := lp.q.peek()
+			if !ok {
+				continue
+			}
+			if !haveLocal || ev.at < minAt || (ev.at == minAt && ev.seq < minSeq) {
+				minAt, minSeq, haveLocal = ev.at, ev.seq, true
+			}
+		}
+		if qEnd := minAt + e.lookahead; haveLocal && qEnd < bAt {
+			bAt, bSeq = qEnd, 0
+		}
+		if !haveLocal || !(minAt < bAt || (minAt == bAt && minSeq < bSeq)) {
+			// No LP event below the horizon: the next step is the global
+			// event (or the deadline).
+			if gok && gEv.at <= deadline {
+				e.Step()
+				continue
+			}
+			return false
+		}
+		e.runRound(bAt, bSeq, workers, pool)
+	}
+}
+
+// runRound advances every LP to the horizon concurrently and runs the
+// quantum barrier.
+func (e *Engine) runRound(bAt int64, bSeq uint64, workers int, pool *roundPool) {
+	e.inRound = true
+	if pool == nil {
+		for _, lp := range e.lps {
+			e.runLP(lp, bAt, bSeq)
+		}
+	} else {
+		pool.round(bAt, bSeq)
+	}
+	e.inRound = false
+	e.barrier()
+}
+
+// runLP executes one LP's events strictly below the horizon key, merging
+// its queue with its round-local pushes in (at, seq|stage) order: at
+// equal times the main queue runs first, because a round push always
+// receives a later sequence number than anything already queued.
+func (e *Engine) runLP(lp *lpState, bAt int64, bSeq uint64) {
+	lp.active = true
+	for {
+		mv, mok := lp.q.peek()
+		if mok && !(mv.at < bAt || (mv.at == bAt && mv.seq < bSeq)) {
+			mok = false
+		}
+		rok := lp.roundHead < len(lp.roundQ)
+		var rv event
+		if rok {
+			rv = lp.roundQ[lp.roundHead]
+			if rv.at >= bAt {
+				rok = false
+			}
+		}
+		switch {
+		case !mok && !rok:
+			lp.active = false
+			return
+		case mok && (!rok || mv.at <= rv.at):
+			lp.q.pop()
+			lp.now = mv.at
+			mv.fn()
+		default:
+			lp.roundQ[lp.roundHead] = event{} // drop the fn reference
+			lp.roundHead++
+			if lp.roundHead == len(lp.roundQ) {
+				lp.roundQ = lp.roundQ[:0]
+				lp.roundHead = 0
+			}
+			lp.now = rv.at
+			rv.fn()
+		}
+	}
+}
+
+// barrier is the quantum barrier: with every worker parked, the
+// coordinator merges the round's side effects back into the shared
+// schedule in a deterministic order and re-establishes the bookkeeping
+// the next horizon computation needs.
+func (e *Engine) barrier() {
+	// Round-queue remnants (self-scheduled events at or beyond the
+	// horizon) receive real sequence numbers in (LP, stage) order.
+	for _, lp := range e.lps {
+		for _, ev := range lp.roundQ[lp.roundHead:] {
+			e.seq++
+			ev.seq = e.seq
+			lp.q.push(ev)
+		}
+		lp.roundQ = lp.roundQ[:0]
+		lp.roundHead = 0
+		lp.stage = 0
+	}
+	// Cross-LP sends drain in (cycle, sender, send order): gather the
+	// outboxes sender-major, stable-sort by arrival time, then assign
+	// sequence numbers in that order.
+	e.drainBuf = e.drainBuf[:0]
+	for _, lp := range e.lps {
+		e.drainBuf = append(e.drainBuf, lp.outbox...)
+		lp.outbox = lp.outbox[:0]
+	}
+	if len(e.drainBuf) > 0 {
+		sort.SliceStable(e.drainBuf, func(i, j int) bool { return e.drainBuf[i].at < e.drainBuf[j].at })
+		for i := range e.drainBuf {
+			m := &e.drainBuf[i]
+			e.seq++
+			e.lps[m.to].q.push(event{at: m.at, seq: e.seq, owner: int32(m.to) + 1, fn: m.fn})
+			m.fn = nil // drop the reference
+		}
+	}
+	// The global clock follows the furthest LP: every executed local
+	// event is below the horizon, which never exceeds the next global
+	// event's time, so this matches the classic engine's clock exactly.
+	count := 0
+	for _, lp := range e.lps {
+		count += lp.q.len()
+		if lp.now > e.now {
+			e.now = lp.now
+		}
+	}
+	e.localCount = count
+}
+
+// runMergedUntil executes events with time <= deadline through the
+// merged serialized view of the partitioned timeline: the global queue
+// and every LP queue pop in one total (at, seq) order, which is exactly
+// the classic engine's schedule. This is the parallel mode's path
+// whenever a step monitor (the auditor's clock monitor) is attached, so
+// auditing and tracing observe the same byte-identical event order the
+// sequential engine produces.
+func (e *Engine) runMergedUntil(deadline int64) bool {
+	mq := mergedQueue{g: e.events, lps: e.lps}
+	for {
+		ev, ok := mq.peek()
+		if !ok {
+			return true
+		}
+		if ev.at > deadline {
+			return false
+		}
+		mq.pop()
+		prev := e.now
+		e.now = ev.at
+		if ev.owner != 0 {
+			lp := e.lps[ev.owner-1]
+			lp.now = ev.at
+			e.localCount--
+		}
+		ev.fn()
+		if e.monitor != nil {
+			e.monitor.Step(prev, ev.at)
+		}
+	}
+}
+
+// roundPool is the persistent worker set of one RunParallelUntil call:
+// workers live for the whole run and receive one horizon per round, so a
+// round costs two channel operations per worker rather than a goroutine
+// spawn. LPs are pinned: worker w owns every LP with id % workers == w.
+type roundPool struct {
+	e    *Engine
+	work []chan roundBound
+	wg   sync.WaitGroup
+}
+
+type roundBound struct {
+	at  int64
+	seq uint64
+}
+
+// startPool launches the round workers. The goroutines below are the
+// sanctioned concurrency of the parallel engine: workers only ever touch
+// the LPs they are pinned to, run only between the coordinator's round
+// start and the barrier (the WaitGroup orders the ownership handoff),
+// and the schedule they execute is a pure function of queue content, so
+// scheduling variance cannot reach simulation state.
+func (e *Engine) startPool(workers int) *roundPool {
+	p := &roundPool{e: e}
+	p.work = make([]chan roundBound, workers)
+	for w := 0; w < workers; w++ {
+		//simlint:ignore nondeterminism round channels only carry the horizon; LP ownership is static and the barrier serializes rounds
+		ch := make(chan roundBound, 1)
+		p.work[w] = ch
+		//simlint:ignore nondeterminism worker executes only its pinned LPs, between round start and barrier
+		go func(w int, ch chan roundBound) {
+			for b := range ch {
+				for i := w; i < len(e.lps); i += workers {
+					e.runLP(e.lps[i], b.at, b.seq)
+				}
+				p.wg.Done()
+			}
+		}(w, ch)
+	}
+	return p
+}
+
+// round runs one concurrent round to the given horizon and waits for
+// every worker at the barrier.
+func (p *roundPool) round(at int64, seq uint64) {
+	p.wg.Add(len(p.work))
+	for _, ch := range p.work {
+		//simlint:ignore nondeterminism round start: each worker receives the same horizon; order is irrelevant
+		ch <- roundBound{at: at, seq: seq}
+	}
+	p.wg.Wait()
+}
+
+// stop retires the workers.
+func (p *roundPool) stop() {
+	for _, ch := range p.work {
+		//simlint:ignore nondeterminism pool teardown after the last barrier; no simulation state moves on this channel
+		close(ch)
+	}
+}

@@ -1,0 +1,263 @@
+package sim
+
+import "fmt"
+
+// This file defines the logical-process (LP) layer of the engine's
+// conservative parallel mode. The timeline is partitioned into one global
+// queue — everything scheduled through At/After, which only the
+// coordinator executes — and one private queue per LP, holding events that
+// are proven to touch only that LP's state. barrier.go advances the LPs
+// concurrently in lookahead-bounded rounds; this file holds the data
+// model: per-LP state, the scheduling entry points (AtLP/AfterLP/LPCtx),
+// and the merged serialized view used whenever a step monitor is attached.
+//
+// Determinism contract: every queue — global, per-LP, round-local, and
+// the cross-LP outboxes — is a pure function of the push/pop sequence,
+// and every ordering decision (round horizons, barrier drain order, seq
+// renumbering) is a pure function of queue content. Results are therefore
+// bit-identical at any worker count, and, for workloads whose LP events
+// schedule nothing (the simulator core's self-invalidation hints),
+// bit-identical to the classic sequential engine as well.
+
+// lpState is one logical process: a private event timeline advanced
+// concurrently with its peers between quantum barriers. All fields are
+// owned by the worker the LP is pinned to while a round is running and by
+// the coordinator otherwise; the round barrier (sync.WaitGroup) orders
+// the ownership handoff.
+type lpState struct {
+	id int
+	q  eventQueue
+	// now is the LP's local clock: the at of its last executed event. It
+	// may run ahead of the engine's global clock by up to one lookahead
+	// window.
+	now int64
+	// active is true while a worker is executing this LP's share of the
+	// current round; LPCtx uses it to route same-LP pushes into roundQ.
+	active bool
+
+	// roundQ holds events this LP scheduled for itself during the current
+	// round, sorted by (at, stage) with stage in the seq field; events
+	// below the horizon execute in-round, remnants are renumbered with
+	// real sequence numbers at the barrier. evs[head:] are pending, as in
+	// calBucket.
+	roundQ    []event
+	roundHead int
+	stage     uint64
+
+	// outbox collects this LP's cross-LP sends of the current round, in
+	// send order; the barrier drains every outbox deterministically.
+	outbox []lpMsg
+
+	ctx LPCtx
+}
+
+// lpMsg is one cross-LP event in flight: scheduled on LP to at time at.
+type lpMsg struct {
+	to int
+	at int64
+	fn func()
+}
+
+// ConfigureLPs partitions the engine into n logical processes with the
+// given lookahead (the guaranteed minimum delay of any cross-LP event,
+// in cycles). It must be called before any event is scheduled. Once
+// configured, AtLP/AfterLP route events to private per-LP queues and
+// RunParallelUntil advances the LPs concurrently; an unconfigured engine
+// treats AtLP as plain At, so model code can call it unconditionally.
+func (e *Engine) ConfigureLPs(n int, lookahead int64) {
+	if n < 1 {
+		panic(fmt.Sprintf("sim: ConfigureLPs with %d LPs", n))
+	}
+	if lookahead < 1 {
+		panic(fmt.Sprintf("sim: ConfigureLPs with lookahead %d, want >= 1", lookahead))
+	}
+	if e.now != 0 || e.seq != 0 || e.events.len() != 0 {
+		panic("sim: ConfigureLPs on an engine that already scheduled events")
+	}
+	e.lps = make([]*lpState, n)
+	e.lookahead = lookahead
+	for i := range e.lps {
+		lp := &lpState{id: i, q: newEventQueue(e.kind)}
+		lp.ctx = LPCtx{e: e, lp: lp}
+		e.lps[i] = lp
+	}
+}
+
+// NumLPs returns the configured logical-process count (0 when the engine
+// runs in classic sequential mode).
+func (e *Engine) NumLPs() int { return len(e.lps) }
+
+// AtLP schedules fn at absolute time t on logical process lp. The event
+// must touch only that LP's state and must not schedule further events
+// (use an LPCtx for LP events that need to schedule). On an engine
+// without configured LPs it is exactly At.
+//
+//simlint:hotpath LP scheduling path: every LP-local event is pushed through here
+func (e *Engine) AtLP(lp int, t int64, fn func()) {
+	if e.lps == nil {
+		e.At(t, fn)
+		return
+	}
+	l := e.lps[lp]
+	if l.active {
+		// Called from this LP's own in-round execution: stage into the
+		// round-local queue so the event can still run this round if it
+		// falls below the horizon.
+		if t < l.now {
+			panic(fmt.Sprintf("sim: LP %d event scheduled in the past: %d < now %d", lp, t, l.now))
+		}
+		l.pushRound(event{at: t, fn: fn})
+		return
+	}
+	if t < e.now || t < l.now {
+		panic(fmt.Sprintf("sim: LP %d event scheduled in the past: %d < now %d/%d", lp, t, e.now, l.now))
+	}
+	e.seq++
+	l.q.push(event{at: t, seq: e.seq, owner: int32(lp) + 1, fn: fn})
+	e.localCount++
+}
+
+// AfterLP schedules fn d cycles from the engine's current time on logical
+// process lp. Like AtLP it degrades to plain After when no LPs are
+// configured.
+func (e *Engine) AfterLP(lp int, d int64, fn func()) { e.AtLP(lp, e.now+d, fn) }
+
+// pushRound inserts a round-local event, keeping evs[head:] sorted by
+// (at, stage). stage is carried in the seq field until the barrier
+// assigns real sequence numbers; insertion from the back is O(1) for the
+// common in-order case, exactly as in calBucket.
+func (lp *lpState) pushRound(ev event) {
+	lp.stage++
+	ev.seq = lp.stage
+	ev.owner = int32(lp.id) + 1
+	//simlint:ignore hotpathalloc round-queue capacity is reused across rounds after the barrier resets it
+	evs := append(lp.roundQ, ev)
+	i := len(evs) - 1
+	for i > lp.roundHead && eventLess(ev, evs[i-1]) {
+		evs[i] = evs[i-1]
+		i--
+	}
+	evs[i] = ev
+	lp.roundQ = evs
+}
+
+// LP returns the scheduling handle of logical process i. The handle is
+// valid for the engine's lifetime; LP events that need to schedule
+// further work must capture it rather than the Engine, so pushes route
+// correctly both from coordinator context and from inside a round.
+func (e *Engine) LP(i int) *LPCtx { return &e.lps[i].ctx }
+
+// LPCtx is a logical process's scheduling interface. From coordinator
+// context (global events, setup code) its methods behave like the
+// corresponding Engine methods targeted at the LP; from inside the LP's
+// own round execution they apply the conservative PDES rules: same-LP
+// events stage into the round queue, and cross-LP sends must respect the
+// lookahead and travel through the barrier-drained outboxes. An LPCtx
+// must only be used by its own LP's events while a round is running.
+type LPCtx struct {
+	e  *Engine
+	lp *lpState
+}
+
+// ID returns the logical process index.
+func (c *LPCtx) ID() int { return c.lp.id }
+
+// Now returns the LP's current time: its local clock inside a round, the
+// engine clock otherwise.
+func (c *LPCtx) Now() int64 {
+	if c.lp.active {
+		return c.lp.now
+	}
+	return c.e.now
+}
+
+// At schedules fn at absolute time t on this LP.
+func (c *LPCtx) At(t int64, fn func()) { c.e.AtLP(c.lp.id, t, fn) }
+
+// After schedules fn d cycles from the LP's current time on this LP.
+func (c *LPCtx) After(d int64, fn func()) { c.At(c.Now()+d, fn) }
+
+// Send schedules fn at absolute time t on logical process to. Inside a
+// round the conservative contract requires t to be at least one lookahead
+// beyond the sender's local clock — that guarantee is what lets peer LPs
+// execute the current quantum without waiting for the send — and the
+// event travels through the sender's outbox, drained deterministically at
+// the barrier. From coordinator context it is simply AtLP.
+func (c *LPCtx) Send(to int, t int64, fn func()) {
+	if !c.lp.active {
+		c.e.AtLP(to, t, fn)
+		return
+	}
+	if t < c.lp.now+c.e.lookahead {
+		panic(fmt.Sprintf("sim: conservative lookahead violation: LP %d sends to LP %d at %d < now %d + lookahead %d",
+			c.lp.id, to, t, c.lp.now, c.e.lookahead))
+	}
+	c.lp.outbox = append(c.lp.outbox, lpMsg{to: to, at: t, fn: fn})
+}
+
+// mergedQueue presents the global queue and every LP queue as one
+// eventQueue popping in global (at, seq) order; push routes on the
+// event's owner tag. It is the serialized view of the partitioned
+// timeline: executing through it is event-for-event identical to the
+// classic single-queue engine, which is why the monitored (audited/
+// observed) parallel mode runs through it.
+type mergedQueue struct {
+	g   eventQueue
+	lps []*lpState
+}
+
+func (m *mergedQueue) push(ev event) {
+	if ev.owner == 0 {
+		m.g.push(ev)
+		return
+	}
+	m.lps[ev.owner-1].q.push(ev)
+}
+
+// source returns the sub-queue holding the least pending event.
+func (m *mergedQueue) source() eventQueue {
+	var best eventQueue
+	var bestEv event
+	if ev, ok := m.g.peek(); ok {
+		best, bestEv = m.g, ev
+	}
+	for _, lp := range m.lps {
+		ev, ok := lp.q.peek()
+		if !ok {
+			continue
+		}
+		if best == nil || eventLess(ev, bestEv) {
+			best, bestEv = lp.q, ev
+		}
+	}
+	return best
+}
+
+func (m *mergedQueue) pop() (event, bool) {
+	src := m.source()
+	if src == nil {
+		return event{}, false
+	}
+	return src.pop()
+}
+
+func (m *mergedQueue) peek() (event, bool) {
+	src := m.source()
+	if src == nil {
+		return event{}, false
+	}
+	return src.peek()
+}
+
+func (m *mergedQueue) peekTime() (int64, bool) {
+	ev, ok := m.peek()
+	return ev.at, ok
+}
+
+func (m *mergedQueue) len() int {
+	n := m.g.len()
+	for _, lp := range m.lps {
+		n += lp.q.len()
+	}
+	return n
+}

@@ -1,0 +1,285 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// lpTrace is the observable outcome of a partitioned run: a global event
+// log (each entry snapshots the per-LP progress vector, which is safe to
+// read from coordinator context) and one private log per LP.
+type lpTrace struct {
+	global []string
+	local  [][]string
+}
+
+// buildHintWorkload models the simulator core's LP usage: global
+// "protocol" events at deterministic times schedule push-free LP-local
+// events (like self-invalidation hint deliveries) at fixed delays. The
+// workload runs unchanged on a classic engine, where AtLP degrades to At,
+// so it pins the parallel mode's bit-identity to the sequential engine.
+func buildHintWorkload(e *Engine, n int) *lpTrace {
+	tr := &lpTrace{local: make([][]string, n)}
+	rng := uint64(1)
+	var tick func(round int)
+	tick = func(round int) {
+		snap := make([]int, n)
+		for i := range snap {
+			snap[i] = len(tr.local[i])
+		}
+		tr.global = append(tr.global, fmt.Sprintf("tick %d at %d %v", round, e.Now(), snap))
+		if round >= 40 {
+			return
+		}
+		for i := 0; i < n; i++ {
+			i := i
+			rng = rng*6364136223846793005 + 1442695040888963407
+			d := int64(rng>>60) + 1 // 1..16: below the lookahead window
+			t := e.Now() + d
+			e.AfterLP(i, d, func() {
+				tr.local[i] = append(tr.local[i], fmt.Sprintf("hint lp%d at %d", i, t))
+			})
+			rng = rng*6364136223846793005 + 1442695040888963407
+			d2 := int64(rng>>58) + 1 // 1..64: some land past the quantum
+			t2 := e.Now() + d2
+			e.AfterLP(i, d2, func() {
+				tr.local[i] = append(tr.local[i], fmt.Sprintf("far lp%d at %d", i, t2))
+			})
+		}
+		e.After(25, func() { tick(round + 1) })
+	}
+	e.At(0, func() { tick(0) })
+	return tr
+}
+
+func TestParallelMatchesClassic(t *testing.T) {
+	const n = 5
+	classic := NewEngine()
+	want := buildHintWorkload(classic, n)
+	classic.Run()
+
+	for _, workers := range []int{1, 2, 4, 8} {
+		e := NewEngine()
+		e.ConfigureLPs(n, 8)
+		got := buildHintWorkload(e, n)
+		if !e.RunParallelUntil(1<<62, workers) {
+			t.Fatalf("workers=%d: queue did not drain", workers)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: trace diverged from classic engine\n got: %+v\nwant: %+v", workers, got, want)
+		}
+		if e.Now() != classic.Now() {
+			t.Fatalf("workers=%d: Now = %d, want %d", workers, e.Now(), classic.Now())
+		}
+		if e.Pending() != 0 {
+			t.Fatalf("workers=%d: Pending = %d after drain", workers, e.Pending())
+		}
+	}
+}
+
+// buildSendWorkload exercises the full conservative protocol: LP events
+// self-reschedule through their LPCtx and exchange cross-LP messages that
+// respect the lookahead. Cross-LP arrival order is defined by the barrier
+// drain, so results are compared across worker counts, not against the
+// classic engine.
+func buildSendWorkload(e *Engine, n int, lookahead int64) *lpTrace {
+	tr := &lpTrace{local: make([][]string, n)}
+	for i := 0; i < n; i++ {
+		i := i
+		ctx := e.LP(i)
+		rng := uint64(i)*2862933555777941757 + 3037000493
+		count := 0
+		var step func()
+		step = func() {
+			count++
+			tr.local[i] = append(tr.local[i], fmt.Sprintf("lp%d step %d at %d", i, count, ctx.Now()))
+			if count >= 50 {
+				return
+			}
+			rng = rng*6364136223846793005 + 1442695040888963407
+			ctx.After(int64(rng>>60)+1, step)
+			if count%3 == 0 {
+				to := int((rng >> 32) % uint64(n))
+				at := ctx.Now() + lookahead + int64(rng>>59)
+				hop := count
+				from := i
+				ctx.Send(to, at, func() {
+					tr.local[to] = append(tr.local[to], fmt.Sprintf("msg lp%d->lp%d hop %d at %d", from, to, hop, at))
+				})
+			}
+		}
+		e.AtLP(i, int64(i%4), step)
+	}
+	var beat func(k int)
+	beat = func(k int) {
+		tr.global = append(tr.global, fmt.Sprintf("beat %d at %d", k, e.Now()))
+		if k < 10 {
+			e.After(37, func() { beat(k + 1) })
+		}
+	}
+	e.At(5, func() { beat(0) })
+	return tr
+}
+
+func TestParallelDeterministicAcrossWorkers(t *testing.T) {
+	const (
+		n         = 7
+		lookahead = 12
+	)
+	var want *lpTrace
+	var wantNow int64
+	for _, workers := range []int{1, 2, 3, 8} {
+		e := NewEngine()
+		e.ConfigureLPs(n, lookahead)
+		got := buildSendWorkload(e, n, lookahead)
+		if !e.RunParallelUntil(1<<62, workers) {
+			t.Fatalf("workers=%d: queue did not drain", workers)
+		}
+		if want == nil {
+			want, wantNow = got, e.Now()
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: trace diverged from workers=1\n got: %+v\nwant: %+v", workers, got, want)
+		}
+		if e.Now() != wantNow {
+			t.Fatalf("workers=%d: Now = %d, want %d", workers, e.Now(), wantNow)
+		}
+	}
+}
+
+// stepRecorder is a Monitor that logs every clock step.
+type stepRecorder struct{ steps []string }
+
+func (r *stepRecorder) Step(prev, now int64) {
+	r.steps = append(r.steps, fmt.Sprintf("%d->%d", prev, now))
+}
+
+func TestMergedMatchesClassic(t *testing.T) {
+	const n = 4
+	classic := NewEngine()
+	cm := &stepRecorder{}
+	classic.SetMonitor(cm)
+	want := buildHintWorkload(classic, n)
+	classic.Run()
+
+	e := NewEngine()
+	e.ConfigureLPs(n, 8)
+	m := &stepRecorder{}
+	e.SetMonitor(m) // a monitor forces the merged serialized schedule
+	got := buildHintWorkload(e, n)
+	if !e.RunParallelUntil(1<<62, 8) {
+		t.Fatal("queue did not drain")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("merged trace diverged from classic engine\n got: %+v\nwant: %+v", got, want)
+	}
+	if !reflect.DeepEqual(m.steps, cm.steps) {
+		t.Fatalf("merged step sequence diverged from classic engine:\n got %d steps\nwant %d steps", len(m.steps), len(cm.steps))
+	}
+	if e.Now() != classic.Now() {
+		t.Fatalf("Now = %d, want %d", e.Now(), classic.Now())
+	}
+}
+
+func TestParallelDeadline(t *testing.T) {
+	e := NewEngine()
+	e.ConfigureLPs(2, 4)
+	var ran [2]int // one slot per LP: LP events must not share state
+	e.AtLP(0, 100, func() { ran[0]++ })
+	e.AtLP(1, 100, func() { ran[1]++ })
+	if e.RunParallelUntil(50, 2) {
+		t.Fatal("RunParallelUntil(50) = true with events pending at 100")
+	}
+	if ran != [2]int{} {
+		t.Fatalf("ran = %v events before the deadline", ran)
+	}
+	if !e.RunParallelUntil(200, 2) {
+		t.Fatal("RunParallelUntil(200) = false")
+	}
+	if ran != [2]int{1, 1} {
+		t.Fatalf("ran = %v, want [1 1]", ran)
+	}
+}
+
+func expectPanic(t *testing.T, substr string, fn func()) {
+	t.Helper()
+	defer func() {
+		t.Helper()
+		r := recover()
+		if r == nil {
+			t.Fatalf("no panic; want panic containing %q", substr)
+		}
+		if msg := fmt.Sprint(r); !strings.Contains(msg, substr) {
+			t.Fatalf("panic = %q, want it to contain %q", msg, substr)
+		}
+	}()
+	fn()
+}
+
+func TestSendLookaheadViolationPanics(t *testing.T) {
+	e := NewEngine()
+	e.ConfigureLPs(2, 10)
+	ctx := e.LP(0)
+	e.AtLP(0, 5, func() {
+		ctx.Send(1, ctx.Now()+9, func() {})
+	})
+	expectPanic(t, "conservative lookahead violation", func() {
+		e.RunParallelUntil(1<<62, 1)
+	})
+}
+
+func TestGlobalPushFromRoundPanics(t *testing.T) {
+	e := NewEngine()
+	e.ConfigureLPs(2, 10)
+	e.AtLP(0, 5, func() {
+		e.At(50, func() {})
+	})
+	expectPanic(t, "global event scheduled from LP round execution", func() {
+		e.RunParallelUntil(1<<62, 1)
+	})
+}
+
+func TestConfigureLPsValidation(t *testing.T) {
+	expectPanic(t, "ConfigureLPs with 0 LPs", func() {
+		NewEngine().ConfigureLPs(0, 10)
+	})
+	expectPanic(t, "lookahead 0", func() {
+		NewEngine().ConfigureLPs(2, 0)
+	})
+	expectPanic(t, "already scheduled", func() {
+		e := NewEngine()
+		e.At(10, func() {})
+		e.ConfigureLPs(2, 10)
+	})
+}
+
+func TestAtLPPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.ConfigureLPs(2, 10)
+	e.AtLP(0, 30, func() {})
+	e.RunParallelUntil(1<<62, 1)
+	expectPanic(t, "scheduled in the past", func() {
+		e.AtLP(0, 20, func() {})
+	})
+}
+
+// TestUnconfiguredFallbacks pins the degradation contract: AtLP/AfterLP on
+// a classic engine are plain At/After, and RunParallelUntil is RunUntil.
+func TestUnconfiguredFallbacks(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.AtLP(3, 20, func() { got = append(got, 2) })
+	e.AfterLP(1, 10, func() { got = append(got, 1) })
+	if e.NumLPs() != 0 {
+		t.Fatalf("NumLPs = %d on a classic engine", e.NumLPs())
+	}
+	if !e.RunParallelUntil(1<<62, 8) {
+		t.Fatal("queue did not drain")
+	}
+	if !reflect.DeepEqual(got, []int{1, 2}) {
+		t.Fatalf("order = %v, want [1 2]", got)
+	}
+}

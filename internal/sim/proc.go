@@ -9,12 +9,18 @@ func (killedError) Error() string { return "sim: process killed" }
 // with simulated time under strict handoff. All Proc methods except Kill
 // and Wake must be called from the process's own goroutine.
 type Proc struct {
-	eng    *Engine
-	resume chan struct{}
-	name   string
-	done   bool
-	parked bool
-	killed bool
+	eng *Engine
+	// resume/yieldCh are this process's strict-handoff pair: dispatch sends
+	// on resume and blocks on yieldCh; the process does the reverse. The
+	// channels are per-process so a handoff only ever involves the
+	// dispatcher and this one goroutine, keeping process state
+	// LP-partitionable.
+	resume  chan struct{}
+	yieldCh chan struct{}
+	name    string
+	done    bool
+	parked  bool
+	killed  bool
 
 	// dispatchFn is the bound dispatch method, created once at Go so the
 	// wait/wake hot paths (WaitUntil, Wake, Kill) schedule it without
@@ -30,8 +36,11 @@ type Proc struct {
 // any moment and the interleaving is fully determined by the event queue.
 func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
 	//simlint:ignore nondeterminism strict handoff: resume carries control to exactly one parked goroutine
-	//simlint:ignore hotpathalloc one process record and channel per spawned task, amortized over its simulated lifetime
+	//simlint:ignore hotpathalloc one process record and channel pair per spawned task, amortized over its simulated lifetime
 	p := &Proc{eng: e, resume: make(chan struct{}), name: name}
+	//simlint:ignore nondeterminism strict handoff: yieldCh returns control from exactly this goroutine to its dispatcher
+	//simlint:ignore hotpathalloc one yield channel per spawned task, amortized over its simulated lifetime
+	p.yieldCh = make(chan struct{})
 	p.dispatchFn = p.dispatch
 	//simlint:ignore hotpathalloc process table is bounded by the spawned task count
 	e.procs = append(e.procs, p)
@@ -49,12 +58,12 @@ func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
 						// Re-panicking in a goroutine would crash without
 						// context; surface the original value.
 						//simlint:ignore nondeterminism strict handoff: hands control back to the event loop
-						e.yield <- struct{}{}
+						p.yieldCh <- struct{}{}
 						panic(r)
 					}
 				}
 				//simlint:ignore nondeterminism strict handoff: hands control back to the event loop
-				e.yield <- struct{}{}
+				p.yieldCh <- struct{}{}
 			}()
 			//simlint:ignore nondeterminism strict handoff: blocks until the event loop dispatches this process
 			<-p.resume
@@ -85,13 +94,13 @@ func (p *Proc) dispatch() {
 	//simlint:ignore nondeterminism strict handoff: control moves to p, then blocks here until p yields
 	p.resume <- struct{}{}
 	//simlint:ignore nondeterminism strict handoff: control moves to p, then blocks here until p yields
-	<-p.eng.yield
+	<-p.yieldCh
 }
 
 // yield returns control to the event loop and blocks until dispatched again.
 func (p *Proc) yield() {
 	//simlint:ignore nondeterminism strict handoff: returns control to the event loop, then blocks until redispatched
-	p.eng.yield <- struct{}{}
+	p.yieldCh <- struct{}{}
 	//simlint:ignore nondeterminism strict handoff: returns control to the event loop, then blocks until redispatched
 	<-p.resume
 	p.checkKilled()
