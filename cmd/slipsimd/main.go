@@ -1,7 +1,9 @@
 // Command slipsimd serves simulations over HTTP: it accepts RunSpec
-// batches, admits them into a bounded job queue with backpressure,
-// coalesces identical in-flight requests into one simulation, answers
-// repeats from an in-memory memo and the shared persistent run cache, and
+// batches, admits them into bounded per-tier job queues with
+// backpressure and batch-tier load shedding, coalesces identical
+// in-flight requests into one simulation, answers repeats from an
+// in-memory memo and the shared persistent run cache, serves that cache
+// to peer daemons over the content-addressed /v1/cache/ protocol, and
 // drains gracefully on SIGTERM — finishing accepted jobs while rejecting
 // new ones.
 //
@@ -11,14 +13,24 @@
 //
 // Endpoints:
 //
-//	POST /v1/run   {"specs":[{"kernel":"SOR","size":"tiny","mode":"slipstream","arsync":"L1","cmps":2}]}
-//	GET  /healthz  liveness, drain state, job counts
-//	GET  /metrics  deterministic text metrics
-//	GET  /runs     job table as NDJSON (?watch=1 streams changes)
+//	POST /v1/run     {"specs":[{"kernel":"SOR","size":"tiny","mode":"slipstream","arsync":"L1","cmps":2}],"priority":"batch"}
+//	GET  /v1/cache/  content-addressed cache peer protocol (GET/PUT entries)
+//	GET  /healthz    liveness, drain state, job counts
+//	GET  /metrics    deterministic text metrics
+//	GET  /runs       job table as NDJSON (?watch=1 streams changes)
 //
 // Results are bit-identical to local `slipsim` runs of the same spec: the
 // daemon multiplexes clients over the same deterministic core. Submit from
 // the CLI with `slipsim -server http://host:port`.
+//
+// Gateway mode shards a replica fleet:
+//
+//	slipsimd -gateway http://r1:8056,http://r2:8056,http://r3:8056 -addr :8055
+//
+// A gateway serves the same POST /v1/run contract but owns no workers: it
+// consistent-hashes each spec's cache key across the replica list, so all
+// submissions of a spec — through any gateway — coalesce on one replica's
+// flight table, and the fleet simulates each distinct spec exactly once.
 package main
 
 import (
@@ -29,6 +41,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -36,19 +49,23 @@ import (
 	"slipstream/internal/core"
 	"slipstream/internal/runcache"
 	"slipstream/internal/service"
+	"slipstream/internal/service/api"
 )
 
 func main() {
 	var (
 		addr       = flag.String("addr", "127.0.0.1:8056", "listen address")
 		workers    = flag.Int("j", 0, "max concurrent simulations (0: NumCPU)")
-		queue      = flag.Int("queue", service.DefaultQueueDepth, "max queued (not yet running) jobs; beyond this, submissions get 429")
+		queue      = flag.Int("queue", service.DefaultQueueDepth, "max queued (not yet running) interactive jobs; beyond this, submissions get 429")
+		batchQueue = flag.Int("batch-queue", 0, "max queued batch-tier jobs (0: same as -queue); batch work is also shed while the interactive queue is congested")
 		cacheAt    = flag.String("cache", runcache.DefaultDir(), "persistent run cache directory (shared with the CLIs)")
+		cachePeer  = flag.String("cache-peer", "", "read/write the run cache of the slipsimd at this base URL instead of a local directory (content-addressed /v1/cache/ protocol)")
 		noCache    = flag.Bool("no-cache", false, "disable the persistent run cache (in-memory memo still applies)")
 		auditRuns  = flag.Bool("audit", false, "cross-check every simulation against conservation and coherence invariants")
 		cores      = flag.Int("cores", 0, "intra-run parallel workers per simulation; results are bit-identical at any count (0 = classic sequential event loop)")
 		timeout    = flag.Duration("timeout", 0, "default per-job deadline when a request names none (0: none)")
 		maxTimeout = flag.Duration("max-timeout", 0, "cap on request-supplied per-job deadlines (0: uncapped)")
+		gateway    = flag.String("gateway", "", "serve as a sharding gateway over this comma-separated replica URL list instead of simulating locally")
 		version    = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
@@ -57,15 +74,26 @@ func main() {
 		return
 	}
 
-	cfg := service.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		Audit:          *auditRuns,
-		Cores:          *cores,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
+	if *gateway != "" {
+		serveGateway(*addr, *gateway)
+		return
 	}
-	if !*noCache {
+
+	cfg := service.Config{
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		BatchQueueDepth: *batchQueue,
+		Audit:           *auditRuns,
+		Cores:           *cores,
+		DefaultTimeout:  *timeout,
+		MaxTimeout:      *maxTimeout,
+	}
+	switch {
+	case *cachePeer != "":
+		base := strings.TrimRight(*cachePeer, "/") + strings.TrimSuffix(api.PathCache, "/")
+		cfg.Cache = runcache.NewPeer(base, core.SimVersion)
+		fmt.Fprintf(os.Stderr, "slipsimd: run cache via peer %s\n", base)
+	case !*noCache:
 		cache, err := runcache.Open(*cacheAt, core.SimVersion)
 		if err != nil {
 			// A broken cache directory degrades to fresh simulation, as in
@@ -114,6 +142,48 @@ func main() {
 		fmt.Fprintf(os.Stderr, "slipsimd: http shutdown: %v\n", err)
 	}
 	fmt.Fprintln(os.Stderr, "slipsimd: drained, bye")
+}
+
+// serveGateway runs the consistent-hashing gateway until SIGTERM, then
+// shuts the listener down gracefully. A gateway holds no job state, so
+// drain is just an HTTP shutdown.
+func serveGateway(addr, replicaList string) {
+	var replicas []string
+	for _, r := range strings.Split(replicaList, ",") {
+		if r = strings.TrimSpace(r); r != "" {
+			replicas = append(replicas, r)
+		}
+	}
+	g, err := service.NewGateway(service.GatewayConfig{Replicas: replicas})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	hs := &http.Server{Handler: g.Handler()}
+	httpDone := make(chan error, 1)
+	go func() { httpDone <- hs.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "slipsimd: gateway on http://%s over %d replica(s)\n", ln.Addr(), len(replicas))
+	for _, r := range g.Replicas() {
+		fmt.Fprintf(os.Stderr, "slipsimd:   replica %s\n", r)
+	}
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-httpDone:
+		fatalf("serve: %v", err)
+	case sig := <-sigs:
+		fmt.Fprintf(os.Stderr, "slipsimd: %v: gateway shutting down\n", sig)
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "slipsimd: http shutdown: %v\n", err)
+	}
+	fmt.Fprintln(os.Stderr, "slipsimd: gateway stopped")
 }
 
 func fatalf(format string, args ...any) {

@@ -11,14 +11,14 @@ import (
 
 // renderAll runs every figure at tiny scale with the given worker count
 // and returns the rendered output and the progress stream.
-func renderAll(t *testing.T, workers int, cache *runcache.Cache) (out, progress string) {
+func renderAll(t *testing.T, workers int, cache runcache.Store) (out, progress string) {
 	t.Helper()
 	return renderAllCores(t, workers, 0, cache)
 }
 
 // renderAllCores is renderAll with the engine's intra-run parallel mode
 // enabled on the given core count.
-func renderAllCores(t *testing.T, workers, cores int, cache *runcache.Cache) (out, progress string) {
+func renderAllCores(t *testing.T, workers, cores int, cache runcache.Store) (out, progress string) {
 	t.Helper()
 	var sb, pb strings.Builder
 	s := NewSession(Config{

@@ -47,8 +47,10 @@ type Config struct {
 	// Results stay bit-identical to sequential execution at any count, so
 	// Cores — like Workers and Audit — never affects the cache.
 	Cores int
-	// Cache, when set, persists completed runs across sessions.
-	Cache *runcache.Cache
+	// Cache, when set, persists completed runs across sessions. Any
+	// runcache.Store backend works: a local directory cache or a remote
+	// peer daemon.
+	Cache runcache.Store
 	// Audit enables the runtime invariant auditor on every simulated run
 	// (cache and memo hits are not re-audited); an audit violation fails
 	// the session. Audited results are identical to unaudited ones, so
@@ -71,10 +73,11 @@ type Session struct {
 	cfg      Config
 	progress *lockedWriter // nil when Config.Progress is nil
 
-	mu        sync.Mutex
-	memo      map[runspec.RunSpec]*core.Result
-	simulated int
-	cacheHits int
+	mu           sync.Mutex
+	memo         map[runspec.RunSpec]*core.Result
+	simulated    int
+	cacheHits    int
+	cacheCorrupt int
 
 	// Per-spec observation sinks, filled by workers when Config.Observe is
 	// set. Keyed by spec so export order can be made deterministic at
@@ -124,6 +127,14 @@ func (s *Session) Stats() (simulated, cacheHits int) {
 	return s.simulated, s.cacheHits
 }
 
+// CacheCorrupt reports how many corrupt cache entries the session hit
+// (each one re-simulated; none served).
+func (s *Session) CacheCorrupt() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cacheCorrupt
+}
+
 // MaxCMPs returns the largest machine size in the sweep.
 func (s *Session) MaxCMPs() int {
 	m := s.cfg.CMPCounts[0]
@@ -154,21 +165,28 @@ func (s *Session) spec(kernel string, mode core.Mode, ar core.ARSync, cmps int, 
 	}.Normalize()
 }
 
-// lookup satisfies a spec from the memo or the persistent cache.
-func (s *Session) lookup(sp runspec.RunSpec) (*core.Result, bool) {
+// lookup satisfies a spec from the memo or the persistent cache. A
+// corrupt cache entry counts as a miss (the run re-simulates) but is
+// tallied so sessions can report it.
+func (s *Session) lookup(sp runspec.RunSpec) (*core.Result, bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if res, ok := s.memo[sp]; ok {
-		return res, true
+		return res, true, nil
 	}
 	if s.cfg.Cache != nil {
-		if res, ok := s.cfg.Cache.Load(sp); ok {
+		res, ok, err := s.cfg.Cache.Load(sp)
+		if err != nil {
+			s.cacheCorrupt++
+		}
+		if ok {
 			s.memo[sp] = res
 			s.cacheHits++
-			return res, true
+			return res, true, nil
 		}
+		return nil, false, err
 	}
-	return nil, false
+	return nil, false, nil
 }
 
 // store records a freshly simulated, verified run in the memo and the
@@ -254,7 +272,7 @@ func (s *Session) progressLine(verb string, sp runspec.RunSpec, res *core.Result
 // built from wrong numerics.
 func (s *Session) result(sp runspec.RunSpec) (*core.Result, error) {
 	sp = sp.Normalize()
-	if res, ok := s.lookup(sp); ok {
+	if res, ok, _ := s.lookup(sp); ok {
 		return res, nil
 	}
 	res, err := sp.RunObservedCores(s.cfg.Audit, s.cfg.Cores, s.observersFor(sp)...)

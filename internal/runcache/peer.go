@@ -1,0 +1,229 @@
+// The content-addressed peer protocol: daemons exchange cache entries as
+// the same self-describing {version, spec, result} JSON the local backend
+// persists, addressed by the entry key.
+//
+//	GET  <base>/<key>   fetch one entry (404: miss)
+//	PUT  <base>/<key>   offer one entry (verified before acceptance)
+//	GET  <base>/        backend stats {"version": ..., "len": N}
+//
+// Both sides verify before trusting: PeerHandler re-derives the key from
+// the offered entry's own content and rejects mismatches, and Peer.Load
+// verifies a fetched entry against the spec it asked for. A compromised
+// or stale peer can therefore cause misses, never wrong results.
+
+package runcache
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+
+	"slipstream/internal/core"
+	"slipstream/internal/runspec"
+)
+
+// maxEntryBytes bounds one entry on the peer wire. Results are a few KB
+// of counters and breakdowns; a megabyte is generous.
+const maxEntryBytes = 1 << 20
+
+// Peer is a Store backed by another daemon's cache over the
+// content-addressed HTTP peer protocol. It holds no local state: every
+// Load is a GET against the peer and every Store a PUT, so N daemons
+// pointed at one peer share a single fleet-wide result store.
+type Peer struct {
+	base    string
+	version string
+	// HTTPClient overrides the transport; nil selects http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+var _ Store = (*Peer)(nil)
+
+// NewPeer returns a Store served by the daemon at base (the cache
+// endpoint prefix, e.g. "http://host:port/v1/cache"), keyed under the
+// given simulator version (normally core.SimVersion).
+func NewPeer(base, version string) *Peer {
+	return &Peer{base: strings.TrimRight(base, "/"), version: version}
+}
+
+// Base returns the peer's cache endpoint prefix.
+func (p *Peer) Base() string { return p.base }
+
+func (p *Peer) httpClient() *http.Client {
+	if p.HTTPClient != nil {
+		return p.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// Key returns the content hash naming sp's entry — identical to the local
+// backend's, which is what makes the two interchangeable.
+func (p *Peer) Key(sp runspec.RunSpec) (string, error) {
+	return KeyFor(p.version, sp)
+}
+
+// Load fetches sp's entry from the peer and verifies it — version, spec,
+// re-derived key, verified result — before serving it. An unreachable
+// peer or an entry that fails verification is an error (and a miss).
+func (p *Peer) Load(sp runspec.RunSpec) (*core.Result, bool, error) {
+	key, err := p.Key(sp)
+	if err != nil {
+		return nil, false, err
+	}
+	resp, err := p.httpClient().Get(p.base + "/" + key)
+	if err != nil {
+		return nil, false, fmt.Errorf("runcache: peer get: %w", err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusNotFound:
+		return nil, false, nil
+	default:
+		return nil, false, fmt.Errorf("runcache: peer get %s: HTTP %d", key, resp.StatusCode)
+	}
+	var e entry
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxEntryBytes)).Decode(&e); err != nil {
+		return nil, false, fmt.Errorf("runcache: peer entry %s: %w", key, err)
+	}
+	if err := e.verify(p.version, key, sp.Normalize()); err != nil {
+		return nil, false, fmt.Errorf("runcache: peer entry %s: %w", key, err)
+	}
+	return e.Result, true, nil
+}
+
+// Store offers a completed run to the peer. The peer re-verifies the
+// entry before persisting it.
+func (p *Peer) Store(sp runspec.RunSpec, res *core.Result) error {
+	if res == nil || res.VerifyErr != nil {
+		return fmt.Errorf("runcache: refusing to store unverified result for %v", sp)
+	}
+	sp = sp.Normalize()
+	key, err := p.Key(sp)
+	if err != nil {
+		return err
+	}
+	b, err := json.Marshal(entry{Version: p.version, Spec: sp, Result: res})
+	if err != nil {
+		return fmt.Errorf("runcache: encoding %v: %w", sp, err)
+	}
+	req, err := http.NewRequest(http.MethodPut, p.base+"/"+key, bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := p.httpClient().Do(req)
+	if err != nil {
+		return fmt.Errorf("runcache: peer put: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<10))
+		return fmt.Errorf("runcache: peer put %s: HTTP %d: %s", key, resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	return nil
+}
+
+// Len reports the peer's entry count (0 when unreachable: Len is a
+// diagnostic, not a correctness surface).
+func (p *Peer) Len() int {
+	resp, err := p.httpClient().Get(p.base + "/")
+	if err != nil {
+		return 0
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0
+	}
+	var st peerStats
+	if json.NewDecoder(io.LimitReader(resp.Body, 1<<10)).Decode(&st) != nil {
+		return 0
+	}
+	return st.Len
+}
+
+// peerStats is the body of GET <base>/.
+type peerStats struct {
+	Version string `json:"version"`
+	Len     int    `json:"len"`
+}
+
+// PeerHandler serves a local Cache over the content-addressed peer
+// protocol. Mount it under the daemon's cache prefix (the service layer
+// mounts it at /v1/cache/ automatically when its store is a local Cache).
+//
+// GETs serve the raw entry file — it is self-describing, so the fetching
+// side can verify it. PUTs are verified here before acceptance: version
+// match, key re-derived from the offered content, verified result; the
+// write then goes through Cache.Store, so it is atomic like any local
+// write.
+func PeerHandler(c *Cache) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		key := strings.Trim(r.URL.Path, "/")
+		if key == "" {
+			if r.Method != http.MethodGet {
+				http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(peerStats{Version: c.version, Len: c.Len()})
+			return
+		}
+		if !validKey(key) {
+			http.Error(w, "malformed entry key", http.StatusBadRequest)
+			return
+		}
+		switch r.Method {
+		case http.MethodGet:
+			b, err := os.ReadFile(c.path(key))
+			if err != nil {
+				http.Error(w, "no such entry", http.StatusNotFound)
+				return
+			}
+			if !json.Valid(b) {
+				c.quarantine(c.path(key))
+				http.Error(w, "no such entry", http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(b)
+		case http.MethodPut:
+			var e entry
+			dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxEntryBytes))
+			if err := dec.Decode(&e); err != nil {
+				http.Error(w, "malformed entry: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			if err := e.verify(c.version, key, e.Spec.Normalize()); err != nil {
+				http.Error(w, "rejected entry: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			if err := c.Store(e.Spec, e.Result); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.WriteHeader(http.StatusNoContent)
+		default:
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	})
+}
+
+// validKey reports whether key looks like a content hash this package
+// produced: exactly 32 lowercase hex digits. Anything else is rejected
+// before it can reach the filesystem.
+func validKey(key string) bool {
+	if len(key) != 32 {
+		return false
+	}
+	for _, r := range key {
+		if (r < '0' || r > '9') && (r < 'a' || r > 'f') {
+			return false
+		}
+	}
+	return true
+}

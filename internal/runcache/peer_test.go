@@ -1,0 +1,180 @@
+package runcache
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+
+	"slipstream/internal/core"
+)
+
+// newPeered serves a fresh local cache over the peer protocol and returns
+// both ends.
+func newPeered(t *testing.T) (*Cache, *Peer) {
+	t.Helper()
+	c, err := Open(t.TempDir(), core.SimVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(PeerHandler(c))
+	t.Cleanup(ts.Close)
+	return c, NewPeer(ts.URL, core.SimVersion)
+}
+
+// TestPeerRoundTrip pins the Store-seam interchangeability: a result
+// stored through the HTTP peer backend lands in the serving daemon's
+// local cache, and a Load through either backend returns the identical
+// result.
+func TestPeerRoundTrip(t *testing.T) {
+	local, peer := newPeered(t)
+	sp := tinySpec()
+	res, err := sp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok, err := peer.Load(sp); ok || err != nil {
+		t.Fatalf("empty peer: ok=%t err=%v, want clean miss", ok, err)
+	}
+	if err := peer.Store(sp, res); err != nil {
+		t.Fatal(err)
+	}
+	if local.Len() != 1 || peer.Len() != 1 {
+		t.Fatalf("Len: local=%d peer=%d, want 1/1", local.Len(), peer.Len())
+	}
+
+	fromPeer, ok, err := peer.Load(sp)
+	if !ok || err != nil {
+		t.Fatalf("peer.Load: ok=%t err=%v", ok, err)
+	}
+	fromLocal, ok, err := local.Load(sp)
+	if !ok || err != nil {
+		t.Fatalf("local.Load: ok=%t err=%v", ok, err)
+	}
+	a, _ := json.Marshal(fromPeer)
+	b, _ := json.Marshal(fromLocal)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("peer and local loads differ:\n%s\nvs\n%s", a, b)
+	}
+
+	// Keys agree across backends — the content address is the contract.
+	pk, _ := peer.Key(sp)
+	lk, _ := local.Key(sp)
+	if pk != lk {
+		t.Fatalf("peer key %s != local key %s", pk, lk)
+	}
+}
+
+// TestPeerVerifiesBeforeServing pins the trust boundary: an entry
+// tampered with on the serving side fails the fetching side's
+// verification and is reported as an error, never served as a result.
+func TestPeerVerifiesBeforeServing(t *testing.T) {
+	local, peer := newPeered(t)
+	sp := tinySpec()
+	res, err := sp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := local.Store(sp, res); err != nil {
+		t.Fatal(err)
+	}
+	key, err := local.Key(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Tamper: flip the cycle count inside the stored entry. The file stays
+	// valid JSON, so the serving side streams it — the fetch-side verify
+	// (key re-derivation is immune to result tampering, but the result is
+	// still gated by spec/version checks) must catch a spec swap.
+	path := local.path(key)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e entry
+	if err := json.Unmarshal(b, &e); err != nil {
+		t.Fatal(err)
+	}
+	e.Spec.CMPs = e.Spec.CMPs * 2 // entry now answers a different spec
+	tampered, err := json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got, ok, err := peer.Load(sp)
+	if ok || got != nil {
+		t.Fatal("tampered entry served")
+	}
+	if err == nil {
+		t.Fatal("tampered entry loaded without surfacing an error")
+	}
+}
+
+// TestPeerHandlerRejectsBadPuts pins the accept-side verification: offers
+// with a version mismatch or a key that does not re-derive from the
+// offered content are refused with 400, and bad keys never touch the
+// filesystem.
+func TestPeerHandlerRejectsBadPuts(t *testing.T) {
+	local, peer := newPeered(t)
+	sp := tinySpec()
+	res, err := sp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := local.Key(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	put := func(path string, e entry) int {
+		t.Helper()
+		b, err := json.Marshal(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req, err := http.NewRequest(http.MethodPut, peer.Base()+path, bytes.NewReader(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	good := entry{Version: core.SimVersion, Spec: sp.Normalize(), Result: res}
+	if code := put("/"+key, entry{Version: "0-bogus", Spec: sp.Normalize(), Result: res}); code != http.StatusBadRequest {
+		t.Errorf("version-mismatch PUT: HTTP %d, want 400", code)
+	}
+	wrongKey := strings.Repeat("0", 32)
+	if code := put("/"+wrongKey, good); code != http.StatusBadRequest {
+		t.Errorf("key-mismatch PUT: HTTP %d, want 400", code)
+	}
+	if code := put("/not-a-key", good); code != http.StatusBadRequest {
+		t.Errorf("malformed-key PUT: HTTP %d, want 400", code)
+	}
+	if code := put("/../../etc/passwd", good); code != http.StatusBadRequest {
+		t.Errorf("traversal-key PUT: HTTP %d, want 400", code)
+	}
+	if local.Len() != 0 {
+		t.Fatalf("rejected PUTs left %d entries", local.Len())
+	}
+
+	// The well-formed offer lands.
+	if code := put("/"+key, good); code != http.StatusNoContent {
+		t.Errorf("valid PUT: HTTP %d, want 204", code)
+	}
+	if local.Len() != 1 {
+		t.Fatalf("valid PUT not persisted")
+	}
+}

@@ -1,34 +1,74 @@
-// Package runcache persists completed simulation results on disk so
-// repeated harness invocations are near-instant. Entries are keyed by a
-// content hash of the normalized RunSpec — which folds in the benchmark,
-// size preset, execution mode, feature flags, and the full machine
-// parameter set — together with the simulator semantics version, so a
-// cache never serves results the current simulator would not reproduce.
+// Package runcache persists completed simulation results so repeated
+// invocations are near-instant. Entries are keyed by a content hash of
+// the normalized RunSpec — which folds in the benchmark, size preset,
+// execution mode, feature flags, and the full machine parameter set —
+// together with the simulator semantics version, so a cache never serves
+// results the current simulator would not reproduce.
 //
-// Entries are JSON files written atomically (temp file + rename), safe
-// for concurrent writers within and across processes. Opening a cache
-// prunes entries left by other simulator versions.
+// The package exposes one seam, the Store interface, with two backends:
+//
+//   - Cache, the local atomic directory backend (JSON files written via
+//     temp file + rename, safe for concurrent writers within and across
+//     processes; opening prunes entries left by other simulator versions
+//     and quarantines unreadable ones as .bad files).
+//   - Peer, an HTTP client of another daemon's cache speaking the
+//     content-addressed GET/PUT peer protocol served by PeerHandler.
+//
+// Entries are self-describing {version, spec, result} JSON on disk and on
+// the wire, so every backend can verify an entry against the key and spec
+// it claims to answer before serving it.
 package runcache
 
 import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 
 	"slipstream/internal/core"
 	"slipstream/internal/runspec"
 )
 
-// Cache is a directory of persisted run results for one simulator
-// version. Methods are safe for concurrent use.
-type Cache struct {
-	dir     string
-	version string
+// Store is the content-addressed result store seam: the serving layer,
+// the harness, and the CLIs depend on this interface rather than on a
+// concrete backend, so a daemon can read through a local directory or a
+// remote peer interchangeably. Implementations must be safe for
+// concurrent use.
+type Store interface {
+	// Key returns the content hash naming sp's entry: a pure function of
+	// the simulator version and the normalized spec, identical across
+	// every backend and every process.
+	Key(sp runspec.RunSpec) (string, error)
+
+	// Load returns the stored result for sp, if present and valid. A
+	// non-nil error reports a corrupt, unreadable, or unverifiable entry;
+	// such entries are still misses (ok=false), so callers that do not
+	// care about corruption can ignore the error, and callers that do
+	// (the serving layer's runcache.corrupt counter) can count it.
+	Load(sp runspec.RunSpec) (*core.Result, bool, error)
+
+	// Store persists a completed, verified run.
+	Store(sp runspec.RunSpec, res *core.Result) error
+
+	// Len returns the number of entries currently visible.
+	Len() int
 }
+
+// Cache is a directory of persisted run results for one simulator
+// version: the local backend of the Store interface. Methods are safe
+// for concurrent use.
+type Cache struct {
+	dir         string
+	version     string
+	quarantined atomic.Int64
+}
+
+var _ Store = (*Cache)(nil)
 
 // DefaultDir returns the conventional cache location: the slipstream
 // subdirectory of the user cache directory, or a temp-dir fallback when
@@ -42,7 +82,8 @@ func DefaultDir() string {
 
 // Open creates (if needed) and opens the cache directory for the given
 // simulator version (normally core.SimVersion), evicting entries that
-// were written by any other version.
+// were written by any other version and quarantining unreadable
+// current-version entries as .bad files (see Quarantined).
 func Open(dir, version string) (*Cache, error) {
 	if dir == "" {
 		dir = DefaultDir()
@@ -60,27 +101,66 @@ func Open(dir, version string) (*Cache, error) {
 // Dir returns the cache directory.
 func (c *Cache) Dir() string { return c.dir }
 
-// entry is the on-disk format. Version and Spec are stored alongside the
-// result so entries are self-describing and verifiable independent of
-// their filename.
+// Quarantined returns how many corrupt or unreadable entries this cache
+// has renamed to .bad files (at Open and on Load) instead of serving or
+// silently deleting them. The files stay in the directory for inspection.
+func (c *Cache) Quarantined() int64 { return c.quarantined.Load() }
+
+// entry is the self-describing storage and wire format. Version and Spec
+// are stored alongside the result so entries are verifiable independent
+// of their filename or URL.
 type entry struct {
 	Version string          `json:"version"`
 	Spec    runspec.RunSpec `json:"spec"`
 	Result  *core.Result    `json:"result"`
 }
 
-// Key returns the content hash naming sp's cache entry: SHA-256 over the
-// simulator version and the canonical JSON of the normalized spec.
-func (c *Cache) Key(sp runspec.RunSpec) (string, error) {
+// verify checks that e is servable as the entry named key for spec want
+// under version: the version matches, the entry's spec is the one asked
+// for, the key re-derives from the entry's own content, and the result is
+// present and verified. It is the one gate every backend applies before
+// serving or accepting an entry.
+func (e *entry) verify(version, key string, want runspec.RunSpec) error {
+	switch {
+	case e.Version != version:
+		return fmt.Errorf("entry version %q, want %q", e.Version, version)
+	case e.Spec != want:
+		return fmt.Errorf("entry answers spec %v, want %v", e.Spec, want)
+	case e.Result == nil:
+		return errors.New("entry has no result")
+	case e.Result.VerifyErr != nil:
+		return fmt.Errorf("entry result unverified: %v", e.Result.VerifyErr)
+	}
+	rekey, err := KeyFor(version, e.Spec)
+	if err != nil {
+		return err
+	}
+	if rekey != key {
+		return fmt.Errorf("entry content hashes to %s, not %s", rekey, key)
+	}
+	return nil
+}
+
+// KeyFor returns the content hash naming sp's cache entry under the given
+// simulator version: SHA-256 over the version and the canonical JSON of
+// the normalized spec. Every Store backend and the gateway's consistent
+// hashing use this one function, so placement and lookup agree
+// everywhere.
+func KeyFor(version string, sp runspec.RunSpec) (string, error) {
 	b, err := json.Marshal(struct {
 		Version string          `json:"version"`
 		Spec    runspec.RunSpec `json:"spec"`
-	}{c.version, sp.Normalize()})
+	}{version, sp.Normalize()})
 	if err != nil {
 		return "", fmt.Errorf("runcache: hashing spec: %w", err)
 	}
 	sum := sha256.Sum256(b)
 	return hex.EncodeToString(sum[:16]), nil
+}
+
+// Key returns the content hash naming sp's cache entry.
+func (c *Cache) Key(sp runspec.RunSpec) (string, error) {
+	return KeyFor(c.version, sp)
 }
 
 // path returns the entry filename: the version (sanitized) is a prefix so
@@ -89,28 +169,41 @@ func (c *Cache) path(key string) string {
 	return filepath.Join(c.dir, "v"+sanitize(c.version)+"-"+key+".json")
 }
 
-// Load returns the stored result for sp, if present and valid. Corrupt
-// or mismatched entries are evicted and reported as misses.
-func (c *Cache) Load(sp runspec.RunSpec) (*core.Result, bool) {
+// quarantine renames a bad entry to a .bad file so it is never served
+// again but stays available for inspection.
+func (c *Cache) quarantine(path string) {
+	if os.Rename(path, path+".bad") == nil {
+		c.quarantined.Add(1)
+	}
+}
+
+// Load returns the stored result for sp, if present and valid. Corrupt or
+// unverifiable entries are quarantined, reported as misses, and surfaced
+// through the error return so callers can count them.
+func (c *Cache) Load(sp runspec.RunSpec) (*core.Result, bool, error) {
 	key, err := c.Key(sp)
 	if err != nil {
-		return nil, false
+		return nil, false, err
 	}
 	path := c.path(key)
 	b, err := os.ReadFile(path)
 	if err != nil {
-		return nil, false
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, false, nil
+		}
+		c.quarantine(path)
+		return nil, false, fmt.Errorf("runcache: reading %s: %w", filepath.Base(path), err)
 	}
 	var e entry
-	if json.Unmarshal(b, &e) != nil ||
-		e.Version != c.version ||
-		e.Spec != sp.Normalize() ||
-		e.Result == nil ||
-		e.Result.VerifyErr != nil {
-		os.Remove(path)
-		return nil, false
+	if err := json.Unmarshal(b, &e); err != nil {
+		c.quarantine(path)
+		return nil, false, fmt.Errorf("runcache: corrupt entry %s: %w", filepath.Base(path), err)
 	}
-	return e.Result, true
+	if err := e.verify(c.version, key, sp.Normalize()); err != nil {
+		c.quarantine(path)
+		return nil, false, fmt.Errorf("runcache: invalid entry %s: %w", filepath.Base(path), err)
+	}
+	return e.Result, true, nil
 }
 
 // Store persists a completed run atomically. Unverified results are
@@ -155,8 +248,11 @@ func (c *Cache) Len() int {
 }
 
 // prune evicts entries written by other simulator versions (and orphaned
-// temp files). The version prefix in the filename makes this a pure
-// directory scan.
+// temp files and stale quarantine files), recognized by the version
+// prefix in the filename, and quarantines current-version entries whose
+// contents are unreadable or not valid JSON — truncated writes from a
+// crashed process must be counted and set aside, not silently ignored
+// until a Load trips over them.
 func (c *Cache) prune() error {
 	entries, err := os.ReadDir(c.dir)
 	if err != nil {
@@ -165,10 +261,23 @@ func (c *Cache) prune() error {
 	keep := "v" + sanitize(c.version) + "-"
 	for _, de := range entries {
 		name := de.Name()
-		stale := strings.HasPrefix(name, "v") && strings.HasSuffix(name, ".json") &&
-			!strings.HasPrefix(name, keep)
-		if stale || strings.HasPrefix(name, "tmp-") {
-			os.Remove(filepath.Join(c.dir, name))
+		path := filepath.Join(c.dir, name)
+		switch {
+		case strings.HasPrefix(name, "tmp-"):
+			os.Remove(path)
+		case strings.HasSuffix(name, ".bad"):
+			if !strings.HasPrefix(name, keep) {
+				os.Remove(path) // quarantine from another version: moot
+			}
+		case strings.HasPrefix(name, "v") && strings.HasSuffix(name, ".json"):
+			if !strings.HasPrefix(name, keep) {
+				os.Remove(path)
+				continue
+			}
+			b, err := os.ReadFile(path)
+			if err != nil || !json.Valid(b) {
+				c.quarantine(path)
+			}
 		}
 	}
 	return nil

@@ -29,21 +29,21 @@ func TestRoundTripDeepEqual(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := c.Load(sp); ok {
+	if _, ok, err := c.Load(sp); ok || err != nil {
 		t.Fatal("empty cache reported a hit")
 	}
 	if err := c.Store(sp, res); err != nil {
 		t.Fatal(err)
 	}
-	got, ok := c.Load(sp)
-	if !ok {
+	got, ok, err := c.Load(sp)
+	if !ok || err != nil {
 		t.Fatal("stored entry not found")
 	}
 	if !reflect.DeepEqual(got, res) {
 		t.Fatalf("round trip changed result:\n got %+v\nwant %+v", got, res)
 	}
 	// A normalized-equal spec (explicit default machine) hits the same entry.
-	if _, ok := c.Load(sp.Normalize()); !ok {
+	if _, ok, _ := c.Load(sp.Normalize()); !ok {
 		t.Error("normalized spec missed the cache")
 	}
 }
@@ -63,7 +63,7 @@ func TestDistinctSpecsDistinctEntries(t *testing.T) {
 	if err := c.Store(a, ra); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := c.Load(b); ok {
+	if _, ok, _ := c.Load(b); ok {
 		t.Error("spec with different feature flags hit the wrong entry")
 	}
 	if c.Len() != 1 {
@@ -94,7 +94,7 @@ func TestStaleVersionEvictedOnOpen(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := cur.Load(sp); ok {
+	if _, ok, _ := cur.Load(sp); ok {
 		t.Error("stale-version entry served")
 	}
 	files, err := filepath.Glob(filepath.Join(dir, "*.json"))
@@ -121,11 +121,105 @@ func TestCorruptEntryEvictedOnLoad(t *testing.T) {
 	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := c.Load(sp); ok {
+	res, ok, err := c.Load(sp)
+	if ok || res != nil {
 		t.Fatal("corrupt entry served")
 	}
+	if err == nil {
+		t.Fatal("corrupt entry loaded without surfacing an error")
+	}
 	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
-		t.Error("corrupt entry not evicted")
+		t.Error("corrupt entry still live after quarantine")
+	}
+	if _, err := os.Stat(path + ".bad"); err != nil {
+		t.Errorf("corrupt entry not quarantined to .bad: %v", err)
+	}
+	if got := c.Quarantined(); got != 1 {
+		t.Errorf("Quarantined() = %d, want 1", got)
+	}
+	// A quarantined key misses cleanly on the next probe (no error: the
+	// slot is simply empty again) and can be refilled.
+	if _, ok, err := c.Load(sp); ok || err != nil {
+		t.Fatalf("post-quarantine probe: ok=%t err=%v, want clean miss", ok, err)
+	}
+}
+
+// TestOpenQuarantinesTruncatedEntry pins the prune() bugfix: an
+// unreadable or truncated current-version entry found at Open must be
+// quarantined (renamed to .bad and counted), not served and not left in
+// place to fail every future Load.
+func TestOpenQuarantinesTruncatedEntry(t *testing.T) {
+	dir := t.TempDir()
+	seed, err := Open(dir, core.SimVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := tinySpec()
+	res, err := sp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.Store(sp, res); err != nil {
+		t.Fatal(err)
+	}
+	key, err := seed.Key(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := seed.path(key)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncate mid-entry: the file exists, is current-version, and is not
+	// valid JSON.
+	if err := os.WriteFile(path, b[:len(b)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := Open(dir, core.SimVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Quarantined(); got != 1 {
+		t.Errorf("Quarantined() = %d after Open over truncated entry, want 1", got)
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Error("truncated entry still live after Open")
+	}
+	if _, err := os.Stat(path + ".bad"); err != nil {
+		t.Errorf("truncated entry not quarantined to .bad: %v", err)
+	}
+	if n := c.Len(); n != 0 {
+		t.Errorf("Len() = %d, want 0 (quarantined entries are not entries)", n)
+	}
+	if _, ok, err := c.Load(sp); ok || err != nil {
+		t.Fatalf("Load over quarantined key: ok=%t err=%v, want clean miss", ok, err)
+	}
+	// The cache heals: a fresh Store overwrites the slot and round-trips.
+	if err := c.Store(sp, res); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := c.Load(sp); !ok || err != nil {
+		t.Fatalf("refill after quarantine: ok=%t err=%v, want hit", ok, err)
+	}
+	// A later Open keeps the current-version quarantine file (it exists
+	// for inspection) but collects quarantine left by other versions.
+	if _, err := Open(dir, core.SimVersion); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".bad"); err != nil {
+		t.Errorf("current-version .bad file not kept for inspection: %v", err)
+	}
+	stale := filepath.Join(dir, "v0stale-00c0ffee00c0ffee00c0ffee00c0ffee.json.bad")
+	if err := os.WriteFile(stale, []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, core.SimVersion); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !errors.Is(err, os.ErrNotExist) {
+		t.Error("other-version .bad file survived Open; stale quarantine should be collected")
 	}
 }
 

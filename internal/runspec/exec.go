@@ -36,8 +36,12 @@ type Executor struct {
 
 	// Lookup, when set, is probed before scheduling a spec; returning
 	// ok=true satisfies the spec without simulating (memo or persistent
-	// cache hit). It may be called from Execute's caller goroutine only.
-	Lookup func(RunSpec) (*core.Result, bool)
+	// cache hit). A non-nil error reports a corrupt or unreachable store
+	// entry: the executor treats it as a miss and simulates, so callers
+	// that want to surface corruption count it inside Lookup itself (the
+	// service layer's runcache.corrupt counter). It may be called from
+	// Execute's caller goroutine only.
+	Lookup func(RunSpec) (*core.Result, bool, error)
 
 	// Observe, when set, supplies observation-bus subscribers for each
 	// freshly simulated spec (results served by Lookup are not observed —
@@ -145,7 +149,9 @@ func (e *Executor) Execute(ctx context.Context, specs []RunSpec) ([]*core.Result
 	var todo []int
 	for i, sp := range unique {
 		if e.Lookup != nil {
-			if res, ok := e.Lookup(sp); ok {
+			// A Lookup error is a miss: corruption must never block a
+			// batch when a fresh simulation can answer it.
+			if res, ok, _ := e.Lookup(sp); ok {
 				results[i] = res
 				cached[i] = true
 				state[i] = stateDone

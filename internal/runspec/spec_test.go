@@ -110,7 +110,7 @@ func TestExecutorLookupShortCircuits(t *testing.T) {
 	var cachedSeen bool
 	ex := &Executor{
 		Workers: 2,
-		Lookup:  func(RunSpec) (*core.Result, bool) { return canned, true },
+		Lookup:  func(RunSpec) (*core.Result, bool, error) { return canned, true, nil },
 		Store:   func(RunSpec, *core.Result) { t.Error("Store called despite lookup hit") },
 		OnDone:  func(_ RunSpec, _ *core.Result, cached bool) { cachedSeen = cached },
 	}
@@ -165,8 +165,8 @@ func TestExecutorObserveSeesOnlySimulatedSpecs(t *testing.T) {
 	var observed atomic.Int32
 	ex := &Executor{
 		Workers: 2,
-		Lookup: func(sp RunSpec) (*core.Result, bool) {
-			return canned, sp == sorSpec(2).Normalize()
+		Lookup: func(sp RunSpec) (*core.Result, bool, error) {
+			return canned, sp == sorSpec(2).Normalize(), nil
 		},
 		Observe: func(sp RunSpec) []obs.Observer {
 			if sp == sorSpec(2).Normalize() {

@@ -1,0 +1,169 @@
+// Package api is version 1 of the slipsimd wire protocol: the request,
+// response, status, error, and header types exchanged by the serving
+// daemon and the gateway (internal/service), the typed client
+// (internal/service/client), and the CI smoke jobs. Server and client
+// both consume this one package, so the wire format cannot drift between
+// them.
+//
+// Compatibility contract: within protocol version 1 (the /v1 path
+// prefix), changes are additive only — new optional fields, new error
+// codes, new header values. RunSpec and Result keep their symbolic JSON
+// encodings (mode, policy, and size names), so requests are hand-writable
+// and responses byte-identical to local `slipsim` output.
+package api
+
+import (
+	"time"
+
+	"slipstream/internal/core"
+	"slipstream/internal/runspec"
+)
+
+// Endpoint paths of protocol version 1.
+const (
+	// PathRun accepts POST RunRequest batches.
+	PathRun = "/v1/run"
+	// PathCache is the content-addressed cache peer protocol prefix
+	// (see runcache.PeerHandler); entries live at PathCache + <key>.
+	PathCache = "/v1/cache/"
+	// PathHealthz serves liveness, drain state, and job counts.
+	PathHealthz = "/healthz"
+	// PathMetrics serves the deterministic text metrics registry.
+	PathMetrics = "/metrics"
+	// PathRuns serves the job table as NDJSON (?watch=1 streams).
+	PathRuns = "/runs"
+)
+
+// Priority tiers of RunRequest. Interactive work is queued ahead of batch
+// work and is the last to be shed under load.
+const (
+	// TierInteractive is the default: user-facing, latency-sensitive.
+	TierInteractive = "interactive"
+	// TierBatch marks throughput work (sweeps, prefetch, backfill); it
+	// is admitted only while interactive queues have headroom and is the
+	// first tier shed under load.
+	TierBatch = "batch"
+)
+
+// RunRequest is the body of POST /v1/run: a batch of specs, optionally
+// with a per-job deadline and a priority tier. Specs equal after
+// normalization share one job — per daemon, and through the gateway's
+// consistent hashing one job across the whole cluster.
+type RunRequest struct {
+	Specs []runspec.RunSpec `json:"specs"`
+	// TimeoutMS bounds each fresh simulation this batch enqueues; zero
+	// selects the server default. Coalesced joins inherit the deadline of
+	// the flight they join.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Priority is the admission tier: TierInteractive (default when
+	// empty) or TierBatch.
+	Priority string `json:"priority,omitempty"`
+}
+
+// Timeout returns the request's per-job deadline as a duration (zero:
+// server default).
+func (r *RunRequest) Timeout() time.Duration {
+	return time.Duration(r.TimeoutMS) * time.Millisecond
+}
+
+// RunResponse is the success body of POST /v1/run. Results align with the
+// request's specs, as do Cached (served without simulating: memo or
+// persistent cache) and Jobs (the job id serving each spec; duplicates
+// and coalesced submissions share ids). Through the gateway, job ids are
+// replica-local: two entries only name the same flight if the specs also
+// hashed to the same replica.
+type RunResponse struct {
+	Results []*core.Result `json:"results"`
+	Cached  []bool         `json:"cached"`
+	Jobs    []int64        `json:"jobs"`
+}
+
+// Error codes carried by ErrorResponse.Code: machine-readable failure
+// classes, stable within protocol version 1. Clients branch on the code,
+// not the message.
+const (
+	// CodeBadRequest: malformed body, unknown field, invalid spec.
+	CodeBadRequest = "bad_request"
+	// CodeQueueFull: admission backpressure; retry after Retry-After.
+	CodeQueueFull = "queue_full"
+	// CodeShed: batch-tier work shed under load; retry after Retry-After
+	// or resubmit as interactive.
+	CodeShed = "shed"
+	// CodeDraining: the daemon is shutting down; submit elsewhere.
+	CodeDraining = "draining"
+	// CodeDeadline: the job's deadline expired before completion.
+	CodeDeadline = "deadline"
+	// CodeCanceled: the job was canceled by a hard stop.
+	CodeCanceled = "canceled"
+	// CodeSimFailed: the simulation or its numeric verification failed
+	// deterministically; retrying the same spec will fail again.
+	CodeSimFailed = "sim_failed"
+	// CodeUpstreamDown: the gateway could not reach any replica for part
+	// of the batch, even after rehashing.
+	CodeUpstreamDown = "upstream_down"
+	// CodeInternal: anything else.
+	CodeInternal = "internal"
+)
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	// Code classifies the failure (the Code* constants).
+	Code string `json:"code,omitempty"`
+}
+
+// JobStatus is one line of GET /runs: a job's spec and lifecycle state.
+type JobStatus struct {
+	ID      int64           `json:"id"`
+	Spec    runspec.RunSpec `json:"spec"`
+	State   string          `json:"state"`
+	Tier    string          `json:"tier,omitempty"`
+	Cached  bool            `json:"cached,omitempty"`
+	Waiters int64           `json:"waiters,omitempty"`
+	Error   string          `json:"error,omitempty"`
+}
+
+// Health is the body of GET /healthz. A gateway reports Status
+// "degraded" when some replicas are unreachable and lists them in
+// Replicas; a replica daemon leaves Replicas empty.
+type Health struct {
+	Status     string          `json:"status"` // "ok", "draining", or "degraded"
+	Version    string          `json:"version"`
+	Workers    int             `json:"workers"`
+	QueueDepth int             `json:"queue_depth"`
+	Counts     Counts          `json:"counts"`
+	Replicas   []ReplicaHealth `json:"replicas,omitempty"`
+}
+
+// Counts breaks the job table down by state.
+type Counts struct {
+	Queued   int64 `json:"queued"`
+	Running  int64 `json:"running"`
+	Done     int64 `json:"done"`
+	Failed   int64 `json:"failed"`
+	Canceled int64 `json:"canceled"`
+}
+
+// ReplicaHealth is one replica's state as seen from the gateway.
+type ReplicaHealth struct {
+	URL    string `json:"url"`
+	Status string `json:"status"` // "ok", "draining", or "down"
+	Error  string `json:"error,omitempty"`
+}
+
+// Cache-status header values (X-Slipsim-Cache) of POST /v1/run responses.
+const (
+	// CacheHeader names the response header carrying the batch's cache
+	// disposition.
+	CacheHeader = "X-Slipsim-Cache"
+	// CacheHit: every spec was served from memo or persistent cache.
+	CacheHit = "hit"
+	// CacheMiss: no spec was served from cache.
+	CacheMiss = "miss"
+	// CachePartial: a mix of hits and misses.
+	CachePartial = "partial"
+)
+
+// VersionHeader carries the simulator semantics version on every
+// response.
+const VersionHeader = "X-Slipsim-Version"

@@ -17,6 +17,7 @@ import (
 	"slipstream/internal/runcache"
 	"slipstream/internal/runspec"
 	"slipstream/internal/service"
+	"slipstream/internal/service/api"
 	"slipstream/internal/service/client"
 )
 
@@ -134,8 +135,8 @@ func TestServerMatchesLocal(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if disposition != service.CacheHit {
-		t.Errorf("second submission %s = %q, want %q", service.CacheHeader, disposition, service.CacheHit)
+	if disposition != api.CacheHit {
+		t.Errorf("second submission %s = %q, want %q", api.CacheHeader, disposition, api.CacheHit)
 	}
 	if !resp.Cached[0] {
 		t.Errorf("second submission Cached[0] = false, want true")
@@ -160,8 +161,8 @@ func TestBatchDispositions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if disp != service.CacheMiss {
-		t.Errorf("fresh duplicate batch disposition = %q, want %q", disp, service.CacheMiss)
+	if disp != api.CacheMiss {
+		t.Errorf("fresh duplicate batch disposition = %q, want %q", disp, api.CacheMiss)
 	}
 	if resp.Jobs[0] != resp.Jobs[1] {
 		t.Errorf("duplicate specs got distinct jobs %v", resp.Jobs)
@@ -169,14 +170,14 @@ func TestBatchDispositions(t *testing.T) {
 
 	if _, disp, err = c.RunBatch(ctx, []runspec.RunSpec{a, b}, 0); err != nil {
 		t.Fatal(err)
-	} else if disp != service.CachePartial {
-		t.Errorf("memoized+fresh batch disposition = %q, want %q", disp, service.CachePartial)
+	} else if disp != api.CachePartial {
+		t.Errorf("memoized+fresh batch disposition = %q, want %q", disp, api.CachePartial)
 	}
 
 	if _, disp, err = c.RunBatch(ctx, []runspec.RunSpec{a, b}, 0); err != nil {
 		t.Fatal(err)
-	} else if disp != service.CacheHit {
-		t.Errorf("fully memoized batch disposition = %q, want %q", disp, service.CacheHit)
+	} else if disp != api.CacheHit {
+		t.Errorf("fully memoized batch disposition = %q, want %q", disp, api.CacheHit)
 	}
 }
 
@@ -268,7 +269,7 @@ scan:
 			if !ok {
 				break scan
 			}
-			var js service.JobStatus
+			var js api.JobStatus
 			if err := json.Unmarshal([]byte(line), &js); err != nil {
 				t.Fatalf("bad watch line %q: %v", line, err)
 			}

@@ -1,13 +1,15 @@
 // Package client is the typed Go client of the slipsimd HTTP API
-// (internal/service). It is used by the service tests, the CI smoke job,
-// and `slipsim -server`, which round-trips a CLI run through a daemon and
-// prints the byte-identical result.
+// (wire types: internal/service/api). It is used by the service tests,
+// the CI smoke jobs, the gateway's replica fan-out, and `slipsim
+// -server`, which round-trips a CLI run through a daemon and prints the
+// byte-identical result.
 package client
 
 import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -17,15 +19,23 @@ import (
 
 	"slipstream/internal/core"
 	"slipstream/internal/runspec"
-	"slipstream/internal/service"
+	"slipstream/internal/service/api"
 )
 
-// Client talks to one slipsimd daemon.
+// Client talks to one slipsimd daemon or gateway.
 type Client struct {
 	// Base is the daemon's base URL, e.g. "http://127.0.0.1:8056".
 	Base string
 	// HTTPClient overrides the transport; nil selects http.DefaultClient.
 	HTTPClient *http.Client
+	// MaxAttempts bounds how many times Submit tries a temporary
+	// rejection (429 queue-full/shed backpressure, 504 deadline) before
+	// giving up, honoring the server's Retry-After hint between tries.
+	// Zero or one means a single attempt. Non-temporary errors
+	// (validation, simulation failure, drain) never retry.
+	MaxAttempts int
+	// RetryWaitCap bounds one Retry-After sleep; zero selects 2s.
+	RetryWaitCap time.Duration
 }
 
 // New returns a client for the daemon at base (trailing slash optional).
@@ -34,10 +44,12 @@ func New(base string) *Client {
 }
 
 // APIError is a non-2xx daemon response: the status code, the server's
-// error message, and the Retry-After hint (seconds) when the server sent
-// one (backpressure rejections do).
+// machine-readable error code (api.Code*), its error message, and the
+// Retry-After hint (seconds) when the server sent one (backpressure
+// rejections do).
 type APIError struct {
 	StatusCode int
+	Code       string
 	Message    string
 	RetryAfter int
 }
@@ -46,8 +58,8 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("slipsimd: %s (HTTP %d)", e.Message, e.StatusCode)
 }
 
-// Temporary reports whether retrying later may succeed: queue-full
-// backpressure and gateway timeouts are temporary; validation and
+// Temporary reports whether retrying later may succeed: queue-full and
+// shed backpressure and gateway timeouts are temporary; validation and
 // simulation failures (and drain) are not.
 func (e *APIError) Temporary() bool {
 	return e.StatusCode == http.StatusTooManyRequests ||
@@ -61,20 +73,51 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
-// RunBatch submits a spec batch and waits for every result. The returned
-// response aligns with specs; cache is the response's X-Slipsim-Cache
-// disposition ("hit", "miss", or "partial").
-func (c *Client) RunBatch(ctx context.Context, specs []runspec.RunSpec, timeout time.Duration) (*service.RunResponse, string, error) {
-	body, err := json.Marshal(service.RunRequest{Specs: specs, TimeoutMS: timeout.Milliseconds()})
+// Submit posts one RunRequest and waits for every result, retrying
+// temporary rejections up to MaxAttempts with the server's Retry-After
+// hint. The returned response aligns with the request's specs; the
+// string is the response's X-Slipsim-Cache disposition.
+func (c *Client) Submit(ctx context.Context, req api.RunRequest) (*api.RunResponse, string, error) {
+	attempts := c.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	for try := 1; ; try++ {
+		resp, disp, err := c.submitOnce(ctx, req)
+		var apiErr *APIError
+		if err == nil || try >= attempts || !errors.As(err, &apiErr) || !apiErr.Temporary() {
+			return resp, disp, err
+		}
+		wait := time.Duration(apiErr.RetryAfter) * time.Second
+		if lim := c.retryWaitCap(); wait > lim {
+			wait = lim
+		}
+		select {
+		case <-time.After(wait):
+		case <-ctx.Done():
+			return nil, "", ctx.Err()
+		}
+	}
+}
+
+func (c *Client) retryWaitCap() time.Duration {
+	if c.RetryWaitCap > 0 {
+		return c.RetryWaitCap
+	}
+	return 2 * time.Second
+}
+
+func (c *Client) submitOnce(ctx context.Context, req api.RunRequest) (*api.RunResponse, string, error) {
+	body, err := json.Marshal(req)
 	if err != nil {
 		return nil, "", fmt.Errorf("client: encoding request: %w", err)
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/v1/run", bytes.NewReader(body))
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+api.PathRun, bytes.NewReader(body))
 	if err != nil {
 		return nil, "", err
 	}
-	req.Header.Set("Content-Type", "application/json")
-	httpResp, err := c.httpClient().Do(req)
+	httpReq.Header.Set("Content-Type", "application/json")
+	httpResp, err := c.httpClient().Do(httpReq)
 	if err != nil {
 		return nil, "", err
 	}
@@ -82,14 +125,22 @@ func (c *Client) RunBatch(ctx context.Context, specs []runspec.RunSpec, timeout 
 	if httpResp.StatusCode != http.StatusOK {
 		return nil, "", decodeAPIError(httpResp)
 	}
-	var resp service.RunResponse
+	var resp api.RunResponse
 	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
 		return nil, "", fmt.Errorf("client: decoding response: %w", err)
 	}
-	if len(resp.Results) != len(specs) {
-		return nil, "", fmt.Errorf("client: %d results for %d specs", len(resp.Results), len(specs))
+	if len(resp.Results) != len(req.Specs) {
+		return nil, "", fmt.Errorf("client: %d results for %d specs", len(resp.Results), len(req.Specs))
 	}
-	return &resp, httpResp.Header.Get(service.CacheHeader), nil
+	return &resp, httpResp.Header.Get(api.CacheHeader), nil
+}
+
+// RunBatch submits a spec batch on the default (interactive) tier and
+// waits for every result. The returned response aligns with specs; cache
+// is the response's X-Slipsim-Cache disposition ("hit", "miss", or
+// "partial").
+func (c *Client) RunBatch(ctx context.Context, specs []runspec.RunSpec, timeout time.Duration) (*api.RunResponse, string, error) {
+	return c.Submit(ctx, api.RunRequest{Specs: specs, TimeoutMS: timeout.Milliseconds()})
 }
 
 // Run submits one spec and returns its result, plus whether the daemon
@@ -104,9 +155,9 @@ func (c *Client) Run(ctx context.Context, spec runspec.RunSpec) (*core.Result, b
 }
 
 // Health fetches the daemon's liveness and job counts.
-func (c *Client) Health(ctx context.Context) (*service.Health, error) {
-	var h service.Health
-	if err := c.getJSON(ctx, "/healthz", &h); err != nil {
+func (c *Client) Health(ctx context.Context) (*api.Health, error) {
+	var h api.Health
+	if err := c.getJSON(ctx, api.PathHealthz, &h); err != nil {
 		return nil, err
 	}
 	return &h, nil
@@ -114,7 +165,7 @@ func (c *Client) Health(ctx context.Context) (*service.Health, error) {
 
 // Metrics fetches the daemon's deterministic text metrics.
 func (c *Client) Metrics(ctx context.Context) (string, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/metrics", nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+api.PathMetrics, nil)
 	if err != nil {
 		return "", err
 	}
@@ -134,8 +185,8 @@ func (c *Client) Metrics(ctx context.Context) (string, error) {
 }
 
 // Runs fetches the daemon's job table, in job-id order.
-func (c *Client) Runs(ctx context.Context) ([]service.JobStatus, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/runs", nil)
+func (c *Client) Runs(ctx context.Context) ([]api.JobStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+api.PathRuns, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -147,10 +198,10 @@ func (c *Client) Runs(ctx context.Context) ([]service.JobStatus, error) {
 	if resp.StatusCode != http.StatusOK {
 		return nil, decodeAPIError(resp)
 	}
-	var jobs []service.JobStatus
+	var jobs []api.JobStatus
 	dec := json.NewDecoder(resp.Body)
 	for dec.More() {
-		var js service.JobStatus
+		var js api.JobStatus
 		if err := dec.Decode(&js); err != nil {
 			return nil, fmt.Errorf("client: decoding job status: %w", err)
 		}
@@ -180,9 +231,10 @@ func decodeAPIError(resp *http.Response) error {
 	if n, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
 		apiErr.RetryAfter = n
 	}
-	var body service.ErrorResponse
+	var body api.ErrorResponse
 	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&body); err == nil && body.Error != "" {
 		apiErr.Message = body.Error
+		apiErr.Code = body.Code
 	} else {
 		apiErr.Message = http.StatusText(resp.StatusCode)
 	}

@@ -1,0 +1,103 @@
+package service_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"slipstream/internal/runspec"
+	"slipstream/internal/service"
+	"slipstream/internal/service/api"
+	"slipstream/internal/service/client"
+)
+
+// TestClientRetriesBackpressure pins the client retry loop: 429
+// rejections are retried with the server's Retry-After hint up to
+// MaxAttempts, then the request succeeds end to end.
+func TestClientRetriesBackpressure(t *testing.T) {
+	s := service.New(service.Config{Workers: 2})
+	inner := s.Handler()
+	t.Cleanup(func() {
+		s.StartDrain()
+		s.Wait()
+	})
+
+	// The front handler rejects the first two submissions like a congested
+	// daemon would, then forwards to the real one.
+	var attempts atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == api.PathRun && attempts.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(api.ErrorResponse{Error: "job queue full", Code: api.CodeQueueFull})
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	t.Cleanup(ts.Close)
+
+	c := client.New(ts.URL)
+	c.MaxAttempts = 3
+	resp, _, err := c.RunBatch(context.Background(), []runspec.RunSpec{specTL(2)}, 0)
+	if err != nil {
+		t.Fatalf("RunBatch with retries: %v", err)
+	}
+	if resp.Results[0] == nil {
+		t.Fatal("no result after retries")
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Errorf("attempts = %d, want 3 (two rejections, one success)", got)
+	}
+}
+
+// TestClientRetryBudgetExhausts pins the give-up path: when every attempt
+// is rejected, the final APIError (with its code and Retry-After hint)
+// reaches the caller, and non-temporary errors never retry at all.
+func TestClientRetryBudgetExhausts(t *testing.T) {
+	var attempts atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		w.Header().Set("Retry-After", "0")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusTooManyRequests)
+		json.NewEncoder(w).Encode(api.ErrorResponse{Error: "overloaded", Code: api.CodeShed})
+	}))
+	t.Cleanup(ts.Close)
+
+	c := client.New(ts.URL)
+	c.MaxAttempts = 3
+	_, _, err := c.RunBatch(context.Background(), []runspec.RunSpec{specTL(2)}, 0)
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("err = %v, want APIError", err)
+	}
+	if apiErr.StatusCode != http.StatusTooManyRequests || apiErr.Code != api.CodeShed {
+		t.Errorf("final error = HTTP %d code %q, want 429 %q", apiErr.StatusCode, apiErr.Code, api.CodeShed)
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Errorf("attempts = %d, want 3", got)
+	}
+
+	// A validation failure is permanent: one attempt only.
+	attempts.Store(0)
+	ts2 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(w).Encode(api.ErrorResponse{Error: "bad spec", Code: api.CodeBadRequest})
+	}))
+	t.Cleanup(ts2.Close)
+	c2 := client.New(ts2.URL)
+	c2.MaxAttempts = 3
+	if _, _, err := c2.RunBatch(context.Background(), []runspec.RunSpec{specTL(2)}, 0); err == nil {
+		t.Fatal("bad request retried into success?")
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Errorf("attempts on permanent error = %d, want 1", got)
+	}
+}

@@ -1,0 +1,321 @@
+package service_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"slipstream/internal/core"
+	"slipstream/internal/runspec"
+	"slipstream/internal/service"
+	"slipstream/internal/service/api"
+	"slipstream/internal/service/client"
+)
+
+// cluster is an in-process slipsimd fleet: n replicas behind one gateway.
+type cluster struct {
+	servers  []*service.Server
+	backends []*httptest.Server
+	gateway  *service.Gateway
+	front    *httptest.Server
+}
+
+// newCluster starts n replicas (each configured by cfg(i)) and a gateway
+// over them. Everything is torn down with the test.
+func newCluster(t *testing.T, n int, cfg func(i int) service.Config) *cluster {
+	t.Helper()
+	cl := &cluster{}
+	replicas := make([]string, n)
+	for i := 0; i < n; i++ {
+		s := service.New(cfg(i))
+		ts := httptest.NewServer(s.Handler())
+		cl.servers = append(cl.servers, s)
+		cl.backends = append(cl.backends, ts)
+		replicas[i] = ts.URL
+		t.Cleanup(func() {
+			ts.Close()
+			s.StartDrain()
+			s.Wait()
+		})
+	}
+	g, err := service.NewGateway(service.GatewayConfig{Replicas: replicas})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.gateway = g
+	cl.front = httptest.NewServer(g.Handler())
+	t.Cleanup(cl.front.Close)
+	return cl
+}
+
+func (cl *cluster) client() *client.Client { return client.New(cl.front.URL) }
+
+// simCount sums run.count over the fleet: how many simulations actually
+// executed anywhere.
+func (cl *cluster) simCount() int64 {
+	var n int64
+	for _, s := range cl.servers {
+		n += s.CounterValue("run.count")
+	}
+	return n
+}
+
+// replicaIndex maps a replica base URL back to its index in the cluster.
+func (cl *cluster) replicaIndex(t *testing.T, url string) int {
+	t.Helper()
+	for i, ts := range cl.backends {
+		if ts.URL == url {
+			return i
+		}
+	}
+	t.Fatalf("unknown replica %s", url)
+	return -1
+}
+
+// TestGatewayClusterWideCoalescing pins the tentpole property: identical
+// specs submitted concurrently through the gateway land on one replica's
+// flight table, so the whole fleet simulates the spec exactly once, and
+// every caller gets a byte-identical result.
+func TestGatewayClusterWideCoalescing(t *testing.T) {
+	cl := newCluster(t, 3, func(int) service.Config { return service.Config{Workers: 2} })
+	c := cl.client()
+	spec := specTL(2)
+
+	local, err := spec.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(local)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const callers = 24
+	results := make([]*core.Result, callers)
+	errs := make([]error, callers)
+	var wg sync.WaitGroup
+	wg.Add(callers)
+	for i := 0; i < callers; i++ {
+		go func(i int) {
+			defer wg.Done()
+			results[i], _, errs[i] = c.Run(context.Background(), spec)
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		got, err := json.Marshal(results[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("caller %d: gateway result differs from local run:\n%s\nvs\n%s", i, got, want)
+		}
+	}
+	if got := cl.simCount(); got != 1 {
+		t.Errorf("fleet run.count = %d after %d identical submissions, want 1", got, callers)
+	}
+	if got := cl.gateway.CounterValue("gateway.requests"); got != callers {
+		t.Errorf("gateway.requests = %d, want %d", got, callers)
+	}
+}
+
+// TestGatewayShardsDistinctSpecs pins placement: a mixed batch fans out
+// by each spec's content key, results come back in request order, and
+// distinct specs simulate exactly once each fleet-wide even when
+// resubmitted through the gateway.
+func TestGatewayShardsDistinctSpecs(t *testing.T) {
+	cl := newCluster(t, 3, func(int) service.Config { return service.Config{Workers: 2} })
+	c := cl.client()
+	specs := []runspec.RunSpec{specTL(1), specTL(2), specTL(4), specTL(8)}
+
+	resp, _, err := c.RunBatch(context.Background(), specs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sp := range specs {
+		local, err := sp.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := json.Marshal(local)
+		got, _ := json.Marshal(resp.Results[i])
+		if !bytes.Equal(got, want) {
+			t.Fatalf("spec %d: gateway result differs from local run", i)
+		}
+	}
+	if got := cl.simCount(); got != int64(len(specs)) {
+		t.Errorf("fleet run.count = %d, want %d", got, len(specs))
+	}
+
+	// Resubmitting the batch is answered from the replicas' memos: no new
+	// simulations anywhere, and the gateway reports the hit disposition.
+	_, disp, err := c.RunBatch(context.Background(), specs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if disp != api.CacheHit {
+		t.Errorf("repeat batch disposition = %q, want %q", disp, api.CacheHit)
+	}
+	if got := cl.simCount(); got != int64(len(specs)) {
+		t.Errorf("fleet run.count = %d after repeat, want %d", got, len(specs))
+	}
+}
+
+// TestGatewayFailoverMidFlight pins the rehash path: the home replica of
+// a spec dies mid-flight (connections severed while its job runs), the
+// gateway marks it down and rehashes the spec to the next ring candidate,
+// and the caller still receives a result byte-identical to a local run.
+func TestGatewayFailoverMidFlight(t *testing.T) {
+	spec := specTL(2)
+	cl := newCluster(t, 3, func(int) service.Config { return service.Config{Workers: 2} })
+	home, err := cl.gateway.ReplicaFor(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi := cl.replicaIndex(t, home)
+
+	// When the home replica starts simulating, sever every client
+	// connection: the gateway's in-flight submit fails at the transport
+	// level, exactly like a crashed daemon.
+	var once sync.Once
+	cl.servers[hi].SetRunStarted(func(runspec.RunSpec) {
+		once.Do(cl.backends[hi].CloseClientConnections)
+	})
+
+	local, err := spec.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := json.Marshal(local)
+
+	res, _, err := cl.client().Run(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("submission through failover: %v", err)
+	}
+	got, _ := json.Marshal(res)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("failover result differs from local run:\n%s\nvs\n%s", got, want)
+	}
+	if n := cl.gateway.CounterValue("gateway.rehash"); n != 1 {
+		t.Errorf("gateway.rehash = %d, want 1", n)
+	}
+	if n := cl.gateway.CounterValue("gateway.replica.down"); n != 1 {
+		t.Errorf("gateway.replica.down = %d, want 1", n)
+	}
+
+	// The rehashed flight ran on a different, live replica.
+	var elsewhere int64
+	for i, s := range cl.servers {
+		if i != hi {
+			elsewhere += s.CounterValue("run.count")
+		}
+	}
+	if elsewhere != 1 {
+		t.Errorf("run.count off the dead replica = %d, want 1", elsewhere)
+	}
+}
+
+// TestGatewayPropagatesBackpressure pins the all-or-nothing contract
+// across the fleet: a replica rejecting with 429 fails the whole gateway
+// batch with 429 and a Retry-After hint, and the gateway's own error
+// carries the replica's machine-readable code.
+func TestGatewayPropagatesBackpressure(t *testing.T) {
+	// One replica so every spec routes to the congested daemon.
+	cl := newCluster(t, 1, func(int) service.Config {
+		return service.Config{Workers: 1, QueueDepth: 1}
+	})
+	started := make(chan struct{}, 4)
+	release := make(chan struct{})
+	var releaseOnce sync.Once
+	openRelease := func() { releaseOnce.Do(func() { close(release) }) }
+	t.Cleanup(openRelease) // runs before the cluster drain-and-wait cleanup
+	cl.servers[0].SetRunStarted(func(runspec.RunSpec) {
+		started <- struct{}{}
+		<-release
+	})
+	c := cl.client()
+	ctx := context.Background()
+
+	// Occupy the worker, then the one queue slot.
+	kick := make(chan error, 2)
+	go func() { _, _, err := c.RunBatch(ctx, []runspec.RunSpec{specTL(1)}, 0); kick <- err }()
+	<-started // the worker holds spec 1; the queue is empty again
+	go func() { _, _, err := c.RunBatch(ctx, []runspec.RunSpec{specTL(2)}, 0); kick <- err }()
+	awaitCounter(t, cl.servers[0], "service.submissions", 2)
+
+	_, _, err := c.RunBatch(ctx, []runspec.RunSpec{specTL(4)}, 0)
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("overload submission err = %v, want APIError", err)
+	}
+	if apiErr.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("status = %d, want 429", apiErr.StatusCode)
+	}
+	if apiErr.Code != api.CodeQueueFull {
+		t.Errorf("code = %q, want %q", apiErr.Code, api.CodeQueueFull)
+	}
+	if apiErr.RetryAfter < 1 {
+		t.Errorf("RetryAfter = %d, want >= 1", apiErr.RetryAfter)
+	}
+	if n := cl.gateway.CounterValue("gateway.rejected.backpressure"); n != 1 {
+		t.Errorf("gateway.rejected.backpressure = %d, want 1", n)
+	}
+	// A rejected replica is NOT a down replica: no rehash happened.
+	if n := cl.gateway.CounterValue("gateway.rehash"); n != 0 {
+		t.Errorf("gateway.rehash = %d after a 429, want 0", n)
+	}
+
+	openRelease()
+	for i := 0; i < 2; i++ {
+		if err := <-kick; err != nil {
+			t.Errorf("held submission %d: %v", i, err)
+		}
+	}
+}
+
+// awaitCounter polls a server metrics counter until it reaches want.
+func awaitCounter(t *testing.T, s *service.Server, name string, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if s.CounterValue(name) >= want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("counter %s never reached %d (at %d)", name, want, s.CounterValue(name))
+}
+
+// TestGatewayRejectsBadBatchWhole pins gateway admission: a batch with
+// one invalid spec is refused up front with 400 and never reaches any
+// replica.
+func TestGatewayRejectsBadBatchWhole(t *testing.T) {
+	cl := newCluster(t, 2, func(int) service.Config { return service.Config{Workers: 1} })
+	bad := specTL(2)
+	bad.TransparentLoads = false
+	bad.SelfInvalidate = true // requires transparent loads
+
+	_, _, err := cl.client().RunBatch(context.Background(), []runspec.RunSpec{specTL(1), bad}, 0)
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusBadRequest {
+		t.Fatalf("err = %v, want 400 APIError", err)
+	}
+	if apiErr.Code != api.CodeBadRequest {
+		t.Errorf("code = %q, want %q", apiErr.Code, api.CodeBadRequest)
+	}
+	for i, s := range cl.servers {
+		if n := s.CounterValue("service.submissions"); n != 0 {
+			t.Errorf("replica %d admitted %d submissions from a rejected batch", i, n)
+		}
+	}
+}

@@ -8,127 +8,71 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
-	"time"
 
 	"slipstream/internal/core"
-	"slipstream/internal/runspec"
+	"slipstream/internal/runcache"
+	"slipstream/internal/service/api"
 )
-
-// Wire types of the slipsimd HTTP JSON API. RunSpec and Result keep their
-// symbolic JSON encodings (mode, policy, and size names), so requests are
-// hand-writable and responses byte-identical to local `slipsim` output.
-
-// RunRequest is the body of POST /v1/run: a batch of specs, optionally
-// with a per-job deadline. Specs equal after normalization share one job.
-type RunRequest struct {
-	Specs []runspec.RunSpec `json:"specs"`
-	// TimeoutMS bounds each fresh simulation this batch enqueues; zero
-	// selects the server default. Coalesced joins inherit the deadline of
-	// the flight they join.
-	TimeoutMS int64 `json:"timeout_ms,omitempty"`
-}
-
-// RunResponse is the success body of POST /v1/run. Results align with the
-// request's specs, as do Cached (served without simulating: memo or
-// persistent cache) and Jobs (the job id serving each spec; duplicates and
-// coalesced submissions share ids).
-type RunResponse struct {
-	Results []*core.Result `json:"results"`
-	Cached  []bool         `json:"cached"`
-	Jobs    []int64        `json:"jobs"`
-}
-
-// ErrorResponse is the body of every non-2xx response.
-type ErrorResponse struct {
-	Error string `json:"error"`
-}
-
-// JobStatus is one line of GET /runs: a job's spec and lifecycle state.
-type JobStatus struct {
-	ID      int64           `json:"id"`
-	Spec    runspec.RunSpec `json:"spec"`
-	State   string          `json:"state"`
-	Cached  bool            `json:"cached,omitempty"`
-	Waiters int64           `json:"waiters,omitempty"`
-	Error   string          `json:"error,omitempty"`
-}
-
-// Health is the body of GET /healthz.
-type Health struct {
-	Status     string `json:"status"` // "ok" or "draining"
-	Version    string `json:"version"`
-	Workers    int    `json:"workers"`
-	QueueDepth int    `json:"queue_depth"`
-	Counts     Counts `json:"counts"`
-}
-
-// Counts breaks the job table down by state.
-type Counts struct {
-	Queued   int64 `json:"queued"`
-	Running  int64 `json:"running"`
-	Done     int64 `json:"done"`
-	Failed   int64 `json:"failed"`
-	Canceled int64 `json:"canceled"`
-}
-
-// Cache-status header values (X-Slipsim-Cache) of POST /v1/run responses.
-const (
-	// CacheHeader names the response header carrying the batch's cache
-	// disposition.
-	CacheHeader = "X-Slipsim-Cache"
-	// CacheHit: every spec was served from memo or persistent cache.
-	CacheHit = "hit"
-	// CacheMiss: no spec was served from cache.
-	CacheMiss = "miss"
-	// CachePartial: a mix of hits and misses.
-	CachePartial = "partial"
-)
-
-// VersionHeader carries the simulator semantics version on every response.
-const VersionHeader = "X-Slipsim-Version"
 
 // maxRequestBytes bounds request bodies; a full batch of specs is a few
 // hundred bytes each.
 const maxRequestBytes = 1 << 20
 
-// Handler returns the daemon's HTTP API:
+// Handler returns the daemon's HTTP API (wire types: internal/service/api):
 //
-//	POST /v1/run   submit a RunSpec batch, wait for results
-//	GET  /healthz  liveness, drain state, job counts
-//	GET  /metrics  deterministic text metrics (obs registry)
-//	GET  /runs     job table as NDJSON; ?watch=1 streams state changes
+//	POST /v1/run      submit a RunSpec batch, wait for results
+//	GET  /healthz     liveness, drain state, job counts
+//	GET  /metrics     deterministic text metrics (obs registry)
+//	GET  /runs        job table as NDJSON; ?watch=1 streams state changes
+//	     /v1/cache/*  content-addressed cache peer protocol, when the
+//	                  daemon's store is a local directory cache
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/run", s.handleRun)
-	mux.HandleFunc("GET /healthz", s.handleHealth)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("GET /runs", s.handleRuns)
+	mux.HandleFunc("POST "+api.PathRun, s.handleRun)
+	mux.HandleFunc("GET "+api.PathHealthz, s.handleHealth)
+	mux.HandleFunc("GET "+api.PathMetrics, s.handleMetrics)
+	mux.HandleFunc("GET "+api.PathRuns, s.handleRuns)
+	// Peer daemons read through this daemon's cache only when it is the
+	// local-directory backend; a daemon that is itself a peer client
+	// must not be proxied through (one hop keeps failure modes simple).
+	if lc, ok := s.cfg.Cache.(*runcache.Cache); ok && lc != nil {
+		mux.Handle(api.PathCache,
+			http.StripPrefix(strings.TrimSuffix(api.PathCache, "/"), runcache.PeerHandler(lc)))
+	}
 	return mux
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
-	var req RunRequest
+	var req api.RunRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		s.httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		s.httpError(w, http.StatusBadRequest, api.CodeBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
-	attaches, err := s.submit(req.Specs, time.Duration(req.TimeoutMS)*time.Millisecond)
+	tr, err := parseTier(req.Priority)
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, api.CodeBadRequest, err)
+		return
+	}
+	attaches, err := s.submit(req.Specs, req.Timeout(), tr)
 	if err != nil {
 		switch {
 		case errors.Is(err, ErrQueueFull):
 			w.Header().Set("Retry-After", "1")
-			s.httpError(w, http.StatusTooManyRequests, err)
+			s.httpError(w, http.StatusTooManyRequests, api.CodeQueueFull, err)
+		case errors.Is(err, ErrShed):
+			w.Header().Set("Retry-After", "5")
+			s.httpError(w, http.StatusTooManyRequests, api.CodeShed, err)
 		case errors.Is(err, ErrDraining):
-			s.httpError(w, http.StatusServiceUnavailable, err)
+			s.httpError(w, http.StatusServiceUnavailable, api.CodeDraining, err)
 		default:
-			s.httpError(w, http.StatusBadRequest, err)
+			s.httpError(w, http.StatusBadRequest, api.CodeBadRequest, err)
 		}
 		return
 	}
 
-	resp := RunResponse{
+	resp := api.RunResponse{
 		Results: make([]*core.Result, len(attaches)),
 		Cached:  make([]bool, len(attaches)),
 		Jobs:    make([]int64, len(attaches)),
@@ -143,7 +87,8 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		if a.f.err != nil {
-			s.httpError(w, flightErrStatus(a.f.err), fmt.Errorf("job %d (%v): %w", a.f.id, a.f.spec, a.f.err))
+			status, code := flightErrStatus(a.f.err)
+			s.httpError(w, status, code, fmt.Errorf("job %d (%v): %w", a.f.id, a.f.spec, a.f.err))
 			return
 		}
 		resp.Results[i] = a.f.res
@@ -153,39 +98,43 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			hits++
 		}
 	}
-	disposition := CachePartial
-	switch hits {
-	case len(attaches):
-		disposition = CacheHit
-	case 0:
-		disposition = CacheMiss
-	}
-	w.Header().Set(CacheHeader, disposition)
+	w.Header().Set(api.CacheHeader, disposition(hits, len(attaches)))
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
-// flightErrStatus maps a failed flight's error to a response code:
-// deadline 504, canceled (drain hard stop) 503, anything else — a
-// deterministic simulation or verification failure — 500.
-func flightErrStatus(err error) int {
+// disposition maps a batch's hit count to the X-Slipsim-Cache value.
+func disposition(hits, total int) string {
+	switch hits {
+	case total:
+		return api.CacheHit
+	case 0:
+		return api.CacheMiss
+	}
+	return api.CachePartial
+}
+
+// flightErrStatus maps a failed flight's error to a response status and
+// error code: deadline 504, canceled (drain hard stop) 503, anything
+// else — a deterministic simulation or verification failure — 500.
+func flightErrStatus(err error) (int, string) {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
-		return http.StatusGatewayTimeout
+		return http.StatusGatewayTimeout, api.CodeDeadline
 	case errors.Is(err, context.Canceled):
-		return http.StatusServiceUnavailable
+		return http.StatusServiceUnavailable, api.CodeCanceled
 	default:
-		return http.StatusInternalServerError
+		return http.StatusInternalServerError, api.CodeSimFailed
 	}
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
-	h := Health{
+	h := api.Health{
 		Status:     "ok",
 		Version:    core.SimVersion,
 		Workers:    s.cfg.Workers,
 		QueueDepth: s.cfg.QueueDepth,
-		Counts: Counts{
+		Counts: api.Counts{
 			Queued:   s.counts[jobQueued],
 			Running:  s.counts[jobRunning],
 			Done:     s.counts[jobDone],
@@ -203,20 +152,21 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	var buf bytes.Buffer
 	if err := s.WriteMetrics(&buf); err != nil {
-		s.httpError(w, http.StatusInternalServerError, err)
+		s.httpError(w, http.StatusInternalServerError, api.CodeInternal, err)
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	w.Header().Set(VersionHeader, core.SimVersion)
+	w.Header().Set(api.VersionHeader, core.SimVersion)
 	w.Write(buf.Bytes())
 }
 
-// status materializes a flight's JobStatus. Callers hold mu.
-func statusLocked(f *flight) JobStatus {
-	js := JobStatus{
+// statusLocked materializes a flight's JobStatus. Callers hold mu.
+func statusLocked(f *flight) api.JobStatus {
+	js := api.JobStatus{
 		ID:      f.id,
 		Spec:    f.spec,
 		State:   f.state.String(),
+		Tier:    tierNames[f.tier],
 		Cached:  f.cached,
 		Waiters: f.waiters,
 	}
@@ -228,7 +178,7 @@ func statusLocked(f *flight) JobStatus {
 
 func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
-	w.Header().Set(VersionHeader, core.SimVersion)
+	w.Header().Set(api.VersionHeader, core.SimVersion)
 	enc := json.NewEncoder(w)
 	watch := r.URL.Query().Get("watch") != ""
 
@@ -259,7 +209,7 @@ func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
 				s.cond.Wait()
 			}
 		}
-		var batch []JobStatus
+		var batch []api.JobStatus
 		for _, f := range s.jobs { // id order: deterministic snapshot
 			if f.upd > last {
 				batch = append(batch, statusLocked(f))
@@ -286,13 +236,19 @@ func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func (s *Server) httpError(w http.ResponseWriter, code int, err error) {
-	s.writeJSON(w, code, ErrorResponse{Error: err.Error()})
+func (s *Server) httpError(w http.ResponseWriter, status int, code string, err error) {
+	s.writeJSON(w, status, api.ErrorResponse{Error: err.Error(), Code: code})
 }
 
 func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	writeJSON(w, code, v)
+}
+
+// writeJSON writes a JSON body with the protocol version header. Shared
+// by the daemon and gateway handlers.
+func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set(VersionHeader, core.SimVersion)
+	w.Header().Set(api.VersionHeader, core.SimVersion)
 	var buf bytes.Buffer
 	enc := json.NewEncoder(&buf)
 	enc.SetEscapeHTML(false)

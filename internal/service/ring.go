@@ -1,0 +1,80 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// ringVNodes is how many virtual points each replica contributes to the
+// hash ring. 64 points per replica keeps the load spread within a few
+// percent of uniform for small fleets while the ring stays tiny.
+const ringVNodes = 64
+
+// hashRing places replicas on a consistent-hash ring. Placement is a pure
+// function of the replica name list and the key, so every gateway
+// instance — and every test — agrees on which replica owns which spec,
+// which is what keeps in-flight coalescing cluster-wide: all submissions
+// of a spec, through any gateway, land on the same replica's flight
+// table.
+type hashRing struct {
+	n      int
+	points []ringPoint
+}
+
+type ringPoint struct {
+	hash    uint64
+	replica int
+}
+
+// newHashRing builds the ring for n replicas named by name(i).
+func newHashRing(n int, name func(int) string) *hashRing {
+	r := &hashRing{n: n, points: make([]ringPoint, 0, n*ringVNodes)}
+	for i := 0; i < n; i++ {
+		for v := 0; v < ringVNodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:    ringHash(fmt.Sprintf("%s#%d", name(i), v)),
+				replica: i,
+			})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		// Hash ties (vanishingly rare) break by replica index so the
+		// ring order never depends on sort stability.
+		return r.points[a].replica < r.points[b].replica
+	})
+	return r
+}
+
+// ringHash maps a string to a ring position: the first 8 bytes of its
+// SHA-256. Cache keys are already SHA-256 prefixes, but hashing again
+// costs little and decouples ring geometry from key format.
+func ringHash(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// candidates returns every replica index in ring order starting at key's
+// position: candidates(key)[0] is the key's home, and the remainder is
+// the deterministic failover sequence a gateway walks when replicas are
+// down. Each replica appears exactly once.
+func (r *hashRing) candidates(key string) []int {
+	h := ringHash(key)
+	start := sort.Search(len(r.points), func(i int) bool {
+		return r.points[i].hash >= h
+	})
+	out := make([]int, 0, r.n)
+	seen := make([]bool, r.n)
+	for i := 0; i < len(r.points) && len(out) < r.n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.replica] {
+			seen[p.replica] = true
+			out = append(out, p.replica)
+		}
+	}
+	return out
+}

@@ -1,8 +1,11 @@
 // Package service is the serving core of slipsimd: a long-lived server
-// that accepts RunSpec batches, admits them into a bounded job queue, and
-// executes them on a fixed worker pool through the runspec.Executor —
-// turning the deterministic one-shot simulator into an always-on service
-// with queueing, caching, backpressure, and graceful drain.
+// that accepts RunSpec batches, admits them into bounded per-tier job
+// queues, and executes them on a fixed worker pool through the
+// runspec.Executor — turning the deterministic one-shot simulator into an
+// always-on service with queueing, caching, backpressure, and graceful
+// drain. The same package provides Gateway, which consistent-hashes specs
+// across a static list of such servers so the properties below hold
+// fleet-wide.
 //
 // The design leans on one property of the compute core: a simulation is a
 // pure function of its normalized RunSpec. That purity makes three serving
@@ -15,15 +18,19 @@
 //     for the daemon's lifetime, so a spec ever simulated (or ever failed —
 //     failures are deterministic too) is answered without re-running.
 //   - Read-through persistent caching: admission probes the shared
-//     runcache before queueing, and fresh results are stored back, so
-//     daemon restarts and CLI runs share one result store.
+//     runcache.Store before queueing, and fresh results are stored back, so
+//     daemon restarts, peer daemons, and CLI runs share one result store.
 //
-// Admission control is strict and cache-aware: cached and coalesced
-// submissions are always admitted (they consume no queue slot), while a
-// batch needing N fresh simulations is admitted only if all N fit in the
-// queue — otherwise the whole batch is rejected with ErrQueueFull so a
-// client never blocks half-admitted. A draining server rejects every new
-// submission with ErrDraining but finishes all accepted jobs.
+// Admission control is strict, cache-aware, and tiered: cached and
+// coalesced submissions are always admitted (they consume no queue slot),
+// while a batch needing N fresh simulations is admitted only if all N fit
+// in its tier's queue — otherwise the whole batch is rejected with
+// ErrQueueFull so a client never blocks half-admitted. Two priority tiers
+// share the worker pool: interactive work is always dequeued first, and
+// batch-tier work is load-shed (ErrShed) whenever the interactive queue
+// is under pressure, so throughput work can never crowd out latency-
+// sensitive work. A draining server rejects every new submission with
+// ErrDraining but finishes all accepted jobs.
 //
 // The server is not simulation code: it may use goroutines, channels, and
 // wall-clock deadlines freely (simlint's nondeterminism rules scope to the
@@ -45,6 +52,7 @@ import (
 	"slipstream/internal/obs"
 	"slipstream/internal/runcache"
 	"slipstream/internal/runspec"
+	"slipstream/internal/service/api"
 )
 
 // Config parameterizes a Server.
@@ -53,16 +61,23 @@ type Config struct {
 	// runtime.NumCPU().
 	Workers int
 
-	// QueueDepth bounds jobs accepted but not yet running. Zero or
-	// negative selects DefaultQueueDepth. Submissions needing more fresh
-	// simulations than the queue has free slots are rejected with
-	// ErrQueueFull.
+	// QueueDepth bounds interactive-tier jobs accepted but not yet
+	// running. Zero or negative selects DefaultQueueDepth. Submissions
+	// needing more fresh simulations than the tier's queue has free slots
+	// are rejected with ErrQueueFull.
 	QueueDepth int
 
+	// BatchQueueDepth bounds batch-tier jobs accepted but not yet
+	// running. Zero or negative selects QueueDepth. Batch work is
+	// additionally shed (ErrShed) while the interactive queue is more
+	// than half full, regardless of batch-queue headroom.
+	BatchQueueDepth int
+
 	// Cache, when set, is probed read-through at admission and receives
-	// every freshly simulated result, sharing the on-disk result store
-	// with the CLIs.
-	Cache *runcache.Cache
+	// every freshly simulated result. It is the Store seam: a local
+	// directory cache shares results with the CLIs, a runcache.Peer
+	// shares them with a remote daemon fleet-wide.
+	Cache runcache.Store
 
 	// Audit enables the runtime invariant auditor on every simulation.
 	Audit bool
@@ -84,14 +99,42 @@ type Config struct {
 // DefaultQueueDepth is the job-queue bound when Config.QueueDepth is unset.
 const DefaultQueueDepth = 64
 
-// Admission errors. The HTTP layer maps these to 429 and 503.
+// Admission errors. The HTTP layer maps these to 429 (ErrQueueFull,
+// ErrShed) and 503 (ErrDraining).
 var (
-	// ErrQueueFull reports that the job queue lacks room for every fresh
-	// simulation a submission needs.
+	// ErrQueueFull reports that the tier's job queue lacks room for every
+	// fresh simulation a submission needs.
 	ErrQueueFull = errors.New("service: job queue full")
+	// ErrShed reports that batch-tier work was shed because interactive
+	// work is under pressure; retry later or resubmit as interactive.
+	ErrShed = errors.New("service: overloaded, batch-tier work shed")
 	// ErrDraining reports that the server has stopped admitting work.
 	ErrDraining = errors.New("service: draining, not admitting new jobs")
 )
+
+// tier is an admission priority class (the wire names them via
+// api.TierInteractive / api.TierBatch).
+type tier uint8
+
+const (
+	tierInteractive tier = iota
+	tierBatch
+	numTiers
+)
+
+var tierNames = [numTiers]string{api.TierInteractive, api.TierBatch}
+
+// parseTier maps a wire priority string to a tier; empty selects
+// interactive.
+func parseTier(s string) (tier, error) {
+	switch s {
+	case "", api.TierInteractive:
+		return tierInteractive, nil
+	case api.TierBatch:
+		return tierBatch, nil
+	}
+	return 0, fmt.Errorf("service: unknown priority tier %q", s)
+}
 
 // jobState is a flight's lifecycle position.
 type jobState uint8
@@ -120,10 +163,12 @@ func (s jobState) retryable() bool { return s == jobCanceled }
 
 // flight is one admitted unit of work: a unique normalized spec moving
 // through queued → running → {done, failed, canceled}. All submissions of
-// an equal spec share one flight.
+// an equal spec share one flight, whichever tier they arrived on (the
+// flight keeps the tier it was admitted under).
 type flight struct {
 	id   int64
 	spec runspec.RunSpec
+	tier tier
 	// ctx carries the per-job deadline, counted from admission (queue wait
 	// is part of the job's latency budget); cancel releases its timer.
 	ctx    context.Context
@@ -147,7 +192,7 @@ type attach struct {
 	hit bool
 }
 
-// Server owns the queue, the worker pool, the flight table, and the
+// Server owns the queues, the worker pool, the flight table, and the
 // service metrics registry.
 type Server struct {
 	cfg      Config
@@ -158,7 +203,7 @@ type Server struct {
 	cond     *sync.Cond // broadcast on every flight state change
 	flights  map[runspec.RunSpec]*flight
 	jobs     []*flight // id order; retained for /runs history
-	queue    chan *flight
+	queues   [numTiers]chan *flight
 	draining bool
 	seq      int64
 	nextID   int64
@@ -173,6 +218,10 @@ type Server struct {
 	runStarted func(runspec.RunSpec)
 }
 
+// SetRunStarted installs the runStarted test hook. It must be called
+// before any submission; the hook runs on worker goroutines.
+func (s *Server) SetRunStarted(fn func(runspec.RunSpec)) { s.runStarted = fn }
+
 // New starts a server: its workers are live and accepting until Drain or
 // Close.
 func New(cfg Config) *Server {
@@ -182,15 +231,19 @@ func New(cfg Config) *Server {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = DefaultQueueDepth
 	}
+	if cfg.BatchQueueDepth <= 0 {
+		cfg.BatchQueueDepth = cfg.QueueDepth
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:      cfg,
 		baseCtx:  ctx,
 		hardStop: cancel,
 		flights:  make(map[runspec.RunSpec]*flight),
-		queue:    make(chan *flight, cfg.QueueDepth),
 		nextID:   1,
 	}
+	s.queues[tierInteractive] = make(chan *flight, cfg.QueueDepth)
+	s.queues[tierBatch] = make(chan *flight, cfg.BatchQueueDepth)
 	s.cond = sync.NewCond(&s.mu)
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -199,11 +252,22 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// submit validates and admits a batch. On success every spec has an
-// attach; the caller waits on each flight's done channel. Validation
-// errors are reported before any admission, so a bad batch never occupies
-// queue slots.
-func (s *Server) submit(specs []runspec.RunSpec, timeout time.Duration) ([]attach, error) {
+// loadCacheLocked probes the configured store for sp, counting corrupt
+// entries (a Load error is still a miss, but it must never be silent).
+// Callers hold mu.
+func (s *Server) loadCacheLocked(sp runspec.RunSpec) (*core.Result, bool) {
+	res, ok, err := s.cfg.Cache.Load(sp)
+	if err != nil {
+		s.metrics.Count("runcache.corrupt", 1)
+	}
+	return res, ok
+}
+
+// submit validates and admits a batch on the given tier. On success every
+// spec has an attach; the caller waits on each flight's done channel.
+// Validation errors are reported before any admission, so a bad batch
+// never occupies queue slots.
+func (s *Server) submit(specs []runspec.RunSpec, timeout time.Duration, tr tier) ([]attach, error) {
 	if len(specs) == 0 {
 		return nil, fmt.Errorf("service: empty batch")
 	}
@@ -259,14 +323,14 @@ func (s *Server) submit(specs []runspec.RunSpec, timeout time.Duration) ([]attac
 				continue
 			}
 		}
-		f := &flight{id: s.nextID, spec: sp, waiters: 1, done: make(chan struct{})}
+		f := &flight{id: s.nextID, spec: sp, tier: tr, waiters: 1, done: make(chan struct{})}
 		f.ctx, f.cancel = s.baseCtx, func() {}
 		if timeout > 0 {
 			f.ctx, f.cancel = context.WithTimeout(s.baseCtx, timeout)
 		}
 		s.nextID++
 		if s.cfg.Cache != nil {
-			if res, ok := s.cfg.Cache.Load(sp); ok {
+			if res, ok := s.loadCacheLocked(sp); ok {
 				s.metrics.Count("service.cache.hit", 1)
 				f.cancel() // no simulation: release the deadline timer
 				f.res = res
@@ -284,22 +348,36 @@ func (s *Server) submit(specs []runspec.RunSpec, timeout time.Duration) ([]attac
 		attaches[i] = attach{f: f}
 	}
 
-	// Admission: the whole batch or none of it. len(queue) is stable here
-	// (only workers shrink it), so the non-blocking sends below cannot
-	// fail after this check passes.
-	if len(fresh) > cap(s.queue)-len(s.queue) {
-		s.metrics.Count("service.rejected.queue", 1)
-		for _, f := range fresh { // unadmitted: release deadline timers
-			f.cancel()
+	// Admission: the whole batch or none of it, against the tier's own
+	// queue. Batch-tier work is additionally shed while the interactive
+	// queue is under pressure — latency-sensitive work owns the headroom.
+	// len(queue) is stable here (only workers shrink it), so the
+	// non-blocking sends below cannot fail after these checks pass.
+	q := s.queues[tr]
+	if len(fresh) > 0 {
+		qi := s.queues[tierInteractive]
+		if tr == tierBatch && len(qi) > cap(qi)/2 {
+			s.metrics.Count("service.shed.batch", 1)
+			for _, f := range fresh {
+				f.cancel()
+			}
+			return nil, ErrShed
 		}
-		return nil, ErrQueueFull
+		if len(fresh) > cap(q)-len(q) {
+			s.metrics.Count("service.rejected.queue", 1)
+			for _, f := range fresh { // unadmitted: release deadline timers
+				f.cancel()
+			}
+			return nil, ErrQueueFull
+		}
 	}
 	for _, f := range fresh {
 		s.registerLocked(f, jobQueued)
-		s.queue <- f
+		q <- f
 	}
 	s.metrics.Count("service.submissions", 1)
 	s.metrics.Count("service.specs", int64(len(specs)))
+	s.metrics.Count("service.tier."+tierNames[tr], 1)
 	return attaches, nil
 }
 
@@ -327,11 +405,42 @@ func (s *Server) setState(f *flight, st jobState) {
 	s.mu.Unlock()
 }
 
-// worker drains the job queue until it is closed (drain) and empty.
+// worker drains the job queues until both are closed (drain) and empty.
+// Interactive flights are always preferred: a worker only takes batch
+// work when no interactive work is waiting.
 func (s *Server) worker() {
 	defer s.wg.Done()
-	for f := range s.queue {
-		s.runFlight(f)
+	qi, qb := s.queues[tierInteractive], s.queues[tierBatch]
+	for qi != nil || qb != nil {
+		if qi != nil {
+			// Non-blocking probe of the interactive queue first, so a
+			// waiting batch flight can never win a race against waiting
+			// interactive work.
+			select {
+			case f, ok := <-qi:
+				if !ok {
+					qi = nil
+					continue
+				}
+				s.runFlight(f)
+				continue
+			default:
+			}
+		}
+		select {
+		case f, ok := <-qi: // nil after close: blocks, leaving qb to win
+			if !ok {
+				qi = nil
+				continue
+			}
+			s.runFlight(f)
+		case f, ok := <-qb:
+			if !ok {
+				qb = nil
+				continue
+			}
+			s.runFlight(f)
+		}
 	}
 }
 
@@ -345,7 +454,7 @@ func (s *Server) runFlight(f *flight) {
 	defer f.cancel()
 
 	// One executor invocation per flight: Lookup re-probes the shared
-	// cache (another process may have produced the result since
+	// store (another process or peer may have produced the result since
 	// admission), Store persists fresh verified results, and the per-run
 	// metrics registry merges into the service registry on completion.
 	m := &obs.Metrics{}
@@ -358,7 +467,15 @@ func (s *Server) runFlight(f *flight) {
 		OnDone:  func(_ runspec.RunSpec, _ *core.Result, c bool) { cached = c },
 	}
 	if s.cfg.Cache != nil {
-		ex.Lookup = s.cfg.Cache.Load
+		ex.Lookup = func(sp runspec.RunSpec) (*core.Result, bool, error) {
+			res, ok, err := s.cfg.Cache.Load(sp)
+			if err != nil {
+				s.mu.Lock()
+				s.metrics.Count("runcache.corrupt", 1)
+				s.mu.Unlock()
+			}
+			return res, ok, err
+		}
 		ex.Store = func(sp runspec.RunSpec, res *core.Result) {
 			if err := s.cfg.Cache.Store(sp, res); err != nil {
 				s.mu.Lock()
@@ -419,7 +536,9 @@ func (s *Server) StartDrain() {
 	s.mu.Lock()
 	if !s.draining {
 		s.draining = true
-		close(s.queue) // workers exit once the accepted backlog drains
+		for _, q := range s.queues {
+			close(q) // workers exit once the accepted backlog drains
+		}
 		s.seq++
 		s.cond.Broadcast()
 	}

@@ -16,6 +16,7 @@ import (
 	"slipstream/internal/kernels"
 	"slipstream/internal/runcache"
 	"slipstream/internal/runspec"
+	"slipstream/internal/service/api"
 )
 
 // tinySpec returns a distinct, fast slipstream spec per CMP count.
@@ -35,7 +36,7 @@ func gate(s *Server) (started chan runspec.RunSpec, release chan struct{}) {
 	return started, release
 }
 
-func postRun(t *testing.T, url string, req RunRequest) *http.Response {
+func postRun(t *testing.T, url string, req api.RunRequest) *http.Response {
 	t.Helper()
 	body, err := json.Marshal(req)
 	if err != nil {
@@ -65,20 +66,20 @@ func TestDrainFinishesAcceptedRejectsNew(t *testing.T) {
 	specA, specB := tinySpec(1), tinySpec(2)
 	batchDone := make(chan *http.Response, 1)
 	go func() {
-		batchDone <- postRun(t, ts.URL, RunRequest{Specs: []runspec.RunSpec{specA, specB}})
+		batchDone <- postRun(t, ts.URL, api.RunRequest{Specs: []runspec.RunSpec{specA, specB}})
 	}()
 
 	<-started // specA running (gated), specB queued
 	s.StartDrain()
 
 	// New submissions are turned away while accepted work continues.
-	resp := postRun(t, ts.URL, RunRequest{Specs: []runspec.RunSpec{tinySpec(4)}})
+	resp := postRun(t, ts.URL, api.RunRequest{Specs: []runspec.RunSpec{tinySpec(4)}})
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("submission during drain: HTTP %d, want %d", resp.StatusCode, http.StatusServiceUnavailable)
 	}
 	resp.Body.Close()
 
-	var health Health
+	var health api.Health
 	hresp, err := http.Get(ts.URL + "/healthz")
 	if err != nil {
 		t.Fatal(err)
@@ -99,7 +100,7 @@ func TestDrainFinishesAcceptedRejectsNew(t *testing.T) {
 	if batchResp.StatusCode != http.StatusOK {
 		t.Fatalf("accepted batch: HTTP %d, want 200", batchResp.StatusCode)
 	}
-	var rr RunResponse
+	var rr api.RunResponse
 	if err := json.NewDecoder(batchResp.Body).Decode(&rr); err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +116,7 @@ func TestDrainFinishesAcceptedRejectsNew(t *testing.T) {
 		t.Errorf("cache.Len() = %d after drain, want 2", n)
 	}
 	for _, sp := range []runspec.RunSpec{specA, specB} {
-		if _, ok := cache.Load(sp); !ok {
+		if _, ok, _ := cache.Load(sp); !ok {
 			t.Errorf("cache.Load(%v) missed; drained run was not persisted completely", sp)
 		}
 	}
@@ -141,21 +142,21 @@ func TestAdmissionBackpressure(t *testing.T) {
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
-	attA, err := s.submit([]runspec.RunSpec{tinySpec(1)}, 0)
+	attA, err := s.submit([]runspec.RunSpec{tinySpec(1)}, 0, tierInteractive)
 	if err != nil {
 		t.Fatal(err)
 	}
 	<-started // A running; queue empty again
 
-	if _, err := s.submit([]runspec.RunSpec{tinySpec(2)}, 0); err != nil {
+	if _, err := s.submit([]runspec.RunSpec{tinySpec(2)}, 0, tierInteractive); err != nil {
 		t.Fatalf("second submission should queue: %v", err)
 	}
 	// Queue full: a fresh spec is rejected...
-	if _, err := s.submit([]runspec.RunSpec{tinySpec(4)}, 0); !errors.Is(err, ErrQueueFull) {
+	if _, err := s.submit([]runspec.RunSpec{tinySpec(4)}, 0, tierInteractive); !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("third submission err = %v, want ErrQueueFull", err)
 	}
 	// ...and over HTTP that is 429 with a Retry-After hint.
-	resp := postRun(t, ts.URL, RunRequest{Specs: []runspec.RunSpec{tinySpec(8)}})
+	resp := postRun(t, ts.URL, api.RunRequest{Specs: []runspec.RunSpec{tinySpec(8)}})
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Errorf("HTTP status = %d, want %d", resp.StatusCode, http.StatusTooManyRequests)
 	}
@@ -165,7 +166,7 @@ func TestAdmissionBackpressure(t *testing.T) {
 	resp.Body.Close()
 
 	// A join of the running spec needs no queue slot and is admitted.
-	attJoin, err := s.submit([]runspec.RunSpec{tinySpec(1)}, 0)
+	attJoin, err := s.submit([]runspec.RunSpec{tinySpec(1)}, 0, tierInteractive)
 	if err != nil {
 		t.Fatalf("coalescing join rejected: %v", err)
 	}
@@ -193,12 +194,12 @@ func TestValidationRejectsBeforeAdmission(t *testing.T) {
 
 	bad := runspec.RunSpec{Kernel: "SOR", Size: kernels.Tiny, Mode: core.ModeSlipstream, CMPs: 2,
 		SelfInvalidate: true} // self-invalidation requires transparent loads
-	resp := postRun(t, ts.URL, RunRequest{Specs: []runspec.RunSpec{tinySpec(1), bad}})
+	resp := postRun(t, ts.URL, api.RunRequest{Specs: []runspec.RunSpec{tinySpec(1), bad}})
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("HTTP status = %d, want 400", resp.StatusCode)
 	}
-	var er ErrorResponse
+	var er api.ErrorResponse
 	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
 		t.Fatal(err)
 	}
@@ -235,7 +236,7 @@ func TestPerJobDeadline(t *testing.T) {
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
-	resp := postRun(t, ts.URL, RunRequest{Specs: []runspec.RunSpec{tinySpec(1)}, TimeoutMS: 10})
+	resp := postRun(t, ts.URL, api.RunRequest{Specs: []runspec.RunSpec{tinySpec(1)}, TimeoutMS: 10})
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusGatewayTimeout {
 		t.Fatalf("HTTP status = %d, want %d", resp.StatusCode, http.StatusGatewayTimeout)
@@ -248,12 +249,12 @@ func TestPerJobDeadline(t *testing.T) {
 	// The canceled flight must not poison the spec: resubmitting without a
 	// deadline succeeds with a fresh job.
 	s.runStarted = nil
-	resp2 := postRun(t, ts.URL, RunRequest{Specs: []runspec.RunSpec{tinySpec(1)}})
+	resp2 := postRun(t, ts.URL, api.RunRequest{Specs: []runspec.RunSpec{tinySpec(1)}})
 	defer resp2.Body.Close()
 	if resp2.StatusCode != http.StatusOK {
 		t.Fatalf("resubmission after deadline: HTTP %d, want 200", resp2.StatusCode)
 	}
-	var rr RunResponse
+	var rr api.RunResponse
 	if err := json.NewDecoder(resp2.Body).Decode(&rr); err != nil {
 		t.Fatal(err)
 	}
@@ -290,7 +291,7 @@ func TestExpiredFlightDetachesAndReruns(t *testing.T) {
 	}()
 
 	sp := tinySpec(1)
-	att1, err := s.submit([]runspec.RunSpec{sp}, 20*time.Millisecond)
+	att1, err := s.submit([]runspec.RunSpec{sp}, 20*time.Millisecond, tierInteractive)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -298,7 +299,7 @@ func TestExpiredFlightDetachesAndReruns(t *testing.T) {
 	<-firstRunning
 	<-f1.ctx.Done() // the held flight's deadline expires
 
-	att2, err := s.submit([]runspec.RunSpec{sp}, 0)
+	att2, err := s.submit([]runspec.RunSpec{sp}, 0, tierInteractive)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -316,7 +317,7 @@ func TestExpiredFlightDetachesAndReruns(t *testing.T) {
 	}
 
 	// A third submission memo-hits the completed replacement.
-	att3, err := s.submit([]runspec.RunSpec{sp}, 0)
+	att3, err := s.submit([]runspec.RunSpec{sp}, 0, tierInteractive)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,154 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"slipstream/internal/runspec"
+	"slipstream/internal/service/api"
+)
+
+// TestBatchShedUnderInteractivePressure pins the load-shedding policy:
+// while the interactive queue is more than half full, fresh batch-tier
+// work is shed with ErrShed — and over HTTP with 429, the "shed" code,
+// and a longer Retry-After than plain queue-full backpressure — while
+// interactive work keeps being admitted.
+func TestBatchShedUnderInteractivePressure(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 4, BatchQueueDepth: 4})
+	started, release := gate(s)
+	defer func() {
+		close(release)
+		s.StartDrain()
+		s.Wait()
+	}()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Hold the worker, then queue 3 interactive jobs: the interactive
+	// queue is at 3/4 > half.
+	if _, err := s.submit([]runspec.RunSpec{tinySpec(1)}, 0, tierInteractive); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	for _, cmps := range []int{2, 4, 8} {
+		if _, err := s.submit([]runspec.RunSpec{tinySpec(cmps)}, 0, tierInteractive); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Fresh batch work is shed...
+	if _, err := s.submit([]runspec.RunSpec{tinySpec(16)}, 0, tierBatch); !errors.Is(err, ErrShed) {
+		t.Fatalf("batch submission under pressure: err = %v, want ErrShed", err)
+	}
+	if got := s.CounterValue("service.shed.batch"); got != 1 {
+		t.Errorf("service.shed.batch = %d, want 1", got)
+	}
+
+	// ...and over HTTP that is 429 with the shed code and a back-off hint
+	// longer than queue-full's.
+	resp := postRun(t, ts.URL, api.RunRequest{
+		Specs: []runspec.RunSpec{tinySpec(16)}, Priority: api.TierBatch,
+	})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("shed HTTP status = %d, want 429", resp.StatusCode)
+	}
+	var er api.ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Code != api.CodeShed {
+		t.Errorf("shed code = %q, want %q", er.Code, api.CodeShed)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "5" {
+		t.Errorf("shed Retry-After = %q, want 5", ra)
+	}
+
+	// A batch-tier join of an in-flight spec needs no slot: still admitted.
+	if _, err := s.submit([]runspec.RunSpec{tinySpec(1)}, 0, tierBatch); err != nil {
+		t.Errorf("batch coalescing join shed: %v", err)
+	}
+	// And interactive work is still admitted (one slot remains).
+	if _, err := s.submit([]runspec.RunSpec{tinySpec(16)}, 0, tierInteractive); err != nil {
+		t.Errorf("interactive submission rejected during batch shed: %v", err)
+	}
+}
+
+// TestWorkersPreferInteractive pins the strict priority order: with both
+// queues non-empty, a freed worker always drains the interactive queue
+// before touching batch work.
+func TestWorkersPreferInteractive(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 8, BatchQueueDepth: 8})
+	started, release := gate(s)
+	defer func() {
+		s.StartDrain()
+		s.Wait()
+	}()
+
+	first, err := s.submit([]runspec.RunSpec{tinySpec(1)}, 0, tierInteractive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started // worker held on the first job
+
+	// Queue batch work FIRST, then interactive: despite arrival order, the
+	// interactive job must run first.
+	batch, err := s.submit([]runspec.RunSpec{tinySpec(2)}, 0, tierBatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inter, err := s.submit([]runspec.RunSpec{tinySpec(4)}, 0, tierInteractive)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	release <- struct{}{} // let the held job finish (gate waits per-job)
+	order := []runspec.RunSpec{<-started}
+	release <- struct{}{}
+	order = append(order, <-started)
+	release <- struct{}{}
+
+	if order[0] != inter[0].f.spec {
+		t.Errorf("first job after release = %v, want the interactive spec %v", order[0], inter[0].f.spec)
+	}
+	if order[1] != batch[0].f.spec {
+		t.Errorf("second job after release = %v, want the batch spec %v", order[1], batch[0].f.spec)
+	}
+
+	<-first[0].f.done
+	<-inter[0].f.done
+	<-batch[0].f.done
+	if got := s.CounterValue("service.tier." + api.TierBatch); got != 1 {
+		t.Errorf("service.tier.batch = %d, want 1", got)
+	}
+	if got := s.CounterValue("service.tier." + api.TierInteractive); got != 2 {
+		t.Errorf("service.tier.interactive = %d, want 2", got)
+	}
+}
+
+// TestParseTier pins the wire names and the rejection of unknown tiers.
+func TestParseTier(t *testing.T) {
+	cases := []struct {
+		in   string
+		want tier
+		ok   bool
+	}{
+		{"", tierInteractive, true},
+		{api.TierInteractive, tierInteractive, true},
+		{api.TierBatch, tierBatch, true},
+		{"bulk", 0, false},
+		{"Interactive", 0, false},
+	}
+	for _, tc := range cases {
+		got, err := parseTier(tc.in)
+		if tc.ok && (err != nil || got != tc.want) {
+			t.Errorf("parseTier(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("parseTier(%q) accepted, want error", tc.in)
+		}
+	}
+}
