@@ -21,6 +21,7 @@ import (
 	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"slipstream/internal/core"
 	"slipstream/internal/runspec"
@@ -30,6 +31,11 @@ import (
 // of counters and breakdowns; a megabyte is generous.
 const maxEntryBytes = 1 << 20
 
+// defaultPeerClient bounds every peer call when the caller supplies no
+// transport. A hung peer must degrade to a miss (or a Store error), never
+// wedge the daemon probing it — http.DefaultClient has no timeout.
+var defaultPeerClient = &http.Client{Timeout: 5 * time.Second}
+
 // Peer is a Store backed by another daemon's cache over the
 // content-addressed HTTP peer protocol. It holds no local state: every
 // Load is a GET against the peer and every Store a PUT, so N daemons
@@ -37,7 +43,8 @@ const maxEntryBytes = 1 << 20
 type Peer struct {
 	base    string
 	version string
-	// HTTPClient overrides the transport; nil selects http.DefaultClient.
+	// HTTPClient overrides the transport; nil selects a shared client
+	// with a 5s timeout (never the timeout-less http.DefaultClient).
 	HTTPClient *http.Client
 }
 
@@ -57,7 +64,7 @@ func (p *Peer) httpClient() *http.Client {
 	if p.HTTPClient != nil {
 		return p.HTTPClient
 	}
-	return http.DefaultClient
+	return defaultPeerClient
 }
 
 // Key returns the content hash naming sp's entry — identical to the local

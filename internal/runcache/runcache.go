@@ -179,7 +179,10 @@ func (c *Cache) quarantine(path string) {
 
 // Load returns the stored result for sp, if present and valid. Corrupt or
 // unverifiable entries are quarantined, reported as misses, and surfaced
-// through the error return so callers can count them.
+// through the error return so callers can count them. A read failure
+// other than not-exist is surfaced the same way but does NOT quarantine:
+// it says nothing about the entry's content, and a transient I/O error
+// must not evict a valid entry.
 func (c *Cache) Load(sp runspec.RunSpec) (*core.Result, bool, error) {
 	key, err := c.Key(sp)
 	if err != nil {
@@ -191,7 +194,6 @@ func (c *Cache) Load(sp runspec.RunSpec) (*core.Result, bool, error) {
 		if errors.Is(err, os.ErrNotExist) {
 			return nil, false, nil
 		}
-		c.quarantine(path)
 		return nil, false, fmt.Errorf("runcache: reading %s: %w", filepath.Base(path), err)
 	}
 	var e entry

@@ -144,6 +144,45 @@ func TestCorruptEntryEvictedOnLoad(t *testing.T) {
 	}
 }
 
+// TestLoadIOErrorDoesNotQuarantine pins the quarantine trigger: only
+// content proven bad (undecodable or unverifiable JSON) may be renamed to
+// .bad. A read failure says nothing about the content, so the entry must
+// stay in place and the error surface to the caller as a miss.
+func TestLoadIOErrorDoesNotQuarantine(t *testing.T) {
+	c, err := Open(t.TempDir(), core.SimVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := tinySpec()
+	key, err := c.Key(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A directory at the entry path makes os.ReadFile fail with a pure
+	// I/O error (EISDIR) while the path still exists — the shape of any
+	// transient read failure over a valid entry.
+	path := c.path(key)
+	if err := os.Mkdir(path, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	res, ok, err := c.Load(sp)
+	if ok || res != nil {
+		t.Fatal("unreadable entry served")
+	}
+	if err == nil {
+		t.Fatal("read failure loaded without surfacing an error")
+	}
+	if got := c.Quarantined(); got != 0 {
+		t.Errorf("Quarantined() = %d after I/O error, want 0", got)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Errorf("entry renamed away on I/O error: %v", err)
+	}
+	if _, err := os.Stat(path + ".bad"); !errors.Is(err, os.ErrNotExist) {
+		t.Error(".bad file created for a pure I/O error")
+	}
+}
+
 // TestOpenQuarantinesTruncatedEntry pins the prune() bugfix: an
 // unreadable or truncated current-version entry found at Open must be
 // quarantined (renamed to .bad and counted), not served and not left in

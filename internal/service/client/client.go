@@ -30,13 +30,19 @@ type Client struct {
 	HTTPClient *http.Client
 	// MaxAttempts bounds how many times Submit tries a temporary
 	// rejection (429 queue-full/shed backpressure, 504 deadline) before
-	// giving up, honoring the server's Retry-After hint between tries.
-	// Zero or one means a single attempt. Non-temporary errors
-	// (validation, simulation failure, drain) never retry.
+	// giving up, honoring the server's Retry-After hint between tries
+	// (with a small floor when the server sent none). Zero or one means a
+	// single attempt. Non-temporary errors (validation, simulation
+	// failure, drain) never retry.
 	MaxAttempts int
 	// RetryWaitCap bounds one Retry-After sleep; zero selects 2s.
 	RetryWaitCap time.Duration
 }
+
+// minRetryWait is the backoff floor between retry attempts when the
+// server's rejection carried no Retry-After hint. RetryWaitCap still
+// caps it, so tests can keep retries fast.
+const minRetryWait = 100 * time.Millisecond
 
 // New returns a client for the daemon at base (trailing slash optional).
 func New(base string) *Client {
@@ -89,6 +95,12 @@ func (c *Client) Submit(ctx context.Context, req api.RunRequest) (*api.RunRespon
 			return resp, disp, err
 		}
 		wait := time.Duration(apiErr.RetryAfter) * time.Second
+		if wait <= 0 {
+			// No Retry-After hint (504 deadline rejections carry none):
+			// without a floor the loop would burn every attempt back-to-
+			// back against a server that just proved it is slow.
+			wait = minRetryWait
+		}
 		if lim := c.retryWaitCap(); wait > lim {
 			wait = lim
 		}
@@ -129,8 +141,12 @@ func (c *Client) submitOnce(ctx context.Context, req api.RunRequest) (*api.RunRe
 	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
 		return nil, "", fmt.Errorf("client: decoding response: %w", err)
 	}
-	if len(resp.Results) != len(req.Specs) {
-		return nil, "", fmt.Errorf("client: %d results for %d specs", len(resp.Results), len(req.Specs))
+	// All three arrays must align with the request: callers (the gateway
+	// fan-in above all) index them positionally, so a short array from a
+	// misbehaving server must be an error here, not a panic there.
+	if len(resp.Results) != len(req.Specs) || len(resp.Cached) != len(req.Specs) || len(resp.Jobs) != len(req.Specs) {
+		return nil, "", fmt.Errorf("client: misaligned response: %d results, %d cached, %d jobs for %d specs",
+			len(resp.Results), len(resp.Cached), len(resp.Jobs), len(req.Specs))
 	}
 	return &resp, httpResp.Header.Get(api.CacheHeader), nil
 }

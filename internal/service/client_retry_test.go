@@ -6,9 +6,12 @@ import (
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 
+	"slipstream/internal/core"
 	"slipstream/internal/runspec"
 	"slipstream/internal/service"
 	"slipstream/internal/service/api"
@@ -99,5 +102,50 @@ func TestClientRetryBudgetExhausts(t *testing.T) {
 	}
 	if got := attempts.Load(); got != 1 {
 		t.Errorf("attempts on permanent error = %d, want 1", got)
+	}
+}
+
+// TestClientRejectsMisalignedResponse pins the fan-in safety contract: a
+// server answering with a full Results array but short Cached/Jobs arrays
+// must fail the submit with an error, not panic whoever indexes the
+// response positionally (the gateway does).
+func TestClientRejectsMisalignedResponse(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(api.RunResponse{Results: []*core.Result{nil}}) // 1 result, 0 cached, 0 jobs
+	}))
+	t.Cleanup(ts.Close)
+
+	_, _, err := client.New(ts.URL).RunBatch(context.Background(), []runspec.RunSpec{specTL(2)}, 0)
+	if err == nil || !strings.Contains(err.Error(), "misaligned") {
+		t.Fatalf("err = %v, want misaligned-response error", err)
+	}
+}
+
+// TestClientRetryFloorWithoutHint pins the backoff floor: a temporary
+// rejection carrying no Retry-After (504 deadline answers do not) must
+// still wait between attempts instead of burning the budget instantly.
+func TestClientRetryFloorWithoutHint(t *testing.T) {
+	var attempts atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusGatewayTimeout)
+		json.NewEncoder(w).Encode(api.ErrorResponse{Error: "deadline exceeded", Code: api.CodeDeadline})
+	}))
+	t.Cleanup(ts.Close)
+
+	c := client.New(ts.URL)
+	c.MaxAttempts = 2
+	start := time.Now()
+	_, _, err := c.RunBatch(context.Background(), []runspec.RunSpec{specTL(2)}, 0)
+	if err == nil {
+		t.Fatal("rejected submit succeeded?")
+	}
+	if got := attempts.Load(); got != 2 {
+		t.Errorf("attempts = %d, want 2", got)
+	}
+	if elapsed := time.Since(start); elapsed < 100*time.Millisecond {
+		t.Errorf("retried after %v, want >= 100ms floor between attempts", elapsed)
 	}
 }

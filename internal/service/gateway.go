@@ -19,7 +19,9 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -220,13 +222,20 @@ func (g *Gateway) fanOut(r *http.Request, req api.RunRequest, specs []runspec.Ru
 
 // replicaDown classifies an error from a replica call as "the replica is
 // gone, rehash": transport failures and draining daemons. Admission
-// rejections and job failures are replica answers, not absence.
+// rejections and job failures are replica answers, not absence — and so
+// is the caller's own context ending (client disconnect mid-fan-out,
+// request deadline), which says nothing about the replica's health and
+// must not poison the down set for unrelated requests.
 func replicaDown(err error) bool {
 	if err == nil {
 		return false
 	}
-	if apiErr, ok := err.(*client.APIError); ok {
+	var apiErr *client.APIError
+	if errors.As(err, &apiErr) {
 		return apiErr.Code == api.CodeDraining
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
 	}
 	return true // transport-level failure
 }

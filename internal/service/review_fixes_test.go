@@ -1,0 +1,108 @@
+package service
+
+// Regression tests for review findings on the distributed serving layer:
+// the admission store probe must not hold the server mutex, and gateway
+// down-marking must not be poisoned by the caller's own context.
+
+import (
+	"context"
+	"errors"
+	"net/url"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"slipstream/internal/core"
+	"slipstream/internal/runcache"
+	"slipstream/internal/runspec"
+	"slipstream/internal/service/api"
+	"slipstream/internal/service/client"
+)
+
+// blockingStore is a Store whose Load parks until unblock is closed,
+// standing in for a hung cache peer.
+type blockingStore struct {
+	unblock chan struct{}
+	loads   atomic.Int64
+}
+
+func (b *blockingStore) Key(sp runspec.RunSpec) (string, error) {
+	return runcache.KeyFor(core.SimVersion, sp)
+}
+
+func (b *blockingStore) Load(sp runspec.RunSpec) (*core.Result, bool, error) {
+	b.loads.Add(1)
+	<-b.unblock
+	return nil, false, nil
+}
+
+func (b *blockingStore) Store(sp runspec.RunSpec, res *core.Result) error { return nil }
+
+func (b *blockingStore) Len() int { return 0 }
+
+// TestStoreProbeReleasesMutex pins the deadlock fix: a Store backend that
+// hangs mid-Load (a dead peer over timeout-less HTTP) must not stall the
+// server mutex — health checks, metrics, and worker transitions all take
+// it, so a probe under the lock froze the whole daemon.
+func TestStoreProbeReleasesMutex(t *testing.T) {
+	bs := &blockingStore{unblock: make(chan struct{})}
+	s := New(Config{Workers: 1, Cache: bs})
+
+	submitted := make(chan struct{})
+	go func() {
+		defer close(submitted)
+		if _, err := s.submit([]runspec.RunSpec{tinySpec(2)}, 0, tierInteractive); err != nil {
+			t.Errorf("submit: %v", err)
+		}
+	}()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for bs.loads.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("store probe never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// With the probe parked, the mutex must still be acquirable.
+	free := make(chan struct{})
+	go func() {
+		s.Idle()
+		s.Draining()
+		close(free)
+	}()
+	select {
+	case <-free:
+	case <-time.After(2 * time.Second):
+		t.Fatal("server mutex held across the store probe")
+	}
+
+	close(bs.unblock)
+	<-submitted
+	s.Close()
+}
+
+// TestReplicaDownClassification pins what may mark a replica down: real
+// transport failures and draining answers, never the caller's own context
+// ending and never ordinary admission rejections.
+func TestReplicaDownClassification(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"caller canceled", context.Canceled, false},
+		{"caller deadline", context.DeadlineExceeded, false},
+		{"transport-wrapped cancel", &url.Error{Op: "Post", URL: "http://replica", Err: context.Canceled}, false},
+		{"backpressure answer", &client.APIError{StatusCode: 429, Code: api.CodeQueueFull}, false},
+		{"sim failure answer", &client.APIError{StatusCode: 500, Code: api.CodeSimFailed}, false},
+		{"draining answer", &client.APIError{StatusCode: 503, Code: api.CodeDraining}, true},
+		{"connection refused", errors.New("dial tcp: connection refused"), true},
+	}
+	for _, tc := range cases {
+		if got := replicaDown(tc.err); got != tc.want {
+			t.Errorf("replicaDown(%s) = %t, want %t", tc.name, got, tc.want)
+		}
+	}
+}

@@ -252,21 +252,44 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// loadCacheLocked probes the configured store for sp, counting corrupt
-// entries (a Load error is still a miss, but it must never be silent).
-// Callers hold mu.
-func (s *Server) loadCacheLocked(sp runspec.RunSpec) (*core.Result, bool) {
-	res, ok, err := s.cfg.Cache.Load(sp)
-	if err != nil {
-		s.metrics.Count("runcache.corrupt", 1)
+// probeCandidates returns, deduplicated and in batch order, the specs
+// (already normalized) that the flight table cannot currently answer and
+// a store probe therefore might. It reports draining so submit can reject
+// before probing. The answer is advisory: submit re-resolves everything
+// under the lock, so a flight admitted by a racing submission between the
+// passes simply wins over this one's probe.
+func (s *Server) probeCandidates(norm []runspec.RunSpec) (probe []runspec.RunSpec, draining bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, true
 	}
-	return res, ok
+	seen := make(map[runspec.RunSpec]bool, len(norm))
+	for _, sp := range norm {
+		if seen[sp] {
+			continue
+		}
+		seen[sp] = true
+		if f, ok := s.flights[sp]; ok {
+			doomed := !f.state.terminal() && f.ctx.Err() != nil
+			if !doomed && !(f.state.terminal() && f.state.retryable()) {
+				continue // memo hit or coalesce join: no probe needed
+			}
+		}
+		probe = append(probe, sp)
+	}
+	return probe, false
 }
 
 // submit validates and admits a batch on the given tier. On success every
 // spec has an attach; the caller waits on each flight's done channel.
 // Validation errors are reported before any admission, so a bad batch
 // never occupies queue slots.
+//
+// The store probe runs with s.mu released: Store.Load may be a disk read
+// or a peer HTTP round-trip, and holding the server mutex across it would
+// serialize every endpoint, worker transition, and drain on one
+// submission's I/O.
 func (s *Server) submit(specs []runspec.RunSpec, timeout time.Duration, tr tier) ([]attach, error) {
 	if len(specs) == 0 {
 		return nil, fmt.Errorf("service: empty batch")
@@ -283,21 +306,46 @@ func (s *Server) submit(specs []runspec.RunSpec, timeout time.Duration, tr tier)
 		timeout = s.cfg.MaxTimeout
 	}
 
+	norm := make([]runspec.RunSpec, len(specs))
+	for i, sp := range specs {
+		norm[i] = sp.Normalize()
+	}
+
+	// Pass 1 (locked): find the specs the flight table cannot answer.
+	// Pass 2 (unlocked): probe the store for them. A Load error is still a
+	// miss, but it must never be silent — count it as corrupt.
+	probe, draining := s.probeCandidates(norm)
+	probed := make(map[runspec.RunSpec]*core.Result, len(probe))
+	var corrupt int64
+	if s.cfg.Cache != nil && !draining {
+		for _, sp := range probe {
+			res, ok, err := s.cfg.Cache.Load(sp)
+			if err != nil {
+				corrupt++
+			}
+			if ok {
+				probed[sp] = res
+			}
+		}
+	}
+
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if corrupt > 0 {
+		s.metrics.Count("runcache.corrupt", corrupt)
+	}
 	if s.draining {
 		s.metrics.Count("service.rejected.drain", 1)
 		return nil, ErrDraining
 	}
 
-	// Plan the batch before touching the queue: every spec resolves to a
-	// memo hit, a coalesce join, a cache hit, or a fresh flight. Fresh
-	// flights are admitted all-or-nothing.
+	// Pass 3 (locked): plan the batch before touching the queue: every
+	// spec resolves to a memo hit, a coalesce join, a probed cache hit, or
+	// a fresh flight. Fresh flights are admitted all-or-nothing.
 	attaches := make([]attach, len(specs))
 	var fresh []*flight
 	newFlights := make(map[runspec.RunSpec]*flight)
-	for i, sp := range specs {
-		sp = sp.Normalize()
+	for i, sp := range norm {
 		if f, ok := newFlights[sp]; ok { // duplicate within this batch
 			f.waiters++
 			attaches[i] = attach{f: f}
@@ -329,18 +377,16 @@ func (s *Server) submit(specs []runspec.RunSpec, timeout time.Duration, tr tier)
 			f.ctx, f.cancel = context.WithTimeout(s.baseCtx, timeout)
 		}
 		s.nextID++
-		if s.cfg.Cache != nil {
-			if res, ok := s.loadCacheLocked(sp); ok {
-				s.metrics.Count("service.cache.hit", 1)
-				f.cancel() // no simulation: release the deadline timer
-				f.res = res
-				f.cached = true
-				s.registerLocked(f, jobDone)
-				close(f.done)
-				attaches[i] = attach{f: f, hit: true}
-				newFlights[sp] = f
-				continue
-			}
+		if res, ok := probed[sp]; ok {
+			s.metrics.Count("service.cache.hit", 1)
+			f.cancel() // no simulation: release the deadline timer
+			f.res = res
+			f.cached = true
+			s.registerLocked(f, jobDone)
+			close(f.done)
+			attaches[i] = attach{f: f, hit: true}
+			newFlights[sp] = f
+			continue
 		}
 		s.metrics.Count("service.cache.miss", 1)
 		fresh = append(fresh, f)
