@@ -54,6 +54,7 @@ func main() {
 		sens      = flag.Bool("sensitivity", false, "extension: slipstream benefit vs network latency")
 		leads     = flag.Bool("leads", false, "extension: A-stream lead analysis per policy")
 		banks     = flag.Bool("banks", false, "extension: directory-controller banking sensitivity")
+		synth     = flag.Bool("synth", false, "extension: synthetic sharing-pattern sweep (SYNTH generator)")
 		size      = flag.String("size", "small", "problem size preset: tiny, small, paper")
 		cmps      = flag.String("cmps", "2,4,8,16", "comma-separated CMP counts to sweep")
 		workers   = flag.Int("j", runtime.NumCPU(), "max concurrent simulations")
@@ -115,7 +116,7 @@ func main() {
 		"fig1": *fig1, "fig4": *fig4, "fig5": *fig5, "fig6": *fig6,
 		"fig7": *fig7, "fig9": *fig9, "fig10": *fig10,
 		"adaptive": *adapt, "forward": *forward, "sensitivity": *sens,
-		"leads": *leads, "banks": *banks,
+		"leads": *leads, "banks": *banks, "synth": *synth,
 	}
 	var tags []string
 	for _, tag := range harness.Tags() {

@@ -29,7 +29,9 @@ import (
 
 func main() {
 	var (
-		kernel    = flag.String("kernel", "SOR", "benchmark: "+strings.Join(slipstream.Kernels(), ", "))
+		kernel    = flag.String("kernel", "SOR", "workload, optionally with parameters (\"SYNTH:mig=0.3,seed=7\"): "+strings.Join(slipstream.AllKernels(), ", "))
+		params    = flag.String("params", "", "kernel parameters as \"k1=v1,k2=v2\" (parameterized kernels only; alternative to the NAME:k=v form)")
+		list      = flag.Bool("list", false, "print the workload catalog with the SYNTH parameter schema and exit")
 		mode      = flag.String("mode", "slipstream", "execution mode: sequential, single, double, slipstream")
 		arsync    = flag.String("arsync", "L1", "A-R synchronization: L1, L0, G1, G0")
 		cmps      = flag.Int("cmps", 8, "number of CMP nodes")
@@ -50,6 +52,23 @@ func main() {
 	if *version {
 		fmt.Println(buildinfo.String("slipsim"))
 		return
+	}
+	if *list {
+		fmt.Print(slipstream.DescribeKernels())
+		return
+	}
+
+	kname, kparams, err := slipstream.SplitKernelSpec(*kernel)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if *params != "" {
+		if kparams != "" {
+			fatalf("parameters given twice: -kernel %q and -params %q", *kernel, *params)
+		}
+		if kparams, err = slipstream.ParseKernelParams(*params); err != nil {
+			fatalf("%v", err)
+		}
 	}
 
 	opts := slipstream.Options{CMPs: *cmps, Audit: *auditRun, Workers: *cores}
@@ -83,7 +102,7 @@ func main() {
 			fatalf("-audit, -cores, -trace, -trace-out, and -metrics-out are daemon-side options; start slipsimd with them instead of combining them with -server")
 		}
 		spec := slipstream.RunSpec{
-			Kernel: *kernel, Size: ksize, Mode: opts.Mode, ARSync: opts.ARSync,
+			Kernel: kname, Params: kparams, Size: ksize, Mode: opts.Mode, ARSync: opts.ARSync,
 			CMPs: *cmps, TransparentLoads: opts.TransparentLoads,
 			SelfInvalidate: opts.SelfInvalidate, AdaptiveARSync: opts.AdaptiveARSync,
 		}
@@ -100,7 +119,7 @@ func main() {
 		return
 	}
 
-	k, err := slipstream.NewKernel(*kernel, ksize)
+	k, err := slipstream.NewKernelParams(kname, ksize, kparams)
 	if err != nil {
 		fatalf("%v", err)
 	}

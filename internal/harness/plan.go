@@ -44,6 +44,7 @@ func Figures() []Figure {
 		// simulates during rendering.
 		{Tag: "leads", Render: (*Session).ExtLeads},
 		{Tag: "banks", Plan: (*Session).planExtBanks, Render: (*Session).ExtBanks},
+		{Tag: "synth", Plan: (*Session).planExtSynth, Render: (*Session).ExtSynth},
 	}
 }
 

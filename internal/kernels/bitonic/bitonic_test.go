@@ -1,0 +1,64 @@
+package bitonic
+
+import (
+	"sort"
+	"testing"
+
+	"slipstream/internal/core"
+	"slipstream/internal/kernels/kutil"
+)
+
+// The compare-exchange network itself (independent of the engine) must
+// produce exactly what a library sort produces: bitonic sort is a
+// permutation network, so the outputs are equal element-for-element, not
+// just both "sorted".
+func TestNetworkMatchesLibrarySort(t *testing.T) {
+	k := New(Config{LogN: 8})
+	keys := make([]int64, k.n)
+	initKeys(k.n, func(i int, v int64) { keys[i] = v })
+	want := append([]int64(nil), keys...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+
+	for _, nt := range []int{1, 3, 8} {
+		got := append([]int64(nil), keys...)
+		e := refElems{got}
+		for kk := 2; kk <= k.n; kk <<= 1 {
+			for j := kk >> 1; j > 0; j >>= 1 {
+				for id := 0; id < nt; id++ {
+					lo, hi := kutil.Block(k.n, id, nt)
+					stepScan(e, kk, j, lo, hi)
+				}
+			}
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("nt=%d: a[%d] = %d, want %d", nt, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// A simulated run at Tiny must pass the kernel's own verification (sorted,
+// permutation-preserving, matches the replay) in representative modes.
+func TestSimulatedSort(t *testing.T) {
+	for _, opts := range []core.Options{
+		{Mode: core.ModeSequential},
+		{Mode: core.ModeSingle, CMPs: 3},
+		{Mode: core.ModeSlipstream, CMPs: 4, ARSync: core.OneTokenLocal, Audit: true},
+	} {
+		k := New(Config{LogN: 8})
+		res, err := core.Run(opts, k)
+		if err != nil {
+			t.Fatalf("%v: %v", opts.Mode, err)
+		}
+		if res.VerifyErr != nil {
+			t.Fatalf("%v: %v", opts.Mode, res.VerifyErr)
+		}
+	}
+}
+
+func TestConfigFloor(t *testing.T) {
+	if k := New(Config{LogN: 0}); k.N() != 16 {
+		t.Errorf("LogN floor: n = %d, want 16", k.N())
+	}
+}

@@ -1,0 +1,137 @@
+// Package fwt implements the fast Walsh-Hadamard transform, in the style
+// of the AMD APP SDK FastWalshTransform benchmark: log2(n) in-place
+// butterfly stages over a float64 signal. Stage h pairs element j with
+// j + h inside blocks of 2h, so the communication distance doubles every
+// stage — early stages are task-local, late stages are all-to-all across
+// the whole machine, the sweep from private to globally shared traffic
+// that stresses the directory differently from any fixed-stride kernel.
+// Pairs within a stage are disjoint; tasks own a contiguous range of
+// pair indices and a barrier separates stages, so the run is race-free
+// and exactly replayable.
+package fwt
+
+import (
+	"fmt"
+
+	"slipstream/internal/core"
+	"slipstream/internal/kernels/kutil"
+)
+
+const bflyCycles = 22 // one butterfly: add, subtract, index math
+
+// Config sizes the kernel.
+type Config struct {
+	LogN int // log2 of the signal length
+}
+
+// Kernel is the fast Walsh transform benchmark.
+type Kernel struct {
+	cfg Config
+	n   int
+	a   core.F64
+}
+
+// New returns a fast Walsh transform kernel.
+func New(cfg Config) *Kernel {
+	if cfg.LogN < 4 {
+		cfg.LogN = 4
+	}
+	k := &Kernel{cfg: cfg}
+	k.n = 1 << cfg.LogN
+	return k
+}
+
+// Name implements core.Kernel.
+func (k *Kernel) Name() string { return "FWT" }
+
+// Setup allocates and fills the signal.
+func (k *Kernel) Setup(p *core.Program) {
+	k.a = p.AllocF64(k.n)
+	initSignal(k.n, func(i int, v float64) { k.a.Set(p, i, v) })
+}
+
+func initSignal(n int, set func(int, float64)) {
+	rnd := kutil.NewRand(55)
+	for i := 0; i < n; i++ {
+		set(i, rnd.Float64()*2-1)
+	}
+}
+
+// sig abstracts the signal so the simulated kernel and the verification
+// replay execute bit-identical arithmetic.
+type sig interface {
+	ld(i int) float64
+	st(i int, v float64)
+	step()
+}
+
+type simSig struct {
+	c *core.Ctx
+	a core.F64
+}
+
+func (s simSig) ld(i int) float64    { return s.a.Load(s.c, i) }
+func (s simSig) st(i int, v float64) { s.a.Store(s.c, i, v) }
+func (s simSig) step()               { s.c.Compute(bflyCycles) }
+
+type refSig struct{ s []float64 }
+
+func (s refSig) ld(i int) float64    { return s.s[i] }
+func (s refSig) st(i int, v float64) { s.s[i] = v }
+func (s refSig) step()               {}
+
+// stageScan performs the owned pair range [plo, phi) of the butterfly
+// stage with half-distance h: global pair p maps to element
+// j = (p/h)*2h + p%h with partner j + h. The simulated and reference
+// paths share this exact code.
+func stageScan(s sig, h, plo, phi int) {
+	for p := plo; p < phi; p++ {
+		j := (p/h)*(2*h) + p%h
+		x, y := s.ld(j), s.ld(j+h)
+		s.step()
+		s.st(j, x+y)
+		s.st(j+h, x-y)
+	}
+}
+
+// Task runs the SPMD transform: log2(n) stages with a barrier between
+// them. Tasks own a contiguous range of the n/2 pair indices.
+func (k *Kernel) Task(c *core.Ctx) {
+	s := sig(simSig{c, k.a})
+	plo, phi := kutil.Block(k.n/2, c.ID(), c.NumTasks())
+	for h := 1; h < k.n; h <<= 1 {
+		stageScan(s, h, plo, phi)
+		c.Barrier()
+	}
+}
+
+// Reference computes the transform with the same stage/pair order in
+// plain Go for the given task count.
+func (k *Kernel) Reference(nt int) []float64 {
+	ref := make([]float64, k.n)
+	initSignal(k.n, func(i int, v float64) { ref[i] = v })
+	rs := refSig{ref}
+	for h := 1; h < k.n; h <<= 1 {
+		for id := 0; id < nt; id++ {
+			plo, phi := kutil.Block(k.n/2, id, nt)
+			stageScan(rs, h, plo, phi)
+		}
+	}
+	return ref
+}
+
+// Verify replays the stages in plain Go (pairs within a stage are
+// disjoint, so running each stage for every task before the next
+// reproduces barrier semantics) and compares every element exactly.
+func (k *Kernel) Verify(p *core.Program) error {
+	ref := k.Reference(p.NumTasks())
+	for i := 0; i < k.n; i++ {
+		if got := k.a.Get(p, i); got != ref[i] {
+			return fmt.Errorf("fwt: a[%d] = %g, want %g", i, got, ref[i])
+		}
+	}
+	return nil
+}
+
+// N returns the signal length.
+func (k *Kernel) N() int { return k.n }

@@ -1,0 +1,63 @@
+package fwt
+
+import (
+	"math"
+	"testing"
+
+	"slipstream/internal/core"
+)
+
+// The Walsh-Hadamard transform is an involution up to scale: applying the
+// full butterfly twice must return n times the original signal. This
+// checks the stage arithmetic against the transform's defining algebraic
+// property, independently of the engine and of the replay code path.
+func TestTransformInvolution(t *testing.T) {
+	k := New(Config{LogN: 8})
+	orig := make([]float64, k.n)
+	initSignal(k.n, func(i int, v float64) { orig[i] = v })
+
+	once := k.Reference(3) // one full transform, 3-task pair ownership
+	rs := refSig{once}
+	for h := 1; h < k.n; h <<= 1 {
+		stageScan(rs, h, 0, k.n/2) // second application
+	}
+	for i := 0; i < k.n; i++ {
+		want := float64(k.n) * orig[i]
+		if math.Abs(once[i]-want) > 1e-9*float64(k.n) {
+			t.Fatalf("WHT(WHT(x))[%d] = %g, want %g", i, once[i], want)
+		}
+	}
+}
+
+// The pair ownership split must not change the result: the transform is
+// identical at any task count.
+func TestReferenceTaskCountInvariance(t *testing.T) {
+	k := New(Config{LogN: 8})
+	one := k.Reference(1)
+	for _, nt := range []int{2, 3, 8} {
+		got := k.Reference(nt)
+		for i := range one {
+			if got[i] != one[i] {
+				t.Fatalf("nt=%d: a[%d] = %g, want %g", nt, i, got[i], one[i])
+			}
+		}
+	}
+}
+
+// A simulated run at Tiny must pass verification in representative modes.
+func TestSimulatedTransform(t *testing.T) {
+	for _, opts := range []core.Options{
+		{Mode: core.ModeSequential},
+		{Mode: core.ModeSingle, CMPs: 3},
+		{Mode: core.ModeSlipstream, CMPs: 4, ARSync: core.OneTokenLocal, Audit: true},
+	} {
+		k := New(Config{LogN: 8})
+		res, err := core.Run(opts, k)
+		if err != nil {
+			t.Fatalf("%v: %v", opts.Mode, err)
+		}
+		if res.VerifyErr != nil {
+			t.Fatalf("%v: %v", opts.Mode, res.VerifyErr)
+		}
+	}
+}

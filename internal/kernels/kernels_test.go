@@ -1,6 +1,7 @@
 package kernels
 
 import (
+	"strings"
 	"testing"
 
 	"slipstream/internal/core"
@@ -25,8 +26,9 @@ func run(t *testing.T, name string, opts core.Options) *core.Result {
 }
 
 // Every kernel must produce numerically correct results in every mode.
+// AllNames covers the paper's nine, the three ports, and SYNTH defaults.
 func TestAllKernelsAllModes(t *testing.T) {
-	for _, name := range Names() {
+	for _, name := range AllNames() {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()
@@ -43,7 +45,7 @@ func TestAllKernelsAllModes(t *testing.T) {
 // Transparent loads and self-invalidation must never affect R-stream
 // results.
 func TestAllKernelsWithTransparentLoadsAndSI(t *testing.T) {
-	for _, name := range Names() {
+	for _, name := range AllNames() {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()
@@ -61,7 +63,7 @@ func TestAllKernelsWithTransparentLoadsAndSI(t *testing.T) {
 
 // Runs must be deterministic: identical cycle counts and memory stats.
 func TestKernelDeterminism(t *testing.T) {
-	for _, name := range []string{"SOR", "CG", "WATER-NS", "SP"} {
+	for _, name := range []string{"SOR", "CG", "WATER-NS", "SP", "BITONIC", "FWT", "MAXPOOL", "SYNTH"} {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()
@@ -81,7 +83,7 @@ func TestKernelDeterminism(t *testing.T) {
 // Larger machines must not break numerics (odd task counts stress the
 // partitioners).
 func TestKernelsAtVariousCMPCounts(t *testing.T) {
-	for _, name := range Names() {
+	for _, name := range AllNames() {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()
@@ -97,7 +99,10 @@ func TestRegistry(t *testing.T) {
 	if len(Names()) != 9 {
 		t.Fatalf("want the paper's 9 benchmarks, got %d", len(Names()))
 	}
-	for _, name := range Names() {
+	if len(AllNames()) != 13 {
+		t.Fatalf("want 13 registered workloads (9 paper + 3 ports + SYNTH), got %d", len(AllNames()))
+	}
+	for _, name := range AllNames() {
 		for _, size := range []Size{Tiny, Small, Paper} {
 			k, err := New(name, size)
 			if err != nil {
@@ -121,10 +126,65 @@ func TestRegistry(t *testing.T) {
 	}
 }
 
+// Parameters reach only the parameterized kernel: SYNTH accepts and
+// validates them, every fixed kernel rejects them (a spec must not carry
+// dead knobs that would still fork its cache key).
+func TestRegistryParams(t *testing.T) {
+	if _, err := NewParams("SYNTH", Tiny, "mig=0.3,seed=9"); err != nil {
+		t.Errorf("SYNTH with valid params: %v", err)
+	}
+	if _, err := NewParams("SYNTH", Tiny, "bogus=1"); err == nil {
+		t.Error("SYNTH accepted an unknown parameter")
+	}
+	if _, err := NewParams("SYNTH", Tiny, "mig=1.5"); err == nil {
+		t.Error("SYNTH accepted an out-of-range parameter")
+	}
+	if _, err := NewParams("FFT", Tiny, "mig=0.3"); err == nil {
+		t.Error("fixed kernel FFT accepted parameters")
+	}
+	for _, tc := range []struct {
+		in     string
+		name   string
+		params Params
+	}{
+		{"SOR", "SOR", ""},
+		{"SYNTH:seed=9,mig=0.3", "SYNTH", "mig=0.3,seed=9"},
+		{" SYNTH : mig=0.30 ", "SYNTH", "mig=0.3"},
+	} {
+		name, p, err := SplitSpec(tc.in)
+		if err != nil {
+			t.Errorf("SplitSpec(%q): %v", tc.in, err)
+			continue
+		}
+		if strings.TrimSpace(name) != tc.name || p != tc.params {
+			t.Errorf("SplitSpec(%q) = %q, %q; want %q, %q", tc.in, name, p, tc.name, tc.params)
+		}
+	}
+	if _, _, err := SplitSpec("SYNTH:mig=x"); err == nil {
+		t.Error("SplitSpec accepted a malformed parameter value")
+	}
+}
+
+// Describe must list every registered workload and every SYNTH parameter,
+// so -list output stays complete as the registry grows.
+func TestDescribeIsComplete(t *testing.T) {
+	d := Describe()
+	for _, name := range AllNames() {
+		if !strings.Contains(d, name) {
+			t.Errorf("Describe() missing kernel %s", name)
+		}
+	}
+	for _, pn := range []string{"seed", "ops", "ws", "pc", "mig", "fs", "wr", "sync", "lock"} {
+		if !strings.Contains(d, pn) {
+			t.Errorf("Describe() missing synth parameter %s", pn)
+		}
+	}
+}
+
 // Size presets must be strictly ordered: each preset's simulated workload
 // (measured in cycles on the same machine) grows with the preset.
 func TestSizePresetsAreOrdered(t *testing.T) {
-	for _, name := range Names() {
+	for _, name := range AllNames() {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()
@@ -152,7 +212,7 @@ func TestSizePresetsAreOrdered(t *testing.T) {
 // enforces: transparent replies and upgrades partition the transparent
 // issues, and every directory request is classified exactly once.
 func TestKernelCounterIdentities(t *testing.T) {
-	for _, name := range Names() {
+	for _, name := range AllNames() {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()

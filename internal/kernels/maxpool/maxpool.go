@@ -1,0 +1,176 @@
+// Package maxpool implements a two-layer max-pooling DNN stage (the
+// sliced maxpooling layer of the mgpusim DNN benchmarks): each layer
+// slides a Pool x Pool window with the given stride over its input
+// feature map and writes the window maximum. Tasks own contiguous blocks
+// of output rows — output is write-private — while overlapping windows
+// read a halo of input rows owned by neighbouring tasks: a read-only
+// stencil for layer 1 and, because layer 2 consumes layer 1's output
+// across a barrier, a producer-consumer halo exchange for layer 2. The
+// max operation is exact, so verification replays and compares
+// bit-identically.
+package maxpool
+
+import (
+	"fmt"
+	"math"
+
+	"slipstream/internal/core"
+	"slipstream/internal/kernels/kutil"
+)
+
+const winCycles = 8 // per window element: compare + max update
+
+// Config sizes the kernel.
+type Config struct {
+	H, W   int // input feature-map dimensions
+	Pool   int // pooling window edge (default 3)
+	Stride int // window stride (default 2)
+}
+
+// Kernel is the max-pooling benchmark.
+type Kernel struct {
+	cfg    Config
+	in     core.F64
+	mid    core.F64
+	out    core.F64
+	h1, w1 int // layer-1 output dims
+	h2, w2 int // layer-2 output dims
+}
+
+// New returns a max-pooling kernel.
+func New(cfg Config) *Kernel {
+	if cfg.Pool < 2 {
+		cfg.Pool = 3
+	}
+	if cfg.Stride < 1 {
+		cfg.Stride = 2
+	}
+	// Layer 2 needs at least two windows per axis, so layer 1's output
+	// must be at least Pool+Stride, which needs this much input.
+	min := cfg.Pool + cfg.Stride*(cfg.Pool+cfg.Stride-1)
+	if cfg.H < min {
+		cfg.H = min
+	}
+	if cfg.W < min {
+		cfg.W = min
+	}
+	k := &Kernel{cfg: cfg}
+	k.h1 = outDim(cfg.H, cfg.Pool, cfg.Stride)
+	k.w1 = outDim(cfg.W, cfg.Pool, cfg.Stride)
+	k.h2 = outDim(k.h1, cfg.Pool, cfg.Stride)
+	k.w2 = outDim(k.w1, cfg.Pool, cfg.Stride)
+	return k
+}
+
+func outDim(n, pool, stride int) int { return (n-pool)/stride + 1 }
+
+// Name implements core.Kernel.
+func (k *Kernel) Name() string { return "MAXPOOL" }
+
+// Setup allocates the feature maps and fills the input.
+func (k *Kernel) Setup(p *core.Program) {
+	k.in = p.AllocF64(k.cfg.H * k.cfg.W)
+	k.mid = p.AllocF64(k.h1 * k.w1)
+	k.out = p.AllocF64(k.h2 * k.w2)
+	initMap(k.cfg.H*k.cfg.W, func(i int, v float64) { k.in.Set(p, i, v) })
+}
+
+func initMap(n int, set func(int, float64)) {
+	rnd := kutil.NewRand(91)
+	for i := 0; i < n; i++ {
+		set(i, rnd.Float64()*2-1)
+	}
+}
+
+// fmap abstracts a feature map so the simulated kernel and the
+// verification replay execute bit-identical arithmetic.
+type fmap interface {
+	ld(i int) float64
+	st(i int, v float64)
+	step()
+}
+
+type simMap struct {
+	c *core.Ctx
+	a core.F64
+}
+
+func (m simMap) ld(i int) float64    { return m.a.Load(m.c, i) }
+func (m simMap) st(i int, v float64) { m.a.Store(m.c, i, v) }
+func (m simMap) step()               { m.c.Compute(winCycles) }
+
+type refMap struct{ s []float64 }
+
+func (m refMap) ld(i int) float64    { return m.s[i] }
+func (m refMap) st(i int, v float64) { m.s[i] = v }
+func (m refMap) step()               {}
+
+// poolRows pools the owned output rows [lo, hi): out[r][c] is the max of
+// the Pool x Pool input window starting at (r*stride, c*stride). The
+// window rows of boundary output rows extend into neighbour-owned input
+// rows — the halo reads. The simulated and reference paths share this
+// exact code.
+func poolRows(in, out fmap, inW, outW, pool, stride, lo, hi int) {
+	for r := lo; r < hi; r++ {
+		for c := 0; c < outW; c++ {
+			m := math.Inf(-1)
+			for dr := 0; dr < pool; dr++ {
+				base := (r*stride + dr) * inW
+				for dc := 0; dc < pool; dc++ {
+					v := in.ld(base + c*stride + dc)
+					if v > m {
+						m = v
+					}
+				}
+			}
+			out.step()
+			out.st(r*outW+c, m)
+		}
+	}
+}
+
+// Task runs the SPMD body: layer 1 pools in -> mid, a barrier publishes
+// mid, layer 2 pools mid -> out.
+func (k *Kernel) Task(c *core.Ctx) {
+	in, mid, out := fmap(simMap{c, k.in}), fmap(simMap{c, k.mid}), fmap(simMap{c, k.out})
+	id, nt := c.ID(), c.NumTasks()
+	lo, hi := kutil.Block(k.h1, id, nt)
+	poolRows(in, mid, k.cfg.W, k.w1, k.cfg.Pool, k.cfg.Stride, lo, hi)
+	c.Barrier()
+	lo, hi = kutil.Block(k.h2, id, nt)
+	poolRows(mid, out, k.w1, k.w2, k.cfg.Pool, k.cfg.Stride, lo, hi)
+	c.Barrier()
+}
+
+// Verify replays both layers in plain Go (each layer is data-parallel
+// over output rows, so running layer 1 for every task before layer 2
+// reproduces the barrier) and compares both produced maps exactly.
+func (k *Kernel) Verify(p *core.Program) error {
+	nt := p.NumTasks()
+	in := make([]float64, k.cfg.H*k.cfg.W)
+	mid := make([]float64, k.h1*k.w1)
+	out := make([]float64, k.h2*k.w2)
+	initMap(k.cfg.H*k.cfg.W, func(i int, v float64) { in[i] = v })
+	for id := 0; id < nt; id++ {
+		lo, hi := kutil.Block(k.h1, id, nt)
+		poolRows(refMap{in}, refMap{mid}, k.cfg.W, k.w1, k.cfg.Pool, k.cfg.Stride, lo, hi)
+	}
+	for id := 0; id < nt; id++ {
+		lo, hi := kutil.Block(k.h2, id, nt)
+		poolRows(refMap{mid}, refMap{out}, k.w1, k.w2, k.cfg.Pool, k.cfg.Stride, lo, hi)
+	}
+	for i := 0; i < k.h1*k.w1; i++ {
+		if got := k.mid.Get(p, i); got != mid[i] {
+			return fmt.Errorf("maxpool: mid[%d] = %g, want %g", i, got, mid[i])
+		}
+	}
+	for i := 0; i < k.h2*k.w2; i++ {
+		if got := k.out.Get(p, i); got != out[i] {
+			return fmt.Errorf("maxpool: out[%d] = %g, want %g", i, got, out[i])
+		}
+	}
+	return nil
+}
+
+// OutDims returns the final output feature-map dimensions.
+func (k *Kernel) OutDims() (h, w int) { return k.h2, k.w2 }

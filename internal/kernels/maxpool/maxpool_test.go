@@ -1,0 +1,92 @@
+package maxpool
+
+import (
+	"testing"
+
+	"slipstream/internal/core"
+)
+
+// naivePool is an independent straight-line implementation (no task
+// partitioning, no shared poolRows) to check the kernel's arithmetic
+// against.
+func naivePool(in []float64, h, w, pool, stride int) (out []float64, oh, ow int) {
+	oh, ow = outDim(h, pool, stride), outDim(w, pool, stride)
+	out = make([]float64, oh*ow)
+	for r := 0; r < oh; r++ {
+		for c := 0; c < ow; c++ {
+			m := in[r*stride*w+c*stride]
+			for dr := 0; dr < pool; dr++ {
+				for dc := 0; dc < pool; dc++ {
+					if v := in[(r*stride+dr)*w+c*stride+dc]; v > m {
+						m = v
+					}
+				}
+			}
+			out[r*ow+c] = m
+		}
+	}
+	return out, oh, ow
+}
+
+// spy captures the Program for post-run inspection.
+type spy struct {
+	*Kernel
+	prog *core.Program
+}
+
+func (s *spy) Verify(p *core.Program) error {
+	s.prog = p
+	return s.Kernel.Verify(p)
+}
+
+// A simulated run's final output must equal two independently computed
+// pooling layers exactly.
+func TestSimulatedAgainstNaive(t *testing.T) {
+	k := &spy{Kernel: New(Config{H: 40, W: 40})}
+	res, err := core.Run(core.Options{Mode: core.ModeSingle, CMPs: 4}, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VerifyErr != nil {
+		t.Fatal(res.VerifyErr)
+	}
+	in := make([]float64, k.cfg.H*k.cfg.W)
+	initMap(len(in), func(i int, v float64) { in[i] = v })
+	mid, h1, w1 := naivePool(in, k.cfg.H, k.cfg.W, k.cfg.Pool, k.cfg.Stride)
+	out, h2, w2 := naivePool(mid, h1, w1, k.cfg.Pool, k.cfg.Stride)
+	gh, gw := k.OutDims()
+	if gh != h2 || gw != w2 {
+		t.Fatalf("OutDims() = %dx%d, want %dx%d", gh, gw, h2, w2)
+	}
+	for i := range out {
+		if got := k.out.Get(k.prog, i); got != out[i] {
+			t.Fatalf("out[%d] = %g, want %g", i, got, out[i])
+		}
+	}
+}
+
+// Representative modes, including an audited slipstream run: the halo
+// reads across task boundaries must never corrupt verification.
+func TestSimulatedModes(t *testing.T) {
+	for _, opts := range []core.Options{
+		{Mode: core.ModeSequential},
+		{Mode: core.ModeSingle, CMPs: 3},
+		{Mode: core.ModeSlipstream, CMPs: 4, ARSync: core.OneTokenLocal, Audit: true},
+	} {
+		k := New(Config{H: 40, W: 40})
+		res, err := core.Run(opts, k)
+		if err != nil {
+			t.Fatalf("%v: %v", opts.Mode, err)
+		}
+		if res.VerifyErr != nil {
+			t.Fatalf("%v: %v", opts.Mode, res.VerifyErr)
+		}
+	}
+}
+
+func TestDimensionFloors(t *testing.T) {
+	k := New(Config{H: 1, W: 1})
+	if k.h2 < 2 || k.w2 < 2 {
+		t.Errorf("floored config leaves fewer than two output windows: %dx%d", k.h2, k.w2)
+	}
+}

@@ -1,0 +1,203 @@
+package kernels
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Params is a canonically ordered set of named numeric kernel parameters:
+// the knobs of parameterized workloads such as the SYNTH generator. The
+// underlying representation is the canonical string form
+// "k1=v1,k2=v2,..." — keys sorted, values in Go's shortest round-trip
+// float formatting — so Params is comparable: two parameter sets built
+// through MakeParams, ParseParams, or JSON decoding are == exactly when
+// they describe the same values, and a RunSpec carrying them stays usable
+// as a map key and a content-hashable cache key. The zero value means
+// "no parameters" and is omitted from JSON ("params,omitempty"), so specs
+// without parameters keep their pre-Params serialization and cache keys.
+type Params string
+
+// paramKeyOK reports whether k is a legal parameter name: a lowercase
+// letter followed by lowercase letters, digits, or underscores.
+func paramKeyOK(k string) bool {
+	if k == "" || len(k) > 32 {
+		return false
+	}
+	for i, r := range k {
+		switch {
+		case r >= 'a' && r <= 'z':
+		case i > 0 && (r == '_' || (r >= '0' && r <= '9')):
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// formatParam renders one value in the canonical form used for equality
+// and hashing: shortest decimal that round-trips the float64.
+func formatParam(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// MakeParams builds the canonical Params for the given values. Keys must
+// be legal parameter names and values finite; violations are reported
+// rather than encoded, so malformed parameters can never reach a spec.
+func MakeParams(m map[string]float64) (Params, error) {
+	if len(m) == 0 {
+		return "", nil
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		v := m[k]
+		if !paramKeyOK(k) {
+			return "", fmt.Errorf("kernels: bad parameter name %q (want [a-z][a-z0-9_]*)", k)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return "", fmt.Errorf("kernels: parameter %s = %v is not finite", k, v)
+		}
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(formatParam(v))
+	}
+	return Params(b.String()), nil
+}
+
+// ParseParams parses the "k1=v1,k2=v2" form (whitespace around entries is
+// tolerated) and returns the canonical Params: keys sorted, duplicate
+// keys rejected, values re-formatted canonically. An empty or
+// whitespace-only string is the zero Params.
+func ParseParams(s string) (Params, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return "", nil
+	}
+	m := make(map[string]float64)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, vs, ok := strings.Cut(part, "=")
+		if !ok {
+			return "", fmt.Errorf("kernels: bad parameter %q (want key=value)", part)
+		}
+		k, vs = strings.TrimSpace(k), strings.TrimSpace(vs)
+		v, err := strconv.ParseFloat(vs, 64)
+		if err != nil {
+			return "", fmt.Errorf("kernels: parameter %s: bad value %q", k, vs)
+		}
+		if _, dup := m[k]; dup {
+			return "", fmt.Errorf("kernels: duplicate parameter %q", k)
+		}
+		m[k] = v
+	}
+	return MakeParams(m)
+}
+
+// Map returns the decoded parameter values. The zero Params decodes to an
+// empty (nil) map.
+func (p Params) Map() (map[string]float64, error) {
+	if p == "" {
+		return nil, nil
+	}
+	m := make(map[string]float64)
+	for _, part := range strings.Split(string(p), ",") {
+		k, vs, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("kernels: corrupt params %q", string(p))
+		}
+		v, err := strconv.ParseFloat(vs, 64)
+		if err != nil {
+			return nil, fmt.Errorf("kernels: corrupt params %q: %v", string(p), err)
+		}
+		m[k] = v
+	}
+	return m, nil
+}
+
+// Canonical re-canonicalizes p (sorting keys, deduplicating formatting),
+// so specs assembled from hand-written strings normalize to the same
+// representation JSON decoding and MakeParams produce.
+func (p Params) Canonical() (Params, error) {
+	return ParseParams(string(p))
+}
+
+// MarshalJSON encodes the parameters as a JSON object with keys in
+// canonical (sorted) order, e.g. {"mig":0.25,"seed":7}. The wire form is
+// therefore byte-deterministic for equal Params.
+func (p Params) MarshalJSON() ([]byte, error) {
+	m, err := p.Map()
+	if err != nil {
+		return nil, err
+	}
+	if len(m) == 0 {
+		return []byte("{}"), nil
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		kb, err := json.Marshal(k)
+		if err != nil {
+			return nil, err
+		}
+		b.Write(kb)
+		b.WriteByte(':')
+		b.WriteString(formatParam(m[k]))
+	}
+	b.WriteByte('}')
+	return []byte(b.String()), nil
+}
+
+// UnmarshalJSON decodes either a JSON object of numeric values (the wire
+// form) or a "k=v,..." JSON string (the CLI form), canonicalizing in both
+// cases — so parameters arriving over the service API in any key order
+// or float spelling land in the one canonical representation that specs
+// compare and hash by.
+func (p *Params) UnmarshalJSON(b []byte) error {
+	trimmed := strings.TrimSpace(string(b))
+	if strings.HasPrefix(trimmed, "\"") {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		v, err := ParseParams(s)
+		if err != nil {
+			return err
+		}
+		*p = v
+		return nil
+	}
+	var m map[string]float64
+	if err := json.Unmarshal(b, &m); err != nil {
+		return fmt.Errorf("kernels: params must be an object of numbers: %w", err)
+	}
+	v, err := MakeParams(m)
+	if err != nil {
+		return err
+	}
+	*p = v
+	return nil
+}
+
+func (p Params) String() string { return string(p) }

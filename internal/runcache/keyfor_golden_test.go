@@ -1,0 +1,102 @@
+package runcache
+
+import (
+	"testing"
+
+	"slipstream/internal/core"
+	"slipstream/internal/kernels"
+	"slipstream/internal/memsys"
+	"slipstream/internal/runspec"
+)
+
+// TestKeyForGolden pins the cache keys of representative specs spanning
+// every mode, ARSync policy, option flag, size preset, and a non-default
+// machine. These hashes were captured at core.SimVersion "2" before the
+// RunSpec.Params field existed; a failure means a schema or
+// normalization change silently invalidated (or, worse, silently
+// *collided*) the fleet's persistent caches. Adding a field must keep
+// parameterless specs hashing identically — Params carries
+// `json:"params,omitempty"` exactly so this table never moves. If a hash
+// change is intentional, bump core.SimVersion instead of editing keys.
+func TestKeyForGolden(t *testing.T) {
+	if core.SimVersion != "2" {
+		t.Fatalf("core.SimVersion = %q; golden keys captured at \"2\" — recapture the table alongside the version bump", core.SimVersion)
+	}
+	slip := func(k string) runspec.RunSpec {
+		return runspec.RunSpec{Kernel: k, Size: kernels.Tiny, Mode: core.ModeSlipstream,
+			ARSync: core.OneTokenLocal, CMPs: 8, TransparentLoads: true, SelfInvalidate: true}
+	}
+	netMachine := memsys.DefaultParams(4)
+	netMachine.NetTime = 100
+	golden := []struct {
+		key string
+		sp  runspec.RunSpec
+	}{
+		{"8cd56f42a9cf7ece7586651c1e6e2ec6", slip("FFT")},
+		{"127b3e1b3969404935db2d4e85945b09", slip("OCEAN")},
+		{"069eeb1d15112ecec83736191bd9e149", slip("WATER-NS")},
+		{"52df3ea68f2c0058a2779edd061e12bd", slip("WATER-SP")},
+		{"5c0ce032c5a11a915aa9282067a3f9ca", slip("SOR")},
+		{"b17fa3f01e4896f3cdcc022719f90f26", slip("LU")},
+		{"78cbdec40ba1a46eba71e12204597176", slip("CG")},
+		{"0b9adbefc37b1103116c1e238e331d70", slip("MG")},
+		{"c43a33d59d8e265fe620888e38351779", slip("SP")},
+		{"e3eeeb2a3830ec90157ed4517deaec86",
+			runspec.RunSpec{Kernel: "SOR", Size: kernels.Small, Mode: core.ModeSingle, CMPs: 4}},
+		{"d2a7d1f715bc93831c35270bb10e3ad4",
+			runspec.RunSpec{Kernel: "SOR", Size: kernels.Tiny, Mode: core.ModeSequential, CMPs: 0}},
+		{"86a0ee76d5d52cbf8ae578b7365708f1",
+			runspec.RunSpec{Kernel: "FFT", Size: kernels.Paper, Mode: core.ModeSlipstream,
+				ARSync: core.OneTokenGlobal, CMPs: 16, TransparentLoads: true}},
+		{"6461e031de2dec6d7726cd5bbfc8d929",
+			runspec.RunSpec{Kernel: "CG", Size: kernels.Tiny, Mode: core.ModeDouble, CMPs: 2}},
+		{"5cbd4e745982d03021af12ab64716a79",
+			runspec.RunSpec{Kernel: "MG", Size: kernels.Small, Mode: core.ModeSlipstream,
+				ARSync: core.ZeroTokenGlobal, CMPs: 4, AdaptiveARSync: true}},
+		{"cc41625d9711e16b69da021d2443f30a",
+			runspec.RunSpec{Kernel: "SP", Size: kernels.Tiny, Mode: core.ModeSlipstream,
+				ARSync: core.ZeroTokenLocal, CMPs: 4, ForwardQueue: true}},
+		{"b445263feee1793a6ad36a775d51008e",
+			runspec.RunSpec{Kernel: "OCEAN", Size: kernels.Tiny, Mode: core.ModeSlipstream,
+				ARSync: core.OneTokenLocal, CMPs: 4, Machine: netMachine}},
+	}
+	for _, g := range golden {
+		got, err := KeyFor(core.SimVersion, g.sp)
+		if err != nil {
+			t.Fatalf("KeyFor(%v): %v", g.sp, err)
+		}
+		if got != g.key {
+			t.Errorf("KeyFor(%v) = %s, want %s: existing cache entries would be orphaned", g.sp, got, g.key)
+		}
+	}
+}
+
+// TestKeyForParamsFork checks the other side of the compatibility bargain:
+// a spec that does carry parameters must hash differently from the same
+// spec without them (different knobs are different runs), while
+// non-canonical spellings of the same parameters must collapse to one key.
+func TestKeyForParamsFork(t *testing.T) {
+	base := runspec.RunSpec{Kernel: "SYNTH", Size: kernels.Tiny, Mode: core.ModeSingle, CMPs: 4}
+	k0, err := KeyFor(core.SimVersion, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withP := base
+	withP.Params = "mig=0.25,seed=7"
+	k1, err := KeyFor(core.SimVersion, withP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k0 == k1 {
+		t.Fatalf("params did not fork the key: %s", k0)
+	}
+	scrambled := base
+	scrambled.Params = "seed=7.0, mig=0.250"
+	k2, err := KeyFor(core.SimVersion, scrambled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k2 != k1 {
+		t.Errorf("non-canonical params spelling forked the key: %s vs %s", k2, k1)
+	}
+}

@@ -68,7 +68,7 @@ func TestGoldenParallelCoresIdentical(t *testing.T) {
 		}
 	}
 
-	for _, name := range kernels.Names() {
+	for _, name := range kernels.AllNames() {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			sp := RunSpec{
@@ -78,6 +78,22 @@ func TestGoldenParallelCoresIdentical(t *testing.T) {
 			check(t, sp, baseline(t, sp))
 		})
 	}
+
+	// Parameterized synth presets: the expanded access programs, not just
+	// the default configuration, must be core-count invariant.
+	t.Run("synth-presets", func(t *testing.T) {
+		for _, params := range []kernels.Params{
+			"mig=0.4,pc=3,seed=11",
+			"fs=0.3,lock=1,sync=0.2,wr=0.8",
+		} {
+			sp := RunSpec{
+				Kernel: "SYNTH", Params: params, Size: kernels.Tiny,
+				Mode: core.ModeSlipstream, CMPs: 8,
+				TransparentLoads: true, SelfInvalidate: true,
+			}
+			check(t, sp, baseline(t, sp))
+		}
+	})
 
 	t.Run("modes", func(t *testing.T) {
 		for _, sp := range []RunSpec{

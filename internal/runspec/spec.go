@@ -34,6 +34,12 @@ type RunSpec struct {
 	// CMPs is the machine size in CMP nodes (0 normalizes to 1).
 	CMPs int `json:"cmps"`
 
+	// Params carries the knob settings of a parameterized kernel (today:
+	// SYNTH) in kernels.Params canonical form. Empty for every fixed
+	// kernel — and omitted from JSON, so specs that predate the field
+	// keep their serialized form and cache keys bit-for-bit.
+	Params kernels.Params `json:"params,omitempty"`
+
 	// TransparentLoads, SelfInvalidate, AdaptiveARSync, and ForwardQueue
 	// select the slipstream-only option of the same Options field.
 	TransparentLoads bool `json:"transparent_loads,omitempty"`
@@ -48,10 +54,13 @@ type RunSpec struct {
 }
 
 // Normalize returns the spec with defaults resolved: CMPs at least 1 (and
-// exactly 1 in sequential mode) and Machine filled from DefaultParams.
-// Lookup keys and cache hashes must always be built from normalized
-// specs.
+// exactly 1 in sequential mode), Machine filled from DefaultParams, and
+// Params in canonical (sorted k=v) form. Lookup keys and cache hashes
+// must always be built from normalized specs.
 func (sp RunSpec) Normalize() RunSpec {
+	if p, err := sp.Params.Canonical(); err == nil {
+		sp.Params = p
+	} // a malformed Params is left as-is for Validate to report
 	if sp.CMPs < 1 {
 		sp.CMPs = 1
 	}
@@ -79,10 +88,11 @@ func (sp RunSpec) Options() core.Options {
 	}
 }
 
-// Validate reports whether the spec names a known benchmark and resolves
-// to valid run options.
+// Validate reports whether the spec names a known benchmark, carries
+// well-formed parameters that benchmark accepts, and resolves to valid
+// run options.
 func (sp RunSpec) Validate() error {
-	if _, err := kernels.New(sp.Kernel, sp.Size); err != nil {
+	if _, err := kernels.NewParams(sp.Kernel, sp.Size, sp.Params); err != nil {
 		return err
 	}
 	return sp.Normalize().Options().Validate()
@@ -118,7 +128,7 @@ func (sp RunSpec) RunObserved(audit bool, observers ...obs.Observer) (*core.Resu
 // event loop.
 func (sp RunSpec) RunObservedCores(audit bool, cores int, observers ...obs.Observer) (*core.Result, error) {
 	sp = sp.Normalize()
-	k, err := kernels.New(sp.Kernel, sp.Size)
+	k, err := kernels.NewParams(sp.Kernel, sp.Size, sp.Params)
 	if err != nil {
 		return nil, err
 	}
@@ -134,7 +144,11 @@ func (sp RunSpec) RunObservedCores(audit bool, cores int, observers ...obs.Obser
 }
 
 func (sp RunSpec) String() string {
-	s := fmt.Sprintf("%s/%s %v", sp.Kernel, sp.Size, sp.Mode)
+	s := sp.Kernel
+	if sp.Params != "" {
+		s += ":" + string(sp.Params)
+	}
+	s += fmt.Sprintf("/%s %v", sp.Size, sp.Mode)
 	if sp.Mode == core.ModeSlipstream {
 		s += "/" + sp.ARSync.String()
 	}

@@ -60,6 +60,9 @@ type (
 	ReqBreakdown = stats.ReqBreakdown
 	// KernelSize is a benchmark size preset.
 	KernelSize = kernels.Size
+	// KernelParams is a canonically ordered set of named numeric kernel
+	// parameters — the knobs of parameterized workloads such as SYNTH.
+	KernelParams = kernels.Params
 	// Observer receives the typed observation-event stream of a run when
 	// attached through Options.Observers. Implementations must treat events
 	// as read-only; see ObsEvent.
@@ -166,9 +169,40 @@ func Kernels() []string {
 	return kernels.Names()
 }
 
-// NewKernel builds one of the paper's benchmarks at a size preset.
+// AllKernels lists every registered workload: the paper's nine, the
+// ported kernels, and the parameterized synthetic generator.
+func AllKernels() []string {
+	return kernels.AllNames()
+}
+
+// DescribeKernels renders the workload catalog — every kernel with a
+// one-line description plus the SYNTH parameter schema.
+func DescribeKernels() string {
+	return kernels.Describe()
+}
+
+// NewKernel builds one of the registered benchmarks at a size preset.
 func NewKernel(name string, size KernelSize) (Kernel, error) {
 	return kernels.New(name, size)
+}
+
+// NewKernelParams builds a registered benchmark at a size preset with the
+// given parameters. Only parameterized kernels (today: SYNTH) accept a
+// non-empty KernelParams.
+func NewKernelParams(name string, size KernelSize, p KernelParams) (Kernel, error) {
+	return kernels.NewParams(name, size, p)
+}
+
+// ParseKernelParams parses the "k1=v1,k2=v2" CLI parameter form into
+// canonical KernelParams.
+func ParseKernelParams(s string) (KernelParams, error) {
+	return kernels.ParseParams(s)
+}
+
+// SplitKernelSpec splits the CLI workload syntax "NAME" or "NAME:k=v,k=v"
+// into the kernel name and its canonical parameters.
+func SplitKernelSpec(s string) (string, KernelParams, error) {
+	return kernels.SplitSpec(s)
 }
 
 // ParseKernelSize converts "tiny", "small", or "paper".
